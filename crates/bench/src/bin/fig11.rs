@@ -1,0 +1,32 @@
+//! E-F11 — regenerates the paper's **Fig. 11**: energy breakdown by
+//! component when executing the bodytrack kernel on the big.LITTLE
+//! architecture, across the four SRAM/STT-MRAM L2 scenarios.
+
+use mss_core::flow::{MagpieFlow, MagpieInputs};
+use mss_core::scenario::Scenario;
+use mss_gemsim::workload::Kernel;
+use mss_pdk::tech::TechNode;
+
+fn main() {
+    let flow = MagpieFlow::new(MagpieInputs {
+        node: TechNode::N45,
+        kernels: vec![Kernel::bodytrack()],
+        scenarios: Scenario::ALL.to_vec(),
+        seed: 0xF16_11,
+        sample_cap: 250_000,
+    })
+    .expect("flow setup");
+    let report = flow.run().expect("flow run");
+    println!("{}", report.fig11_table("bodytrack"));
+    println!("{}", report.fig10_summary("bodytrack"));
+    std::fs::create_dir_all("results").ok();
+    if std::fs::write("results/fig11.csv", report.fig11_csv("bodytrack")).is_ok() {
+        println!("(breakdown written to results/fig11.csv)");
+    }
+    // Overall savings vs the reference.
+    for s in [Scenario::LittleL2Stt, Scenario::BigL2Stt, Scenario::FullL2Stt] {
+        if let Some((_, e, _)) = report.normalized("bodytrack", s) {
+            println!("{s}: total energy {:.1}% vs Full-SRAM", (e - 1.0) * 100.0);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! E-T1 — regenerates the paper's **Table 1**: nominal vs variation-aware
+//! (μ, σ) write/read latency and energy for a 1024×1024 STT-MRAM array at
+//! 45 nm and 65 nm.
+
+use mss_bench::standard_context;
+use mss_pdk::tech::TechNode;
+use mss_vaet::montecarlo::{run, MonteCarloOptions};
+
+fn main() {
+    println!("Table 1: overall latency and energy values for 45 nm and 65 nm");
+    println!("technology nodes for a memory array of 1024x1024\n");
+    for node in TechNode::ALL {
+        let ctx = standard_context(node);
+        let report = run(
+            &ctx,
+            &MonteCarloOptions {
+                samples: 2000,
+                seed: 0x7AB1E_1,
+                word_bits: None,
+            },
+        )
+        .expect("monte carlo");
+        println!("{}", report.to_table());
+    }
+}

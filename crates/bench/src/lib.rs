@@ -1,0 +1,60 @@
+//! Experiment harnesses for every data-bearing table and figure of the
+//! paper, plus shared helpers for the Criterion benches.
+//!
+//! Each experiment has a binary (`cargo run -p mss-bench --release --bin
+//! <id>`) that prints the paper-style rows, and a Criterion bench group
+//! measuring the cost of regenerating it. The mapping to the paper lives in
+//! `DESIGN.md` §4; measured-vs-paper numbers are recorded in
+//! `EXPERIMENTS.md`.
+
+#![deny(missing_docs)]
+
+use mss_pdk::tech::TechNode;
+use mss_vaet::context::VaetContext;
+
+/// Builds the Table-1 standard context (1024×1024 array) for a node.
+///
+/// # Panics
+///
+/// Panics when the nominal flow fails — experiment binaries treat that as a
+/// fatal setup error.
+pub fn standard_context(node: TechNode) -> VaetContext {
+    VaetContext::standard(node).expect("standard VAET context must build")
+}
+
+/// The error-rate targets swept in Fig. 7.
+pub const FIG7_TARGETS: [f64; 3] = [1e-5, 1e-10, 1e-15];
+
+/// The uncorrectable-error target of Fig. 8 ("WER of 1 × 10⁻¹⁸").
+pub const FIG8_TARGET: f64 = 1e-18;
+
+/// Read periods swept in Fig. 9 (seconds): sub-ns points show the RER
+/// falling, the ns points show the disturb growing.
+pub fn fig9_periods() -> Vec<f64> {
+    vec![
+        0.1e-9, 0.2e-9, 0.3e-9, 0.5e-9, 1e-9, 2e-9, 3e-9, 5e-9, 7e-9, 10e-9,
+    ]
+}
+
+/// Renders a simple two-column series as text rows.
+pub fn series_table(title: &str, x_label: &str, y_label: &str, rows: &[(String, String)]) -> String {
+    let mut out = format!("== {title} ==\n{x_label:<24} | {y_label}\n");
+    for (x, y) in rows {
+        out.push_str(&format!("{x:<24} | {y}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_are_consistent() {
+        assert_eq!(FIG7_TARGETS.len(), 3);
+        assert_eq!(fig9_periods().len(), 10);
+        let t = series_table("t", "x", "y", &[("a".into(), "b".into())]);
+        assert!(t.contains("== t =="));
+        assert!(t.contains("a"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for the MAGPIE flow.
+
+use std::fmt;
+
+use mss_gemsim::GemsimError;
+use mss_mtj::MtjError;
+use mss_nvsim::NvsimError;
+use mss_pdk::PdkError;
+
+/// Errors produced by the cross-layer flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MagpieError {
+    /// Device-model error.
+    Device(MtjError),
+    /// Characterisation / PDK error.
+    Pdk(PdkError),
+    /// Array-estimation error.
+    Nvsim(NvsimError),
+    /// System-simulation error.
+    Gemsim(GemsimError),
+    /// Inconsistent flow inputs (no kernels, no scenarios, ...).
+    InvalidInputs {
+        /// What is wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MagpieError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MagpieError::Device(e) => write!(f, "device error: {e}"),
+            MagpieError::Pdk(e) => write!(f, "pdk error: {e}"),
+            MagpieError::Nvsim(e) => write!(f, "nvsim error: {e}"),
+            MagpieError::Gemsim(e) => write!(f, "gemsim error: {e}"),
+            MagpieError::InvalidInputs { reason } => write!(f, "invalid inputs: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MagpieError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MagpieError::Device(e) => Some(e),
+            MagpieError::Pdk(e) => Some(e),
+            MagpieError::Nvsim(e) => Some(e),
+            MagpieError::Gemsim(e) => Some(e),
+            MagpieError::InvalidInputs { .. } => None,
+        }
+    }
+}
+
+impl From<MtjError> for MagpieError {
+    fn from(e: MtjError) -> Self {
+        MagpieError::Device(e)
+    }
+}
+
+impl From<PdkError> for MagpieError {
+    fn from(e: PdkError) -> Self {
+        MagpieError::Pdk(e)
+    }
+}
+
+impl From<NvsimError> for MagpieError {
+    fn from(e: NvsimError) -> Self {
+        MagpieError::Nvsim(e)
+    }
+}
+
+impl From<GemsimError> for MagpieError {
+    fn from(e: GemsimError) -> Self {
+        MagpieError::Gemsim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: MagpieError = NvsimError::NoFeasibleDesign.into();
+        assert!(e.to_string().contains("nvsim"));
+        let e: MagpieError = GemsimError::InvalidSystem {
+            reason: "x".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("gemsim"));
+    }
+}

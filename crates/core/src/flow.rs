@@ -1,0 +1,608 @@
+//! The MAGPIE evaluation flow: characterise → estimate → simulate → account.
+
+use mss_gemsim::cache::CacheConfig;
+use mss_gemsim::stats::SimReport;
+use mss_gemsim::system::{System, SystemConfig};
+use mss_gemsim::workload::Kernel;
+use mss_mcpat::{evaluate as mcpat_evaluate, McpatConfig, PowerReport};
+use mss_mtj::MssStack;
+use mss_nvsim::config::MemoryConfig;
+use mss_nvsim::model::{estimate, ArrayMetrics, MemoryTechnology};
+use mss_pdk::charlib::{characterize, CellLibrary};
+use mss_pdk::tech::{TechNode, TechParams};
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::Scenario;
+use crate::MagpieError;
+
+/// STT-MRAM over SRAM density advantage used for iso-area replacement.
+///
+/// `146 F² / 40 F²` rounds to 4× when keeping power-of-two cache sets.
+pub const ISO_AREA_CAPACITY_FACTOR: u64 = 4;
+
+/// Inputs of one flow evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MagpieInputs {
+    /// Technology node (the paper's Fig. 12 uses 45 nm).
+    pub node: TechNode,
+    /// Kernels to execute.
+    pub kernels: Vec<Kernel>,
+    /// Scenarios to compare.
+    pub scenarios: Vec<Scenario>,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Per-thread memory-access sampling cap for `mss-gemsim`.
+    pub sample_cap: u64,
+}
+
+/// One (kernel, scenario) evaluation outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelScenarioResult {
+    /// Scenario evaluated.
+    pub scenario: Scenario,
+    /// Kernel name.
+    pub kernel: String,
+    /// Execution time, seconds.
+    pub runtime: f64,
+    /// Total system energy, joules.
+    pub energy: f64,
+    /// Energy-delay product, J·s.
+    pub edp: f64,
+    /// Component-level energy breakdown.
+    pub power: PowerReport,
+    /// Raw system activity.
+    pub activity: SimReport,
+}
+
+/// Silicon-area accounting for one scenario (the paper's Fig. 10 output:
+/// "total performance, total energy and total area").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioArea {
+    /// Scenario this area belongs to.
+    pub scenario: Scenario,
+    /// Total core area (big + LITTLE), m².
+    pub cores: f64,
+    /// All L1 data caches, m².
+    pub l1: f64,
+    /// big-cluster L2 macro, m².
+    pub l2_big: f64,
+    /// LITTLE-cluster L2 macro, m².
+    pub l2_little: f64,
+}
+
+impl ScenarioArea {
+    /// Total accounted silicon, m².
+    pub fn total(&self) -> f64 {
+        self.cores + self.l1 + self.l2_big + self.l2_little
+    }
+}
+
+/// The complete flow report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MagpieReport {
+    /// Every (kernel, scenario) outcome.
+    pub results: Vec<KernelScenarioResult>,
+    /// Per-scenario area accounting.
+    pub areas: Vec<ScenarioArea>,
+}
+
+/// The flow driver.
+#[derive(Debug, Clone)]
+pub struct MagpieFlow {
+    inputs: MagpieInputs,
+    tech: TechParams,
+    stt_lib: CellLibrary,
+}
+
+impl MagpieFlow {
+    /// Runs the circuit-level characterisation and prepares the flow.
+    ///
+    /// # Errors
+    ///
+    /// [`MagpieError::InvalidInputs`] on empty kernel/scenario lists;
+    /// characterisation failures propagate.
+    pub fn new(inputs: MagpieInputs) -> Result<Self, MagpieError> {
+        if inputs.kernels.is_empty() || inputs.scenarios.is_empty() {
+            return Err(MagpieError::InvalidInputs {
+                reason: "kernels and scenarios must be non-empty".into(),
+            });
+        }
+        if inputs.sample_cap == 0 {
+            return Err(MagpieError::InvalidInputs {
+                reason: "sample_cap must be non-zero".into(),
+            });
+        }
+        let stack = MssStack::builder().build()?;
+        let stt_lib = characterize(inputs.node, &stack)?;
+        Ok(Self {
+            tech: TechParams::node(inputs.node),
+            stt_lib,
+            inputs,
+        })
+    }
+
+    /// The characterised STT cell library (cell configuration file).
+    pub fn cell_library(&self) -> &CellLibrary {
+        &self.stt_lib
+    }
+
+    /// Estimates one cache macro with NVSim and converts it into the
+    /// simulator's cache record.
+    fn cache_config(
+        &self,
+        name: &str,
+        capacity: u64,
+        associativity: u32,
+        stt: bool,
+    ) -> Result<(CacheConfig, ArrayMetrics), MagpieError> {
+        let line = 64u32;
+        let mem_cfg = MemoryConfig::new(
+            capacity,
+            (line * 8).min(512),
+            1,
+            subarray_rows_for(capacity),
+            512,
+            mss_nvsim::config::MemoryKind::Cache {
+                associativity,
+                line_bytes: line,
+            },
+        )?;
+        let technology = if stt {
+            MemoryTechnology::SttMram(self.stt_lib.clone())
+        } else {
+            MemoryTechnology::Sram
+        };
+        let m = estimate(&self.tech, &mem_cfg, &technology)?;
+        Ok((
+            CacheConfig {
+                name: name.to_string(),
+                capacity,
+                associativity,
+                line_bytes: line,
+                read_latency: m.read_latency,
+                write_latency: m.write_latency,
+                read_energy: m.read_energy,
+                write_energy: m.write_energy,
+                leakage_power: m.leakage_power,
+            },
+            m,
+        ))
+    }
+
+    /// Builds the platform configuration for a scenario, with every cache's
+    /// timing/energy/leakage coming from the NVSim layer.
+    ///
+    /// # Errors
+    ///
+    /// Estimation failures propagate.
+    pub fn system_config(&self, scenario: Scenario) -> Result<SystemConfig, MagpieError> {
+        let mut base = SystemConfig::big_little_default();
+        base.sample_accesses_per_thread = self.inputs.sample_cap;
+
+        // L1s: always SRAM, re-estimated from the node for consistency.
+        for cluster in &mut base.clusters {
+            let (l1, _) = self.cache_config(&cluster.l1d.name.clone(), 32 << 10, 4, false)?;
+            cluster.l1d = l1;
+        }
+
+        // big L2: 2 MiB; iso-capacity replacement when STT.
+        let big_stt = scenario.big_l2_is_stt();
+        let (big_l2, _) = self.cache_config("big.L2", 2 << 20, 16, big_stt)?;
+        base.clusters[0].l2 = big_l2;
+
+        // LITTLE L2: 512 KiB SRAM; iso-area (4x capacity) when STT.
+        let little_stt = scenario.little_l2_is_stt();
+        let little_capacity = if little_stt {
+            (512 << 10) * ISO_AREA_CAPACITY_FACTOR
+        } else {
+            512 << 10
+        };
+        let (little_l2, _) =
+            self.cache_config("LITTLE.L2", little_capacity, 8, little_stt)?;
+        base.clusters[1].l2 = little_l2;
+
+        Ok(base)
+    }
+
+    /// Area accounting for a scenario: McPAT core areas plus NVSim macro
+    /// areas for every cache.
+    ///
+    /// # Errors
+    ///
+    /// Estimation failures propagate.
+    pub fn scenario_area(&self, scenario: Scenario) -> Result<ScenarioArea, MagpieError> {
+        let mcpat_cfg = McpatConfig::default();
+        let base = SystemConfig::big_little_default();
+        let cores = base.clusters[0].cores as f64 * mcpat_cfg.big.area
+            + base.clusters[1].cores as f64 * mcpat_cfg.little.area;
+        let (_, l1m) = self.cache_config("l1.probe", 32 << 10, 4, false)?;
+        let l1 = l1m.area * base.clusters.iter().map(|c| c.cores as f64).sum::<f64>();
+        let (_, big) = self.cache_config("big.L2", 2 << 20, 16, scenario.big_l2_is_stt())?;
+        let little_capacity = if scenario.little_l2_is_stt() {
+            (512 << 10) * ISO_AREA_CAPACITY_FACTOR
+        } else {
+            512 << 10
+        };
+        let (_, little) =
+            self.cache_config("LITTLE.L2", little_capacity, 8, scenario.little_l2_is_stt())?;
+        Ok(ScenarioArea {
+            scenario,
+            cores,
+            l1,
+            l2_big: big.area,
+            l2_little: little.area,
+        })
+    }
+
+    /// Runs every (kernel, scenario) pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and simulation failures.
+    pub fn run(&self) -> Result<MagpieReport, MagpieError> {
+        let mcpat_cfg = McpatConfig::default();
+        let mut results = Vec::new();
+        let mut areas = Vec::new();
+        for scenario in &self.inputs.scenarios {
+            areas.push(self.scenario_area(*scenario)?);
+            let sys_cfg = self.system_config(*scenario)?;
+            let mut system = System::new(sys_cfg)?;
+            for kernel in &self.inputs.kernels {
+                let activity = system.run(kernel, self.inputs.seed)?;
+                let mut power = mcpat_evaluate(&mcpat_cfg, &activity);
+                power.label = format!("{} / {}", kernel.name, scenario);
+                results.push(KernelScenarioResult {
+                    scenario: *scenario,
+                    kernel: kernel.name.clone(),
+                    runtime: activity.runtime_seconds,
+                    energy: power.total_energy(),
+                    edp: power.edp(),
+                    power,
+                    activity,
+                });
+            }
+        }
+        Ok(MagpieReport { results, areas })
+    }
+}
+
+/// Picks a subarray row count that divides the capacity sensibly.
+fn subarray_rows_for(capacity: u64) -> u32 {
+    let bits = capacity * 8;
+    if bits >= (512 * 512) as u64 {
+        512
+    } else {
+        ((bits / 512).max(64) as u32).next_power_of_two()
+    }
+}
+
+impl MagpieReport {
+    /// Looks up one result.
+    pub fn result(&self, kernel: &str, scenario: Scenario) -> Option<&KernelScenarioResult> {
+        self.results
+            .iter()
+            .find(|r| r.kernel == kernel && r.scenario == scenario)
+    }
+
+    /// Kernel names present, in first-seen order.
+    pub fn kernels(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for r in &self.results {
+            if !out.contains(&r.kernel) {
+                out.push(r.kernel.clone());
+            }
+        }
+        out
+    }
+
+    /// (time, energy, EDP) of a scenario normalised to Full-SRAM for one
+    /// kernel; `None` when either result is missing.
+    pub fn normalized(&self, kernel: &str, scenario: Scenario) -> Option<(f64, f64, f64)> {
+        let reference = self.result(kernel, Scenario::FullSram)?;
+        let r = self.result(kernel, scenario)?;
+        Some((
+            r.runtime / reference.runtime,
+            r.energy / reference.energy,
+            r.edp / reference.edp,
+        ))
+    }
+
+    /// Area record of a scenario.
+    pub fn area(&self, scenario: Scenario) -> Option<&ScenarioArea> {
+        self.areas.iter().find(|a| a.scenario == scenario)
+    }
+
+    /// Renders the Fig. 10-style output summary: total performance, total
+    /// energy and total area per scenario, for one kernel.
+    pub fn fig10_summary(&self, kernel: &str) -> String {
+        use mss_units::fmt::Eng;
+        let mut out = format!(
+            "== Fig.10 outputs: performance / energy / area, kernel {kernel} ==\n{:<20} | {:>12} | {:>12} | {:>12}\n",
+            "scenario", "runtime", "energy", "area"
+        );
+        for s in Scenario::ALL {
+            let Some(r) = self.result(kernel, s) else { continue };
+            let area = self.area(s).map(|a| a.total()).unwrap_or(0.0);
+            out.push_str(&format!(
+                "{:<20} | {:>12} | {:>12} | {:>9.3} mm2\n",
+                s.to_string(),
+                Eng(r.runtime, "s").to_string(),
+                Eng(r.energy, "J").to_string(),
+                area * 1e6
+            ));
+        }
+        out
+    }
+
+    /// Renders the Fig. 11 energy-breakdown table for one kernel: one column
+    /// block per scenario, one row per component.
+    pub fn fig11_table(&self, kernel: &str) -> String {
+        use mss_units::fmt::Eng;
+        let mut out = format!("== Fig.11: energy breakdown by component, kernel {kernel} ==\n");
+        let scenarios: Vec<Scenario> = Scenario::ALL
+            .into_iter()
+            .filter(|s| self.result(kernel, *s).is_some())
+            .collect();
+        // Component names from the reference scenario.
+        let Some(reference) = scenarios.first().and_then(|s| self.result(kernel, *s)) else {
+            return out + "(no results)\n";
+        };
+        out.push_str(&format!("{:<16}", "component"));
+        for s in &scenarios {
+            out.push_str(&format!(" | {:>20}", s.to_string()));
+        }
+        out.push('\n');
+        for comp in &reference.power.components {
+            out.push_str(&format!("{:<16}", comp.name));
+            for s in &scenarios {
+                let v = self
+                    .result(kernel, *s)
+                    .and_then(|r| r.power.component(&comp.name))
+                    .map(|c| c.total())
+                    .unwrap_or(0.0);
+                out.push_str(&format!(" | {:>20}", Eng(v, "J").to_string()));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:<16}", "TOTAL"));
+        for s in &scenarios {
+            let v = self.result(kernel, *s).map(|r| r.energy).unwrap_or(0.0);
+            out.push_str(&format!(" | {:>20}", Eng(v, "J").to_string()));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Serialises the Fig. 11 breakdown as CSV (component, one column per
+    /// scenario; values in joules).
+    pub fn fig11_csv(&self, kernel: &str) -> String {
+        let scenarios: Vec<Scenario> = Scenario::ALL
+            .into_iter()
+            .filter(|s| self.result(kernel, *s).is_some())
+            .collect();
+        let mut out = String::from("component");
+        for s in &scenarios {
+            out.push_str(&format!(",{s}"));
+        }
+        out.push('\n');
+        let Some(reference) = scenarios.first().and_then(|s| self.result(kernel, *s)) else {
+            return out;
+        };
+        for comp in &reference.power.components {
+            out.push_str(&comp.name);
+            for s in &scenarios {
+                let v = self
+                    .result(kernel, *s)
+                    .and_then(|r| r.power.component(&comp.name))
+                    .map(|c| c.total())
+                    .unwrap_or(0.0);
+                out.push_str(&format!(",{v:.6e}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialises the Fig. 12 normalised merits as CSV
+    /// (`kernel,scenario,time,energy,edp`).
+    pub fn fig12_csv(&self) -> String {
+        let mut out = String::from("kernel,scenario,time,energy,edp\n");
+        for kernel in self.kernels() {
+            for s in [Scenario::LittleL2Stt, Scenario::BigL2Stt, Scenario::FullL2Stt] {
+                if let Some((t, e, edp)) = self.normalized(&kernel, s) {
+                    out.push_str(&format!("{kernel},{s},{t:.6},{e:.6},{edp:.6}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the Fig. 12 table: per kernel, execution time / energy / EDP
+    /// of each STT scenario normalised to Full-SRAM.
+    pub fn fig12_table(&self) -> String {
+        let mut out = String::from(
+            "== Fig.12: execution time / energy / EDP normalised to Full-SRAM ==\n",
+        );
+        out.push_str(&format!(
+            "{:<14} | {:<20} | {:>8} | {:>8} | {:>8}\n",
+            "kernel", "scenario", "time", "energy", "EDP"
+        ));
+        for kernel in self.kernels() {
+            for s in [Scenario::LittleL2Stt, Scenario::BigL2Stt, Scenario::FullL2Stt] {
+                if let Some((t, e, edp)) = self.normalized(&kernel, s) {
+                    out.push_str(&format!(
+                        "{:<14} | {:<20} | {:>8.3} | {:>8.3} | {:>8.3}\n",
+                        kernel,
+                        s.to_string(),
+                        t,
+                        e,
+                        edp
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn flow_report() -> &'static (MagpieFlow, MagpieReport) {
+        static CELL: OnceLock<(MagpieFlow, MagpieReport)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let flow = MagpieFlow::new(MagpieInputs {
+                node: TechNode::N45,
+                kernels: vec![Kernel::bodytrack(), Kernel::streamcluster()],
+                scenarios: Scenario::ALL.to_vec(),
+                seed: 7,
+                sample_cap: 150_000,
+            })
+            .unwrap();
+            let report = flow.run().unwrap();
+            (flow, report)
+        })
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(MagpieFlow::new(MagpieInputs {
+            node: TechNode::N45,
+            kernels: vec![],
+            scenarios: Scenario::ALL.to_vec(),
+            seed: 0,
+            sample_cap: 1000,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn stt_l2_has_slower_writes_and_less_leakage() {
+        let (flow, _) = flow_report();
+        let sram = flow.system_config(Scenario::FullSram).unwrap();
+        let stt = flow.system_config(Scenario::FullL2Stt).unwrap();
+        let sram_big = &sram.clusters[0].l2;
+        let stt_big = &stt.clusters[0].l2;
+        assert!(stt_big.write_latency > 1.5 * sram_big.write_latency);
+        assert!(stt_big.leakage_power < 0.3 * sram_big.leakage_power);
+        // LITTLE iso-area replacement quadruples capacity.
+        assert_eq!(
+            stt.clusters[1].l2.capacity,
+            4 * sram.clusters[1].l2.capacity
+        );
+        assert_eq!(stt_big.capacity, sram_big.capacity);
+    }
+
+    #[test]
+    fn all_scenarios_produce_results() {
+        let (_, report) = flow_report();
+        assert_eq!(report.results.len(), 8);
+        for s in Scenario::ALL {
+            assert!(report.result("bodytrack", s).is_some());
+        }
+    }
+
+    #[test]
+    fn stt_scenarios_save_energy() {
+        let (_, report) = flow_report();
+        for kernel in ["bodytrack", "streamcluster"] {
+            for s in [Scenario::LittleL2Stt, Scenario::BigL2Stt, Scenario::FullL2Stt] {
+                let (_, e, _) = report.normalized(kernel, s).unwrap();
+                assert!(e < 1.0, "{kernel}/{s}: energy ratio {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn little_stt_speeds_up_capacity_sensitive_kernel() {
+        // bodytrack's working set fits the 4x larger STT L2 but not the
+        // SRAM one — the paper's up-to-50% LITTLE speedup case.
+        let (_, report) = flow_report();
+        let (t, _, _) = report.normalized("bodytrack", Scenario::LittleL2Stt).unwrap();
+        assert!(t < 0.95, "time ratio {t}");
+    }
+
+    #[test]
+    fn big_stt_slows_execution() {
+        // Iso-capacity STT big L2 exposes the write latency: never faster,
+        // and visibly slower for the streaming kernel.
+        let (_, report) = flow_report();
+        let (t, _, _) = report.normalized("bodytrack", Scenario::BigL2Stt).unwrap();
+        assert!(t >= 1.0, "time ratio {t}");
+        let (ts, _, _) = report
+            .normalized("streamcluster", Scenario::BigL2Stt)
+            .unwrap();
+        assert!(ts >= 1.0, "time ratio {ts}");
+    }
+
+    #[test]
+    fn tables_render() {
+        let (_, report) = flow_report();
+        let f11 = report.fig11_table("bodytrack");
+        assert!(f11.contains("big.L2"));
+        assert!(f11.contains("Full-SRAM"));
+        let f12 = report.fig12_table();
+        assert!(f12.contains("streamcluster"));
+        assert!(f12.contains("LITTLE-L2-STT-MRAM"));
+    }
+
+    #[test]
+    fn csv_exports_are_machine_readable() {
+        let (_, report) = flow_report();
+        let csv11 = report.fig11_csv("bodytrack");
+        let mut lines = csv11.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("component,"));
+        let cols = header.split(',').count();
+        for line in lines {
+            assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+            // Every value cell parses as a float.
+            for cell in line.split(',').skip(1) {
+                cell.parse::<f64>().unwrap();
+            }
+        }
+        let csv12 = report.fig12_csv();
+        assert!(csv12.starts_with("kernel,scenario,time,energy,edp"));
+        // 2 kernels x 3 scenarios data rows.
+        assert_eq!(csv12.lines().count(), 1 + 2 * 3);
+        for line in csv12.lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            assert_eq!(cells.len(), 5);
+            for cell in &cells[2..] {
+                cell.parse::<f64>().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn area_accounting_follows_the_replacement_policy() {
+        let (flow, report) = flow_report();
+        let sram = flow.scenario_area(Scenario::FullSram).unwrap();
+        let full = flow.scenario_area(Scenario::FullL2Stt).unwrap();
+        // Iso-capacity big L2 in the denser technology shrinks a lot.
+        assert!(full.l2_big < 0.5 * sram.l2_big);
+        // Iso-area LITTLE L2 stays in the same area class (4x capacity at
+        // ~3.7x density): within +/-30%.
+        let ratio = full.l2_little / sram.l2_little;
+        assert!((0.7..1.3).contains(&ratio), "LITTLE L2 area ratio {ratio}");
+        // Total chip area never grows when adopting STT L2s.
+        assert!(full.total() < sram.total() * 1.02);
+        // Report carries the same records.
+        assert_eq!(report.areas.len(), 4);
+        assert!(report.area(Scenario::FullSram).is_some());
+        let summary = report.fig10_summary("bodytrack");
+        assert!(summary.contains("mm2"));
+        assert!(summary.contains("Full-SRAM"));
+    }
+
+    #[test]
+    fn normalized_reference_is_unity() {
+        let (_, report) = flow_report();
+        let (t, e, edp) = report.normalized("bodytrack", Scenario::FullSram).unwrap();
+        assert!((t - 1.0).abs() < 1e-12);
+        assert!((e - 1.0).abs() < 1e-12);
+        assert!((edp - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,83 @@
+//! The four evaluation scenarios of the paper's Fig. 11/12.
+//!
+//! *"big.LITTLE architecture where all cache memories are in SRAM (our
+//! reference scenario, referred to as Full-SRAM); similar architecture but
+//! the L2 cache of the LITTLE cluster is now in STT-MRAM
+//! (LITTLE-L2-STT-MRAM), similar architecture but the L2 of the big cluster
+//! is in STT-MRAM (big-L2-STT-MRAM), and similar architecture where L2
+//! caches of both clusters are in STT-MRAM (Full-L2-STT-MRAM)."*
+//!
+//! Replacement sizing: the LITTLE cluster is area-constrained, so its
+//! STT-MRAM L2 is sized **iso-area** (the ~4× density of the 1T-1MTJ cell
+//! over 6T SRAM buys a 4× larger L2 — this is what lets the paper report up
+//! to 50 % faster execution on the LITTLE cluster). The big cluster's 2 MiB
+//! L2 is already capacity-generous, so its replacement is **iso-capacity**
+//! (the area/energy saving is taken instead), which exposes the STT write
+//! latency — the paper's observed slowdown.
+
+use serde::{Deserialize, Serialize};
+
+/// Which caches are replaced with STT-MRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Reference: every cache is SRAM.
+    FullSram,
+    /// Only the LITTLE cluster's L2 is STT-MRAM (iso-area, 4× capacity).
+    LittleL2Stt,
+    /// Only the big cluster's L2 is STT-MRAM (iso-capacity).
+    BigL2Stt,
+    /// Both L2s are STT-MRAM.
+    FullL2Stt,
+}
+
+impl Scenario {
+    /// All four scenarios, reference first.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::FullSram,
+        Scenario::LittleL2Stt,
+        Scenario::BigL2Stt,
+        Scenario::FullL2Stt,
+    ];
+
+    /// True when the big cluster's L2 is STT-MRAM.
+    pub fn big_l2_is_stt(self) -> bool {
+        matches!(self, Scenario::BigL2Stt | Scenario::FullL2Stt)
+    }
+
+    /// True when the LITTLE cluster's L2 is STT-MRAM.
+    pub fn little_l2_is_stt(self) -> bool {
+        matches!(self, Scenario::LittleL2Stt | Scenario::FullL2Stt)
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scenario::FullSram => write!(f, "Full-SRAM"),
+            Scenario::LittleL2Stt => write!(f, "LITTLE-L2-STT-MRAM"),
+            Scenario::BigL2Stt => write!(f, "big-L2-STT-MRAM"),
+            Scenario::FullL2Stt => write!(f, "Full-L2-STT-MRAM"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_match_scenarios() {
+        assert!(!Scenario::FullSram.big_l2_is_stt());
+        assert!(!Scenario::FullSram.little_l2_is_stt());
+        assert!(Scenario::LittleL2Stt.little_l2_is_stt());
+        assert!(!Scenario::LittleL2Stt.big_l2_is_stt());
+        assert!(Scenario::BigL2Stt.big_l2_is_stt());
+        assert!(Scenario::FullL2Stt.big_l2_is_stt() && Scenario::FullL2Stt.little_l2_is_stt());
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(Scenario::FullSram.to_string(), "Full-SRAM");
+        assert_eq!(Scenario::LittleL2Stt.to_string(), "LITTLE-L2-STT-MRAM");
+    }
+}

@@ -1,0 +1,112 @@
+//! Core timing models for the big.LITTLE platform.
+//!
+//! The paper's Fig. 11/12 platform is an Exynos-5-style big.LITTLE SoC. The
+//! timing model here is analytic per core: non-memory instructions retire at
+//! a base CPI; memory stalls add the hierarchy latency scaled by an overlap
+//! factor (out-of-order big cores hide a part of it, in-order LITTLE cores
+//! almost none).
+
+use serde::{Deserialize, Serialize};
+
+/// Which microarchitecture a core implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreKind {
+    /// Out-of-order "big" core (Cortex-A15 class).
+    Big,
+    /// In-order "LITTLE" core (Cortex-A7 class).
+    Little,
+}
+
+impl std::fmt::Display for CoreKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreKind::Big => write!(f, "big"),
+            CoreKind::Little => write!(f, "LITTLE"),
+        }
+    }
+}
+
+/// Timing parameters of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreModel {
+    /// Microarchitecture class.
+    pub kind: CoreKind,
+    /// Clock frequency, hertz.
+    pub frequency: f64,
+    /// Cycles per non-memory instruction.
+    pub base_cpi: f64,
+    /// Fraction of memory latency exposed as stall (1.0 = in-order, fully
+    /// exposed; OoO cores overlap part of it).
+    pub stall_exposure: f64,
+}
+
+impl CoreModel {
+    /// Cortex-A15-class big core: 2 GHz, OoO.
+    pub fn big() -> Self {
+        Self {
+            kind: CoreKind::Big,
+            frequency: 2.0e9,
+            base_cpi: 1.0,
+            stall_exposure: 0.55,
+        }
+    }
+
+    /// Cortex-A7-class LITTLE core: 1.4 GHz, in-order.
+    pub fn little() -> Self {
+        Self {
+            kind: CoreKind::Little,
+            frequency: 1.4e9,
+            base_cpi: 1.7,
+            stall_exposure: 1.0,
+        }
+    }
+
+    /// Execution time for a given instruction count and total exposed
+    /// memory-stall cycles.
+    pub fn execution_seconds(&self, instructions: u64, stall_cycles: f64) -> f64 {
+        let compute = instructions as f64 * self.base_cpi;
+        (compute + self.stall_exposure * stall_cycles) / self.frequency
+    }
+
+    /// Converts a latency in seconds into this core's clock cycles.
+    pub fn cycles(&self, seconds: f64) -> f64 {
+        seconds * self.frequency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_is_faster_than_little_on_compute() {
+        let big = CoreModel::big();
+        let little = CoreModel::little();
+        let t_big = big.execution_seconds(1_000_000, 0.0);
+        let t_little = little.execution_seconds(1_000_000, 0.0);
+        assert!(t_big < t_little / 2.0);
+    }
+
+    #[test]
+    fn little_exposes_more_stall() {
+        let big = CoreModel::big();
+        let little = CoreModel::little();
+        let stall = 1_000_000.0;
+        let extra_big = big.execution_seconds(0, stall);
+        let extra_little = little.execution_seconds(0, stall);
+        // Per cycle of stall, the LITTLE core loses more wall-clock.
+        assert!(extra_little > extra_big);
+    }
+
+    #[test]
+    fn cycles_round_trip() {
+        let big = CoreModel::big();
+        assert!((big.cycles(1e-9) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CoreKind::Big.to_string(), "big");
+        assert_eq!(CoreKind::Little.to_string(), "LITTLE");
+    }
+}

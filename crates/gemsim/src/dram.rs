@@ -1,0 +1,164 @@
+//! DRAM row-buffer model.
+//!
+//! The baseline platform charges a flat DRAM latency per transaction. Real
+//! controllers keep one row open per bank: a hit in the open row is several
+//! times faster (and cheaper) than an activate+precharge cycle. This model
+//! is opt-in via [`crate::system::SystemConfig::row_buffer`]; the flat
+//! number remains the row-miss cost.
+
+use serde::{Deserialize, Serialize};
+
+use crate::GemsimError;
+
+/// Row-buffer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RowBufferConfig {
+    /// Latency of a row-buffer hit, seconds (the flat DRAM latency of the
+    /// platform remains the miss cost).
+    pub hit_latency: f64,
+    /// Bytes per row (page size).
+    pub row_bytes: u64,
+    /// Number of DRAM banks.
+    pub banks: u32,
+    /// Energy fraction of a hit relative to a full activate cycle.
+    pub hit_energy_fraction: f64,
+}
+
+impl RowBufferConfig {
+    /// A typical LPDDR-class configuration: 2 KiB rows, 8 banks, 25 ns hits
+    /// at 40 % of the activate energy.
+    pub fn lpddr_default() -> Self {
+        Self {
+            hit_latency: 25e-9,
+            row_bytes: 2048,
+            banks: 8,
+            hit_energy_fraction: 0.4,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`GemsimError::InvalidSystem`] on degenerate parameters.
+    pub fn validate(&self) -> Result<(), GemsimError> {
+        if self.hit_latency <= 0.0
+            || self.row_bytes == 0
+            || !self.row_bytes.is_power_of_two()
+            || self.banks == 0
+            || !(0.0..=1.0).contains(&self.hit_energy_fraction)
+        {
+            return Err(GemsimError::InvalidSystem {
+                reason: "invalid row-buffer configuration".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Open-row tracker across the DRAM banks.
+#[derive(Debug, Clone)]
+pub struct DramSim {
+    config: RowBufferConfig,
+    open_rows: Vec<Option<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DramSim {
+    /// Builds a tracker (validates the configuration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RowBufferConfig::validate`].
+    pub fn new(config: RowBufferConfig) -> Result<Self, GemsimError> {
+        config.validate()?;
+        Ok(Self {
+            open_rows: vec![None; config.banks as usize],
+            config,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// Performs one transaction; returns `true` on a row-buffer hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let global_row = addr / self.config.row_bytes;
+        let bank = (global_row % self.config.banks as u64) as usize;
+        let row = global_row / self.config.banks as u64;
+        if self.open_rows[bank] == Some(row) {
+            self.hits += 1;
+            true
+        } else {
+            self.open_rows[bank] = Some(row);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Row-buffer hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Row-buffer misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RowBufferConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> DramSim {
+        DramSim::new(RowBufferConfig::lpddr_default()).unwrap()
+    }
+
+    #[test]
+    fn sequential_streams_hit_the_open_row() {
+        let mut d = sim();
+        assert!(!d.access(0)); // cold
+        for k in 1..32 {
+            assert!(d.access(k * 64), "sequential access {k} must hit");
+        }
+        assert_eq!(d.hits(), 31);
+        assert_eq!(d.misses(), 1);
+    }
+
+    #[test]
+    fn row_conflicts_miss() {
+        let mut d = sim();
+        let row_span = 2048 * 8; // same bank, next row
+        d.access(0);
+        assert!(!d.access(row_span as u64));
+        assert!(!d.access(0)); // the original row was closed
+    }
+
+    #[test]
+    fn different_banks_keep_their_rows() {
+        let mut d = sim();
+        d.access(0); // bank 0
+        d.access(2048); // bank 1
+        assert!(d.access(64)); // bank 0 row still open
+        assert!(d.access(2048 + 64)); // bank 1 row still open
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let mut c = RowBufferConfig::lpddr_default();
+        c.row_bytes = 1000;
+        assert!(DramSim::new(c).is_err());
+        let mut c = RowBufferConfig::lpddr_default();
+        c.banks = 0;
+        assert!(DramSim::new(c).is_err());
+        let mut c = RowBufferConfig::lpddr_default();
+        c.hit_energy_fraction = 1.5;
+        assert!(DramSim::new(c).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! The activity report consumed by the power/area layer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CacheConfig, CacheStats};
+use crate::core::CoreKind;
+
+/// Activity of one cache over a run (counters already scaled back to the
+/// full workload when sampling was used).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheActivity {
+    /// Cache name ("big.L2", ...).
+    pub name: String,
+    /// The configuration it ran with (carries per-access energies).
+    pub config: CacheConfig,
+    /// Scaled activity counters.
+    pub stats: CacheStats,
+}
+
+/// Activity of one core over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreActivity {
+    /// Microarchitecture class.
+    pub kind: CoreKind,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Busy time (the core's own execution time), seconds.
+    pub busy_seconds: f64,
+    /// Instructions per cycle achieved.
+    pub ipc: f64,
+}
+
+/// The full activity report of one kernel run — the paper's "detailed
+/// report of the system activity including the number of memory
+/// transactions ... and the execution time".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Wall-clock execution time (slowest core), seconds.
+    pub runtime_seconds: f64,
+    /// Per-core activity.
+    pub cores: Vec<CoreActivity>,
+    /// Per-cache activity.
+    pub caches: Vec<CacheActivity>,
+    /// DRAM read transactions.
+    pub dram_reads: u64,
+    /// DRAM write transactions.
+    pub dram_writes: u64,
+    /// DRAM transactions that hit an open row (0 when the row-buffer model
+    /// is disabled).
+    pub dram_row_hits: u64,
+    /// Fraction of memory accesses actually simulated (sampling factor).
+    pub simulated_fraction: f64,
+}
+
+impl SimReport {
+    /// Total retired instructions.
+    pub fn total_instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Looks up a cache's activity by name.
+    pub fn cache(&self, name: &str) -> Option<&CacheActivity> {
+        self.caches.iter().find(|c| c.name == name)
+    }
+
+    /// Aggregate IPC over all cores.
+    pub fn system_ipc(&self, frequency: f64) -> f64 {
+        if self.runtime_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_instructions() as f64 / (self.runtime_seconds * frequency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_helpers() {
+        let r = SimReport {
+            kernel: "k".into(),
+            runtime_seconds: 1.0,
+            cores: vec![
+                CoreActivity {
+                    kind: CoreKind::Big,
+                    instructions: 100,
+                    busy_seconds: 0.9,
+                    ipc: 1.2,
+                },
+                CoreActivity {
+                    kind: CoreKind::Little,
+                    instructions: 50,
+                    busy_seconds: 1.0,
+                    ipc: 0.6,
+                },
+            ],
+            caches: vec![],
+            dram_reads: 5,
+            dram_writes: 2,
+            dram_row_hits: 0,
+            simulated_fraction: 1.0,
+        };
+        assert_eq!(r.total_instructions(), 150);
+        assert!(r.cache("none").is_none());
+        assert!((r.system_ipc(150.0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,642 @@
+//! The big.LITTLE platform simulator.
+//!
+//! Threads are distributed round-robin over every core of every cluster;
+//! each core owns a private L1D, each cluster shares an L2, and all clusters
+//! share DRAM. Memory-access streams are generated statistically per thread
+//! (see [`crate::workload`]) and — for tractability — sampled: up to
+//! [`SystemConfig::sample_accesses_per_thread`] references are simulated per
+//! thread and the counters scaled back to the full run.
+//!
+//! Stall accounting (what reaches the core's execution time):
+//!
+//! - an L1 hit is pipelined away (no stall),
+//! - an L1 miss exposes the L2 read-hit latency,
+//! - an L2 miss additionally exposes the DRAM latency, and the returning
+//!   fill must be *written into the L2 array* — with an STT-MRAM L2 this
+//!   write is slow and partially exposed ([`FILL_WRITE_EXPOSURE`]),
+//! - dirty evictions from L1 write the L2 array too, mostly hidden behind
+//!   buffers ([`WRITEBACK_EXPOSURE`]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::core::CoreModel;
+use crate::dram::{DramSim, RowBufferConfig};
+use crate::stats::{CacheActivity, CoreActivity, SimReport};
+use crate::workload::{AccessStream, Kernel};
+use crate::GemsimError;
+
+/// Fraction of an L2 fill-write latency exposed to the core.
+pub const FILL_WRITE_EXPOSURE: f64 = 0.35;
+/// Fraction of an L1→L2 write-back latency exposed to the core.
+pub const WRITEBACK_EXPOSURE: f64 = 0.15;
+
+/// One cluster: homogeneous cores + private L1Ds + a shared L2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Cluster display name ("big", "LITTLE").
+    pub name: String,
+    /// Core timing model.
+    pub core: CoreModel,
+    /// Number of cores.
+    pub cores: u32,
+    /// Per-core L1 data cache.
+    pub l1d: CacheConfig,
+    /// Shared L2 cache.
+    pub l2: CacheConfig,
+}
+
+/// The platform configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Clusters (the default platform has big + LITTLE).
+    pub clusters: Vec<ClusterConfig>,
+    /// DRAM access latency, seconds.
+    pub dram_latency: f64,
+    /// DRAM energy per transaction, joules.
+    pub dram_energy: f64,
+    /// DRAM background power, watts.
+    pub dram_background_power: f64,
+    /// Optional row-buffer model; `None` charges the flat latency per
+    /// transaction, `Some` makes open-row hits cost
+    /// [`RowBufferConfig::hit_latency`] instead.
+    pub row_buffer: Option<RowBufferConfig>,
+    /// Next-line prefetch into the L2 on every demand miss (opt-in): the
+    /// sequential follower line is fetched alongside, hiding the DRAM
+    /// latency of streaming kernels at the cost of extra DRAM traffic.
+    pub l2_next_line_prefetch: bool,
+    /// Per-thread cap on simulated memory references (sampling).
+    pub sample_accesses_per_thread: u64,
+}
+
+fn sram_l1(name: &str) -> CacheConfig {
+    CacheConfig {
+        name: name.to_string(),
+        capacity: 32 << 10,
+        associativity: 4,
+        line_bytes: 64,
+        read_latency: 1.0e-9,
+        write_latency: 1.0e-9,
+        read_energy: 10e-12,
+        write_energy: 12e-12,
+        leakage_power: 8e-3,
+    }
+}
+
+impl SystemConfig {
+    /// The default Exynos-5-style big.LITTLE platform with all-SRAM caches
+    /// (the paper's Full-SRAM reference scenario).
+    pub fn big_little_default() -> Self {
+        Self {
+            clusters: vec![
+                ClusterConfig {
+                    name: "big".into(),
+                    core: CoreModel::big(),
+                    cores: 4,
+                    l1d: sram_l1("big.L1D"),
+                    l2: CacheConfig {
+                        name: "big.L2".into(),
+                        capacity: 2 << 20,
+                        associativity: 16,
+                        line_bytes: 64,
+                        read_latency: 5.0e-9,
+                        write_latency: 5.0e-9,
+                        read_energy: 120e-12,
+                        write_energy: 130e-12,
+                        leakage_power: 0.35,
+                    },
+                },
+                ClusterConfig {
+                    name: "LITTLE".into(),
+                    core: CoreModel::little(),
+                    cores: 4,
+                    l1d: sram_l1("LITTLE.L1D"),
+                    l2: CacheConfig {
+                        name: "LITTLE.L2".into(),
+                        capacity: 512 << 10,
+                        associativity: 8,
+                        line_bytes: 64,
+                        read_latency: 4.0e-9,
+                        write_latency: 4.0e-9,
+                        read_energy: 60e-12,
+                        write_energy: 65e-12,
+                        leakage_power: 0.09,
+                    },
+                },
+            ],
+            dram_latency: 80e-9,
+            dram_energy: 15e-9,
+            dram_background_power: 0.15,
+            row_buffer: None,
+            l2_next_line_prefetch: false,
+            sample_accesses_per_thread: 150_000,
+        }
+    }
+
+    /// Validates the platform.
+    ///
+    /// # Errors
+    ///
+    /// [`GemsimError::InvalidSystem`] / [`GemsimError::InvalidCache`].
+    pub fn validate(&self) -> Result<(), GemsimError> {
+        if self.clusters.is_empty() {
+            return Err(GemsimError::InvalidSystem {
+                reason: "no clusters".into(),
+            });
+        }
+        if self.clusters.iter().all(|c| c.cores == 0) {
+            return Err(GemsimError::InvalidSystem {
+                reason: "no cores in any cluster".into(),
+            });
+        }
+        if self.dram_latency <= 0.0 || self.sample_accesses_per_thread == 0 {
+            return Err(GemsimError::InvalidSystem {
+                reason: "DRAM latency and sampling cap must be positive".into(),
+            });
+        }
+        for c in &self.clusters {
+            c.l1d.validate()?;
+            c.l2.validate()?;
+        }
+        if let Some(rb) = &self.row_buffer {
+            rb.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Total cores across all clusters.
+    pub fn total_cores(&self) -> u32 {
+        self.clusters.iter().map(|c| c.cores).sum()
+    }
+}
+
+/// Where a kernel's threads are allowed to run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Threads spread over every core of every cluster (default).
+    AllClusters,
+    /// Threads pinned to the named cluster; the other cluster idles (and
+    /// only leaks).
+    Cluster(String),
+}
+
+/// The platform simulator.
+#[derive(Debug, Clone)]
+pub struct System {
+    config: SystemConfig,
+}
+
+impl System {
+    /// Validates and wraps a platform configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SystemConfig::validate`].
+    pub fn new(config: SystemConfig) -> Result<Self, GemsimError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Runs one kernel spread over every cluster (see [`System::run_placed`]).
+    ///
+    /// # Errors
+    ///
+    /// [`GemsimError::InvalidWorkload`] for malformed kernels.
+    pub fn run(&mut self, kernel: &Kernel, seed: u64) -> Result<SimReport, GemsimError> {
+        self.run_placed(kernel, seed, &Placement::AllClusters)
+    }
+
+    /// Runs one kernel with an explicit thread placement and reports system
+    /// activity.
+    ///
+    /// # Errors
+    ///
+    /// [`GemsimError::InvalidWorkload`] for malformed kernels, and
+    /// [`GemsimError::InvalidSystem`] when a pinned cluster name does not
+    /// exist.
+    pub fn run_placed(
+        &mut self,
+        kernel: &Kernel,
+        seed: u64,
+        placement: &Placement,
+    ) -> Result<SimReport, GemsimError> {
+        kernel.validate()?;
+        if let Placement::Cluster(name) = placement {
+            if !self.config.clusters.iter().any(|c| &c.name == name) {
+                return Err(GemsimError::InvalidSystem {
+                    reason: format!("no cluster named '{name}' to pin to"),
+                });
+            }
+        }
+        let cluster_active = |cluster: &ClusterConfig| match placement {
+            Placement::AllClusters => true,
+            Placement::Cluster(name) => &cluster.name == name,
+        };
+        let total_cores: u64 = self
+            .config
+            .clusters
+            .iter()
+            .filter(|c| cluster_active(c))
+            .map(|c| c.cores as u64)
+            .sum();
+        let threads = kernel.threads as u64;
+        // Thread t -> core (t mod cores). Work is balanced by compute
+        // throughput (frequency / CPI), modelling the work-stealing
+        // runtimes Parsec kernels use: every core finishes its compute
+        // share simultaneously, so memory stalls decide the critical path.
+        let total_weight: f64 = {
+            let mut w = 0.0;
+            let mut core_id = 0u64;
+            for cluster in &self.config.clusters {
+                if !cluster_active(cluster) {
+                    continue;
+                }
+                for _ in 0..cluster.cores {
+                    let owned = (0..threads).filter(|t| t % total_cores == core_id).count();
+                    w += owned as f64 * cluster.core.frequency / cluster.core.base_cpi;
+                    core_id += 1;
+                }
+            }
+            w
+        };
+
+        let mut cores_out = Vec::new();
+        let mut caches_out = Vec::new();
+        let mut dram_reads_scaled = 0u64;
+        let mut dram_writes_scaled = 0u64;
+        let mut dram_row_hits_scaled = 0u64;
+        let mut dram = match &self.config.row_buffer {
+            Some(rb) => Some(DramSim::new(*rb)?),
+            None => None,
+        };
+        let mut runtime: f64 = 0.0;
+
+        let mut global_core_index = 0u32;
+        for cluster in &self.config.clusters {
+            if !cluster_active(cluster) {
+                // Idle cluster: cores retire nothing, caches see no traffic;
+                // their leakage is still accounted by the power layer.
+                for _ in 0..cluster.cores {
+                    cores_out.push(CoreActivity {
+                        kind: cluster.core.kind,
+                        instructions: 0,
+                        busy_seconds: 0.0,
+                        ipc: 0.0,
+                    });
+                }
+                caches_out.push(CacheActivity {
+                    name: cluster.l1d.name.clone(),
+                    config: cluster.l1d.clone(),
+                    stats: CacheStats::default(),
+                });
+                caches_out.push(CacheActivity {
+                    name: cluster.l2.name.clone(),
+                    config: cluster.l2.clone(),
+                    stats: CacheStats::default(),
+                });
+                continue;
+            }
+            let weight = cluster.core.frequency / cluster.core.base_cpi;
+            let instr_per_thread =
+                (kernel.instructions as f64 * weight / total_weight) as u64;
+            let mem_per_thread = (instr_per_thread as f64 * kernel.memory_ratio) as u64;
+            let sim_per_thread = mem_per_thread.min(self.config.sample_accesses_per_thread);
+            let scale = if sim_per_thread == 0 {
+                1.0
+            } else {
+                mem_per_thread as f64 / sim_per_thread as f64
+            };
+            let mut l2 = Cache::new(cluster.l2.clone())?;
+            let mut l1_total = CacheStats::default();
+            let mut dram_reads_sim = 0u64;
+            let mut dram_writes_sim = 0u64;
+            for local_core in 0..cluster.cores {
+                let core_id = global_core_index + local_core;
+                // Threads owned by this core.
+                let owned: Vec<u64> =
+                    (0..threads).filter(|t| t % total_cores == core_id as u64).collect();
+                let mut l1 = Cache::new(cluster.l1d.clone())?;
+                let mut stall_seconds_sim = 0.0;
+                for &t in &owned {
+                    let mut stream = AccessStream::new(kernel, t as u32, seed);
+                    for _ in 0..sim_per_thread {
+                        let acc = stream.next_access();
+                        let l1_out = l1.access(acc.address, acc.write);
+                        if l1_out.hit {
+                            continue;
+                        }
+                        // L1 miss: read the line from L2.
+                        let l2_out = l2.access(acc.address, false);
+                        stall_seconds_sim += cluster.l2.read_latency;
+                        if !l2_out.hit {
+                            // L2 miss: DRAM fetch + fill write into the L2 array.
+                            dram_reads_sim += 1;
+                            if self.config.l2_next_line_prefetch {
+                                // Pull the follower line in alongside; a
+                                // line already present is left untouched.
+                                let next = acc.address + cluster.l2.line_bytes as u64;
+                                let pf = l2.prefetch(next);
+                                if pf.allocated {
+                                    dram_reads_sim += 1;
+                                }
+                                if pf.writeback {
+                                    dram_writes_sim += 1;
+                                }
+                            }
+                            let dram_latency = if let Some(d) = dram.as_mut() {
+                                if d.access(acc.address) {
+                                    d.config().hit_latency
+                                } else {
+                                    self.config.dram_latency
+                                }
+                            } else {
+                                self.config.dram_latency
+                            };
+                            stall_seconds_sim += dram_latency
+                                + FILL_WRITE_EXPOSURE * cluster.l2.write_latency;
+                        }
+                        if l2_out.writeback {
+                            dram_writes_sim += 1;
+                        }
+                        if l1_out.writeback {
+                            // Dirty L1 line written into the L2 array.
+                            let wb = l2.access(acc.address ^ 0x8000_0000, true);
+                            stall_seconds_sim +=
+                                WRITEBACK_EXPOSURE * cluster.l2.write_latency;
+                            if wb.writeback {
+                                dram_writes_sim += 1;
+                            }
+                        }
+                    }
+                }
+                let instructions = instr_per_thread * owned.len() as u64;
+                let stall_cycles =
+                    cluster.core.cycles(stall_seconds_sim * scale);
+                let busy = cluster.core.execution_seconds(instructions, stall_cycles);
+                let ipc = if busy > 0.0 {
+                    instructions as f64 / (busy * cluster.core.frequency)
+                } else {
+                    0.0
+                };
+                runtime = runtime.max(busy);
+                cores_out.push(CoreActivity {
+                    kind: cluster.core.kind,
+                    instructions,
+                    busy_seconds: busy,
+                    ipc,
+                });
+                l1_total.merge(l1.stats());
+            }
+            caches_out.push(CacheActivity {
+                name: cluster.l1d.name.clone(),
+                config: cluster.l1d.clone(),
+                stats: scale_stats(&l1_total, scale),
+            });
+            caches_out.push(CacheActivity {
+                name: cluster.l2.name.clone(),
+                config: cluster.l2.clone(),
+                stats: scale_stats(l2.stats(), scale),
+            });
+            dram_reads_scaled += (dram_reads_sim as f64 * scale) as u64;
+            dram_writes_scaled += (dram_writes_sim as f64 * scale) as u64;
+            if let Some(d) = dram.as_mut() {
+                // Attribute hits proportionally per cluster (hit counters are
+                // cumulative; take the delta scaled by this cluster's factor).
+                dram_row_hits_scaled = (d.hits() as f64 * scale) as u64;
+            }
+            global_core_index += cluster.cores;
+        }
+
+        let sampled_fraction = {
+            // Report the first active cluster's sampling ratio (diagnostic
+            // only).
+            let c0 = self
+                .config
+                .clusters
+                .iter()
+                .find(|c| cluster_active(c))
+                .expect("at least one active cluster");
+            let w = c0.core.frequency / c0.core.base_cpi;
+            let instr = (kernel.instructions as f64 * w / total_weight) as u64;
+            let mem = (instr as f64 * kernel.memory_ratio) as u64;
+            let sim = mem.min(self.config.sample_accesses_per_thread);
+            if mem == 0 {
+                1.0
+            } else {
+                sim as f64 / mem as f64
+            }
+        };
+        Ok(SimReport {
+            kernel: kernel.name.clone(),
+            runtime_seconds: runtime,
+            cores: cores_out,
+            caches: caches_out,
+            dram_reads: dram_reads_scaled,
+            dram_writes: dram_writes_scaled,
+            dram_row_hits: dram_row_hits_scaled,
+            simulated_fraction: sampled_fraction,
+        })
+    }
+}
+
+fn scale_stats(s: &CacheStats, scale: f64) -> CacheStats {
+    let f = |v: u64| (v as f64 * scale).round() as u64;
+    CacheStats {
+        reads: f(s.reads),
+        writes: f(s.writes),
+        read_hits: f(s.read_hits),
+        write_hits: f(s.write_hits),
+        writebacks: f(s.writebacks),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> SystemConfig {
+        let mut c = SystemConfig::big_little_default();
+        c.sample_accesses_per_thread = 8_000;
+        c
+    }
+
+    #[test]
+    fn default_platform_validates() {
+        SystemConfig::big_little_default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_platforms_rejected() {
+        let mut c = SystemConfig::big_little_default();
+        c.clusters.clear();
+        assert!(System::new(c).is_err());
+        let mut c = SystemConfig::big_little_default();
+        c.dram_latency = 0.0;
+        assert!(System::new(c).is_err());
+        let mut c = SystemConfig::big_little_default();
+        c.clusters[0].l2.line_bytes = 63;
+        assert!(System::new(c).is_err());
+    }
+
+    #[test]
+    fn run_produces_consistent_counters() {
+        let mut sys = System::new(quick_config()).unwrap();
+        let report = sys.run(&Kernel::bodytrack(), 1).unwrap();
+        assert!(report.runtime_seconds > 0.0);
+        assert_eq!(report.cores.len(), 8);
+        assert_eq!(report.caches.len(), 4);
+        for c in &report.caches {
+            assert_eq!(c.stats.hits() + c.stats.misses(), c.stats.accesses());
+        }
+        // DRAM traffic exists for an 8 MiB working set over 2.5 MiB of L2.
+        assert!(report.dram_reads > 0);
+        // IPC is positive and below issue limits.
+        for core in &report.cores {
+            assert!(core.ipc > 0.0 && core.ipc < 2.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut sys = System::new(quick_config()).unwrap();
+        let a = sys.run(&Kernel::bodytrack(), 7).unwrap();
+        let b = sys.run(&Kernel::bodytrack(), 7).unwrap();
+        assert_eq!(a, b);
+        let c = sys.run(&Kernel::bodytrack(), 8).unwrap();
+        assert_ne!(a.runtime_seconds, c.runtime_seconds);
+    }
+
+    #[test]
+    fn slower_l2_write_latency_slows_the_run() {
+        let base = quick_config();
+        let mut slow = base.clone();
+        for cl in &mut slow.clusters {
+            cl.l2.write_latency = 15e-9; // STT-MRAM-like write
+        }
+        let t_base = System::new(base)
+            .unwrap()
+            .run(&Kernel::fluidanimate(), 3)
+            .unwrap()
+            .runtime_seconds;
+        let t_slow = System::new(slow)
+            .unwrap()
+            .run(&Kernel::fluidanimate(), 3)
+            .unwrap()
+            .runtime_seconds;
+        assert!(t_slow > t_base, "slow {t_slow} vs base {t_base}");
+    }
+
+    #[test]
+    fn larger_l2_reduces_dram_traffic() {
+        // Enough samples to get past the cold-start window, so capacity
+        // effects are visible.
+        let mut base = quick_config();
+        base.sample_accesses_per_thread = 40_000;
+        let mut big = base.clone();
+        for cl in &mut big.clusters {
+            cl.l2.capacity *= 4;
+        }
+        let k = Kernel::freqmine();
+        let r_base = System::new(base).unwrap().run(&k, 4).unwrap();
+        let r_big = System::new(big).unwrap().run(&k, 4).unwrap();
+        assert!(
+            r_big.dram_reads < r_base.dram_reads,
+            "big {} vs base {}",
+            r_big.dram_reads,
+            r_base.dram_reads
+        );
+        assert!(r_big.runtime_seconds < r_base.runtime_seconds);
+    }
+
+    #[test]
+    fn compute_bound_kernel_is_insensitive_to_l2() {
+        let base = quick_config();
+        let mut slow = base.clone();
+        for cl in &mut slow.clusters {
+            cl.l2.write_latency = 15e-9;
+        }
+        let k = Kernel::swaptions(); // tiny working set
+        let t_base = System::new(base).unwrap().run(&k, 5).unwrap().runtime_seconds;
+        let t_slow = System::new(slow).unwrap().run(&k, 5).unwrap().runtime_seconds;
+        let slowdown = t_slow / t_base;
+        assert!(slowdown < 1.10, "slowdown = {slowdown}");
+    }
+
+    #[test]
+    fn pinning_isolates_a_cluster() {
+        let mut sys = System::new(quick_config()).unwrap();
+        let k = Kernel::bodytrack();
+        let little = sys
+            .run_placed(&k, 3, &Placement::Cluster("LITTLE".into()))
+            .unwrap();
+        // Only LITTLE cores retire instructions.
+        for c in &little.cores {
+            match c.kind {
+                crate::core::CoreKind::Big => assert_eq!(c.instructions, 0),
+                crate::core::CoreKind::Little => assert!(c.instructions > 0),
+            }
+        }
+        // The big cluster's caches see no traffic.
+        assert_eq!(little.cache("big.L2").unwrap().stats.accesses(), 0);
+        assert!(little.cache("LITTLE.L2").unwrap().stats.accesses() > 0);
+        // Pinned-LITTLE runs are slower than spreading over all cores.
+        let all = sys.run(&k, 3).unwrap();
+        assert!(little.runtime_seconds > all.runtime_seconds);
+    }
+
+    #[test]
+    fn pinning_to_unknown_cluster_errors() {
+        let mut sys = System::new(quick_config()).unwrap();
+        assert!(sys
+            .run_placed(&Kernel::bodytrack(), 1, &Placement::Cluster("mid".into()))
+            .is_err());
+    }
+
+    #[test]
+    fn next_line_prefetch_helps_streaming() {
+        let base = quick_config();
+        let mut pf = base.clone();
+        pf.l2_next_line_prefetch = true;
+        let k = Kernel::streamcluster();
+        let plain = System::new(base).unwrap().run(&k, 11).unwrap();
+        let fetched = System::new(pf).unwrap().run(&k, 11).unwrap();
+        // The prefetcher converts demand misses into hits...
+        let mr_plain = plain.cache("LITTLE.L2").unwrap().stats.miss_ratio();
+        let mr_pf = fetched.cache("LITTLE.L2").unwrap().stats.miss_ratio();
+        assert!(mr_pf < mr_plain, "pf {mr_pf} vs plain {mr_plain}");
+        // ...which shortens the run at the cost of extra DRAM traffic.
+        assert!(fetched.runtime_seconds < plain.runtime_seconds);
+        assert!(fetched.dram_reads > plain.dram_reads);
+    }
+
+    #[test]
+    fn row_buffer_speeds_up_streaming_kernels() {
+        let base = quick_config();
+        let mut with_rb = base.clone();
+        with_rb.row_buffer = Some(crate::dram::RowBufferConfig::lpddr_default());
+        let k = Kernel::streamcluster();
+        let flat = System::new(base).unwrap().run(&k, 6).unwrap();
+        let rb = System::new(with_rb).unwrap().run(&k, 6).unwrap();
+        assert_eq!(rb.dram_reads, flat.dram_reads);
+        assert!(rb.dram_row_hits > 0);
+        assert!(
+            rb.runtime_seconds < flat.runtime_seconds,
+            "rb {} vs flat {}",
+            rb.runtime_seconds,
+            flat.runtime_seconds
+        );
+        assert_eq!(flat.dram_row_hits, 0);
+    }
+
+    #[test]
+    fn sampling_fraction_reported() {
+        let mut sys = System::new(quick_config()).unwrap();
+        let r = sys.run(&Kernel::bodytrack(), 1).unwrap();
+        assert!(r.simulated_fraction > 0.0 && r.simulated_fraction <= 1.0);
+    }
+}

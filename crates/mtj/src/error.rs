@@ -1,0 +1,72 @@
+//! Error type for the MSS compact model.
+
+use std::fmt;
+
+/// Errors produced while constructing or evaluating an MSS device model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MtjError {
+    /// A geometric or material parameter is outside its physical range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint description.
+        constraint: &'static str,
+    },
+    /// A numerical routine (equilibrium solve, margin inversion) failed to
+    /// converge.
+    Convergence {
+        /// What was being solved.
+        context: &'static str,
+    },
+    /// The requested operating point has no solution (e.g. asking the sensor
+    /// transfer curve for a bias field below the anisotropy field).
+    NoOperatingPoint {
+        /// Description of the contradiction.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MtjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MtjError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter {name} = {value}: {constraint}"),
+            MtjError::Convergence { context } => {
+                write!(f, "numerical convergence failure in {context}")
+            }
+            MtjError::NoOperatingPoint { reason } => {
+                write!(f, "no operating point: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MtjError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MtjError::InvalidParameter {
+            name: "diameter",
+            value: -1.0,
+            constraint: "must be positive",
+        };
+        let s = e.to_string();
+        assert!(s.contains("diameter"));
+        assert!(s.contains("-1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MtjError>();
+    }
+}

@@ -1,0 +1,184 @@
+//! Write-buffer design optimisation.
+//!
+//! The paper lists "optimization settings (e.g. buffer design optimization)"
+//! among VAET-STT's features. STT-MRAM's asymmetric (slow-write) array wants
+//! a small write buffer in front of it: writes are absorbed at SRAM speed
+//! and drained at the array's write latency; only when the buffer fills does
+//! the requester stall.
+//!
+//! The model is a discrete M/D/1/N queue: writes arrive Bernoulli per cycle
+//! with probability `λ` (the write intensity), the server drains one entry
+//! every `d` cycles (the array write latency), and the buffer holds `N`
+//! entries. The stationary occupancy distribution gives the stall (full)
+//! probability; the area cost is `N` SRAM-word equivalents.
+
+use serde::{Deserialize, Serialize};
+
+use crate::NvsimError;
+
+/// A candidate write-buffer design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WriteBufferDesign {
+    /// Buffer depth in entries.
+    pub depth: u32,
+    /// Probability an arriving write finds the buffer full (stalls).
+    pub stall_probability: f64,
+    /// Mean buffer occupancy, entries.
+    pub mean_occupancy: f64,
+    /// Effective write latency seen by the requester, cycles:
+    /// `1 + P(full)·d` (a hit in the buffer is one cycle; a full buffer
+    /// exposes the drain time).
+    pub effective_write_cycles: f64,
+    /// Area cost in SRAM-word equivalents (depth × word).
+    pub area_words: u32,
+}
+
+/// Solves the stationary occupancy of the discrete queue by fixed-point
+/// iteration over the embedded Markov chain.
+///
+/// `arrival` is the per-cycle write probability (0..1), `drain_cycles` the
+/// deterministic service time, `depth` the capacity.
+///
+/// # Errors
+///
+/// [`NvsimError::InvalidOrganization`] for out-of-range parameters.
+pub fn evaluate_buffer(
+    arrival: f64,
+    drain_cycles: f64,
+    depth: u32,
+) -> Result<WriteBufferDesign, NvsimError> {
+    if !(0.0..1.0).contains(&arrival) || drain_cycles < 1.0 || depth == 0 {
+        return Err(NvsimError::InvalidOrganization {
+            reason: format!(
+                "buffer parameters out of range: arrival {arrival}, drain {drain_cycles}, depth {depth}"
+            ),
+        });
+    }
+    // Per-cycle service completion probability for the deterministic drain,
+    // matched on the mean (geometric approximation of the D server).
+    let mu = 1.0 / drain_cycles;
+    let n = depth as usize;
+    // Birth–death chain on occupancy 0..=n.
+    //   up-rate   λ(1-μ) (arrive, no completion)
+    //   down-rate μ(1-λ) (complete, no arrival)
+    let up = arrival * (1.0 - mu);
+    let down = mu * (1.0 - arrival);
+    if down <= 0.0 {
+        return Err(NvsimError::InvalidOrganization {
+            reason: "buffer can never drain (mu*(1-lambda) = 0)".to_string(),
+        });
+    }
+    let rho = up / down;
+    // Stationary distribution pi_k ∝ rho^k (truncated geometric).
+    let mut pis = Vec::with_capacity(n + 1);
+    let mut acc = 0.0;
+    for k in 0..=n {
+        let p = rho.powi(k as i32);
+        pis.push(p);
+        acc += p;
+    }
+    for p in &mut pis {
+        *p /= acc;
+    }
+    let stall_probability = pis[n];
+    let mean_occupancy: f64 = pis.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+    Ok(WriteBufferDesign {
+        depth,
+        stall_probability,
+        mean_occupancy,
+        effective_write_cycles: 1.0 + stall_probability * drain_cycles,
+        area_words: depth,
+    })
+}
+
+/// Finds the smallest buffer depth whose stall probability is at or below
+/// `target_stall`, searching up to `max_depth`.
+///
+/// # Errors
+///
+/// [`NvsimError::NoFeasibleDesign`] when even `max_depth` entries cannot
+/// reach the target (the array is oversubscribed: `λ·d ≥ 1`).
+pub fn size_buffer(
+    arrival: f64,
+    drain_cycles: f64,
+    target_stall: f64,
+    max_depth: u32,
+) -> Result<WriteBufferDesign, NvsimError> {
+    for depth in 1..=max_depth {
+        let d = evaluate_buffer(arrival, drain_cycles, depth)?;
+        if d.stall_probability <= target_stall {
+            return Ok(d);
+        }
+    }
+    Err(NvsimError::NoFeasibleDesign)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deeper_buffers_stall_less() {
+        let mut last = 1.0;
+        for depth in [1, 2, 4, 8, 16] {
+            let d = evaluate_buffer(0.05, 10.0, depth).unwrap();
+            assert!(d.stall_probability < last);
+            assert!((0.0..=1.0).contains(&d.stall_probability));
+            last = d.stall_probability;
+        }
+    }
+
+    #[test]
+    fn light_load_is_nearly_free() {
+        // 1% write intensity into a 10-cycle drain with 8 entries: stalls
+        // are negligible and the effective latency is ~1 cycle.
+        let d = evaluate_buffer(0.01, 10.0, 8).unwrap();
+        assert!(d.stall_probability < 1e-6, "stall {}", d.stall_probability);
+        assert!(d.effective_write_cycles < 1.01);
+    }
+
+    #[test]
+    fn oversubscription_saturates() {
+        // lambda*d > 1: the server cannot keep up; the buffer is almost
+        // always full regardless of depth.
+        let d = evaluate_buffer(0.5, 10.0, 16).unwrap();
+        assert!(d.stall_probability > 0.5, "stall {}", d.stall_probability);
+        assert!(d.mean_occupancy > 12.0);
+    }
+
+    #[test]
+    fn sizing_finds_minimal_depth() {
+        let sized = size_buffer(0.05, 10.0, 1e-6, 64).unwrap();
+        assert!(sized.stall_probability <= 1e-6);
+        if sized.depth > 1 {
+            let smaller = evaluate_buffer(0.05, 10.0, sized.depth - 1).unwrap();
+            assert!(smaller.stall_probability > 1e-6);
+        }
+        // Oversubscribed requests are infeasible.
+        assert_eq!(
+            size_buffer(0.5, 10.0, 1e-6, 32).unwrap_err(),
+            NvsimError::NoFeasibleDesign
+        );
+    }
+
+    #[test]
+    fn faster_drain_needs_less_buffering() {
+        let slow = size_buffer(0.05, 12.0, 1e-9, 64).unwrap();
+        let fast = size_buffer(0.05, 4.0, 1e-9, 64).unwrap();
+        assert!(fast.depth <= slow.depth);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(evaluate_buffer(1.5, 10.0, 4).is_err());
+        assert!(evaluate_buffer(0.1, 0.5, 4).is_err());
+        assert!(evaluate_buffer(0.1, 10.0, 0).is_err());
+    }
+
+    #[test]
+    fn mean_occupancy_grows_with_load() {
+        let light = evaluate_buffer(0.02, 10.0, 16).unwrap();
+        let heavy = evaluate_buffer(0.08, 10.0, 16).unwrap();
+        assert!(heavy.mean_occupancy > light.mean_occupancy);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for array estimation.
+
+use std::fmt;
+
+/// Errors produced while configuring or estimating a memory array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NvsimError {
+    /// The requested organisation is inconsistent (capacity not divisible by
+    /// the word width, zero banks, non-power-of-two rows, ...).
+    InvalidOrganization {
+        /// What is inconsistent.
+        reason: String,
+    },
+    /// A cell-library value required by the estimator is missing or
+    /// unphysical.
+    InvalidCellModel {
+        /// Offending parameter.
+        parameter: &'static str,
+        /// Its value.
+        value: f64,
+    },
+    /// Design-space exploration found no feasible organisation.
+    NoFeasibleDesign,
+}
+
+impl fmt::Display for NvsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NvsimError::InvalidOrganization { reason } => {
+                write!(f, "invalid array organisation: {reason}")
+            }
+            NvsimError::InvalidCellModel { parameter, value } => {
+                write!(f, "invalid cell model: {parameter} = {value}")
+            }
+            NvsimError::NoFeasibleDesign => write!(f, "no feasible array organisation"),
+        }
+    }
+}
+
+impl std::error::Error for NvsimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NvsimError::InvalidOrganization {
+            reason: "zero banks".into(),
+        };
+        assert!(e.to_string().contains("zero banks"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Design-space exploration over subarray organisations.
+//!
+//! The paper: VAET-STT "includes optimization settings (e.g. buffer design
+//! optimization) and various design constraints to facilitate a
+//! variation-aware design space exploration before the fabrication of the
+//! actual memory chip". The nominal-level half of that lives here: sweep the
+//! subarray tiling and pick the organisation minimising a target metric,
+//! optionally under constraints.
+
+use serde::{Deserialize, Serialize};
+
+use mss_pdk::tech::TechParams;
+
+use crate::config::MemoryConfig;
+use crate::model::{estimate, ArrayMetrics, MemoryTechnology};
+use crate::NvsimError;
+
+/// What the exploration minimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OptimizationTarget {
+    /// Read latency.
+    ReadLatency,
+    /// Write latency.
+    WriteLatency,
+    /// Read energy per access.
+    ReadEnergy,
+    /// Write energy per access.
+    WriteEnergy,
+    /// Total area.
+    Area,
+    /// Leakage power.
+    Leakage,
+    /// Read-latency × read-energy product.
+    ReadEdp,
+}
+
+impl OptimizationTarget {
+    /// Extracts the scalar this target minimises.
+    pub fn score(&self, m: &ArrayMetrics) -> f64 {
+        match self {
+            OptimizationTarget::ReadLatency => m.read_latency,
+            OptimizationTarget::WriteLatency => m.write_latency,
+            OptimizationTarget::ReadEnergy => m.read_energy,
+            OptimizationTarget::WriteEnergy => m.write_energy,
+            OptimizationTarget::Area => m.area,
+            OptimizationTarget::Leakage => m.leakage_power,
+            OptimizationTarget::ReadEdp => m.read_latency * m.read_energy,
+        }
+    }
+}
+
+/// Optional constraints a candidate must satisfy.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DesignConstraints {
+    /// Maximum read latency, seconds.
+    pub max_read_latency: Option<f64>,
+    /// Maximum write latency, seconds.
+    pub max_write_latency: Option<f64>,
+    /// Maximum area, m².
+    pub max_area: Option<f64>,
+    /// Maximum leakage power, watts.
+    pub max_leakage: Option<f64>,
+}
+
+impl DesignConstraints {
+    /// True when the metrics satisfy every set constraint.
+    pub fn accepts(&self, m: &ArrayMetrics) -> bool {
+        self.max_read_latency.map_or(true, |v| m.read_latency <= v)
+            && self.max_write_latency.map_or(true, |v| m.write_latency <= v)
+            && self.max_area.map_or(true, |v| m.area <= v)
+            && self.max_leakage.map_or(true, |v| m.leakage_power <= v)
+    }
+}
+
+/// One explored candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The organisation evaluated.
+    pub config: MemoryConfig,
+    /// Its estimated metrics.
+    pub metrics: ArrayMetrics,
+    /// The target score (lower is better).
+    pub score: f64,
+}
+
+/// Result of a design-space exploration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exploration {
+    /// The winning candidate.
+    pub best: Candidate,
+    /// Every feasible candidate, sorted by ascending score.
+    pub candidates: Vec<Candidate>,
+}
+
+/// Sweeps subarray tilings (powers of two, 64–2048 per side) and returns the
+/// constrained optimum.
+///
+/// # Errors
+///
+/// [`NvsimError::NoFeasibleDesign`] when no tiling satisfies the
+/// constraints; estimation errors propagate.
+pub fn explore(
+    tech: &TechParams,
+    base: &MemoryConfig,
+    technology: &MemoryTechnology,
+    target: OptimizationTarget,
+    constraints: &DesignConstraints,
+) -> Result<Exploration, NvsimError> {
+    let mut candidates = Vec::new();
+    let sizes = [64u32, 128, 256, 512, 1024, 2048];
+    for &rows in &sizes {
+        for &cols in &sizes {
+            let cfg = match base.with_subarray(rows, cols) {
+                Ok(c) => c,
+                Err(_) => continue, // tiling larger than the bank: skip
+            };
+            let metrics = estimate(tech, &cfg, technology)?;
+            if !constraints.accepts(&metrics) {
+                continue;
+            }
+            let score = target.score(&metrics);
+            candidates.push(Candidate {
+                config: cfg,
+                metrics,
+                score,
+            });
+        }
+    }
+    candidates.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"));
+    match candidates.first().cloned() {
+        Some(best) => Ok(Exploration { best, candidates }),
+        None => Err(NvsimError::NoFeasibleDesign),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mss_mtj::MssStack;
+    use mss_pdk::charlib::characterize;
+    use mss_pdk::tech::TechNode;
+
+    fn setup() -> (TechParams, MemoryConfig, MemoryTechnology) {
+        let tech = TechParams::node(TechNode::N45);
+        let cfg = MemoryConfig::ram(1 << 20, 64).unwrap();
+        let lib = characterize(TechNode::N45, &MssStack::builder().build().unwrap()).unwrap();
+        (tech, cfg, MemoryTechnology::SttMram(lib))
+    }
+
+    #[test]
+    fn exploration_finds_a_best() {
+        let (tech, cfg, technology) = setup();
+        let exp = explore(
+            &tech,
+            &cfg,
+            &technology,
+            OptimizationTarget::ReadLatency,
+            &DesignConstraints::default(),
+        )
+        .unwrap();
+        assert!(!exp.candidates.is_empty());
+        assert_eq!(exp.best.score, exp.candidates[0].score);
+        // The best read latency really is the minimum.
+        for c in &exp.candidates {
+            assert!(c.metrics.read_latency + 1e-18 >= exp.best.metrics.read_latency);
+        }
+    }
+
+    #[test]
+    fn different_targets_can_pick_different_designs() {
+        let (tech, cfg, technology) = setup();
+        let lat = explore(
+            &tech,
+            &cfg,
+            &technology,
+            OptimizationTarget::ReadLatency,
+            &DesignConstraints::default(),
+        )
+        .unwrap();
+        let area = explore(
+            &tech,
+            &cfg,
+            &technology,
+            OptimizationTarget::Area,
+            &DesignConstraints::default(),
+        )
+        .unwrap();
+        // Area optimum cannot beat the latency optimum at latency.
+        assert!(area.best.metrics.read_latency + 1e-18 >= lat.best.metrics.read_latency);
+        assert!(lat.best.metrics.area + 1e-18 >= area.best.metrics.area);
+    }
+
+    #[test]
+    fn constraints_filter_candidates() {
+        let (tech, cfg, technology) = setup();
+        let unconstrained = explore(
+            &tech,
+            &cfg,
+            &technology,
+            OptimizationTarget::ReadEnergy,
+            &DesignConstraints::default(),
+        )
+        .unwrap();
+        let tight = DesignConstraints {
+            max_read_latency: Some(unconstrained.best.metrics.read_latency * 1.01),
+            ..Default::default()
+        };
+        let constrained = explore(
+            &tech,
+            &cfg,
+            &technology,
+            OptimizationTarget::ReadEnergy,
+            &tight,
+        )
+        .unwrap();
+        assert!(constrained.candidates.len() <= unconstrained.candidates.len());
+        for c in &constrained.candidates {
+            assert!(c.metrics.read_latency <= tight.max_read_latency.unwrap());
+        }
+    }
+
+    #[test]
+    fn impossible_constraints_error() {
+        let (tech, cfg, technology) = setup();
+        let absurd = DesignConstraints {
+            max_area: Some(1e-12),
+            ..Default::default()
+        };
+        assert_eq!(
+            explore(
+                &tech,
+                &cfg,
+                &technology,
+                OptimizationTarget::Area,
+                &absurd
+            )
+            .unwrap_err(),
+            NvsimError::NoFeasibleDesign
+        );
+    }
+}

@@ -1,0 +1,447 @@
+//! The array estimator: organisation + cell model → latency/energy/area.
+//!
+//! Modelling approach (the NVSim recipe):
+//!
+//! - **decoders** — logical-effort gate chains, `log₂(rows)` stages at
+//!   1.5 FO4 each plus a 2 FO4 word-line driver;
+//! - **word/bit lines** — distributed Elmore RC (`0.69·R·C/2`) with wire
+//!   parasitics from the technology card plus per-cell gate/junction loads;
+//! - **global routing** — repeated wires at `√(2·r·c·FO4)` seconds per
+//!   metre, H-tree length `√N_sub·subarray_edge`;
+//! - **cells** — the characterised STT-MRAM [`CellLibrary`] or the derived
+//!   derived [`crate::sram::SramCell`];
+//! - **area** — cell matrix plus fixed-pitch decoder/sense strips per
+//!   subarray (25 F and 35 F respectively).
+
+use mss_pdk::charlib::CellLibrary;
+use mss_pdk::tech::TechParams;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{MemoryConfig, MemoryKind};
+use crate::sram::SramCell;
+use crate::NvsimError;
+
+/// Which cell technology populates the array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MemoryTechnology {
+    /// 6T SRAM derived from the CMOS card.
+    Sram,
+    /// STT-MRAM with a characterised 1T-1MTJ cell library.
+    SttMram(CellLibrary),
+}
+
+impl MemoryTechnology {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MemoryTechnology::Sram => "SRAM",
+            MemoryTechnology::SttMram(_) => "STT-MRAM",
+        }
+    }
+}
+
+/// Latency contributions of one access path.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Row-decoder chain.
+    pub decoder: f64,
+    /// Word-line RC + driver.
+    pub wordline: f64,
+    /// Bit-line RC.
+    pub bitline: f64,
+    /// Cell access (switching for writes, signal development for reads).
+    pub cell: f64,
+    /// Sense amplifier / write-driver stage.
+    pub sense: f64,
+    /// Global routing (H-tree) and output mux.
+    pub routing: f64,
+}
+
+impl LatencyBreakdown {
+    /// Sum of all contributions.
+    pub fn total(&self) -> f64 {
+        self.decoder + self.wordline + self.bitline + self.cell + self.sense + self.routing
+    }
+}
+
+/// Estimated array metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrayMetrics {
+    /// Read access latency, seconds.
+    pub read_latency: f64,
+    /// Write access latency, seconds.
+    pub write_latency: f64,
+    /// Energy per read access (one word), joules.
+    pub read_energy: f64,
+    /// Energy per write access (one word), joules.
+    pub write_energy: f64,
+    /// Static leakage power of the whole macro, watts.
+    pub leakage_power: f64,
+    /// Total silicon area, m².
+    pub area: f64,
+    /// Read-path latency decomposition.
+    pub read_breakdown: LatencyBreakdown,
+    /// Write-path latency decomposition.
+    pub write_breakdown: LatencyBreakdown,
+}
+
+/// Geometry of one subarray under a given cell technology.
+struct SubarrayGeometry {
+    wl_len: f64,
+    bl_len: f64,
+}
+
+fn geometry(cfg: &MemoryConfig, cell_area: f64) -> SubarrayGeometry {
+    let pitch = cell_area.sqrt();
+    SubarrayGeometry {
+        wl_len: cfg.subarray_cols as f64 * pitch,
+        bl_len: cfg.subarray_rows as f64 * pitch,
+    }
+}
+
+/// Repeated-wire delay constant, seconds per metre.
+fn wire_delay_per_len(tech: &TechParams) -> f64 {
+    (2.0 * tech.wire_res_per_len * tech.wire_cap_per_len * tech.fo4_delay).sqrt()
+}
+
+/// Estimates the metrics of a memory macro.
+///
+/// # Errors
+///
+/// [`NvsimError::InvalidCellModel`] when a library value is unusable.
+/// Cache configurations recursively estimate their tag array and fold it in.
+pub fn estimate(
+    tech: &TechParams,
+    cfg: &MemoryConfig,
+    technology: &MemoryTechnology,
+) -> Result<ArrayMetrics, NvsimError> {
+    let mut data = estimate_flat(tech, cfg, technology)?;
+    if let MemoryKind::Cache { associativity, .. } = cfg.kind {
+        // Tag array: SRAM in all scenarios (the paper replaces only the data
+        // arrays), organised as sets x (assoc * tag bits).
+        let sets = cfg.cache_sets().expect("cache has sets");
+        // Pad the tag word to a byte multiple so the capacity stays
+        // expressible in bytes and divisible by the word.
+        let tag_word = (cfg.tag_bits() * associativity).div_ceil(8) * 8;
+        let tag_bits_total = sets * tag_word as u64;
+        // Shrink the subarray until it fits inside the (possibly tiny) tag
+        // array of an L1-class cache.
+        let mut rows = (sets.min(512) as u32).next_power_of_two();
+        let mut cols = (tag_word).next_power_of_two().clamp(64, 512);
+        while (rows as u64) * (cols as u64) > tag_bits_total && rows > 8 {
+            rows /= 2;
+        }
+        while (rows as u64) * (cols as u64) > tag_bits_total && cols > 8 {
+            cols /= 2;
+        }
+        let tag_cfg = MemoryConfig::new(
+            tag_bits_total / 8,
+            tag_word,
+            1,
+            rows,
+            cols,
+            MemoryKind::Ram,
+        )
+        .map_err(|e| NvsimError::InvalidOrganization {
+            reason: format!("tag array organisation failed: {e}"),
+        })?;
+        let tag = estimate_flat(tech, &tag_cfg, &MemoryTechnology::Sram)?;
+        let compare = 2.0 * tech.fo4_delay;
+        // Parallel tag+data lookup; way-select after the slower of the two.
+        data.read_latency = data.read_latency.max(tag.read_latency) + compare;
+        data.write_latency = data.write_latency.max(tag.read_latency) + compare;
+        data.read_energy += tag.read_energy;
+        data.write_energy += tag.read_energy + tag.write_energy / associativity as f64;
+        data.leakage_power += tag.leakage_power;
+        data.area += tag.area;
+        data.read_breakdown.routing += compare;
+        data.write_breakdown.routing += compare;
+    }
+    Ok(data)
+}
+
+fn estimate_flat(
+    tech: &TechParams,
+    cfg: &MemoryConfig,
+    technology: &MemoryTechnology,
+) -> Result<ArrayMetrics, NvsimError> {
+    match technology {
+        MemoryTechnology::Sram => {
+            let cell = SramCell::from_tech(tech);
+            estimate_with_cell(
+                tech,
+                cfg,
+                CellNumbers {
+                    area: cell.area,
+                    read_cell_latency: cell.access_time,
+                    write_cell_latency: cell.write_time,
+                    read_cell_energy: cell.access_energy,
+                    write_cell_energy: cell.access_energy,
+                    sense_latency: 2.0 * tech.fo4_delay,
+                    cell_leakage: cell.leakage,
+                    access_gate_width: 1.5 * tech.min_width,
+                },
+            )
+        }
+        MemoryTechnology::SttMram(lib) => {
+            for (name, v) in [
+                ("write_latency", lib.write.latency),
+                ("read_latency", lib.read.latency),
+                ("cell_area", lib.cell_area),
+            ] {
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(NvsimError::InvalidCellModel {
+                        parameter: match name {
+                            "write_latency" => "write_latency",
+                            "read_latency" => "read_latency",
+                            _ => "cell_area",
+                        },
+                        value: v,
+                    });
+                }
+            }
+            estimate_with_cell(
+                tech,
+                cfg,
+                CellNumbers {
+                    area: lib.cell_area,
+                    read_cell_latency: lib.read.latency,
+                    write_cell_latency: lib.write.latency,
+                    read_cell_energy: lib.read.energy,
+                    write_cell_energy: lib.write.energy,
+                    sense_latency: 2.0 * tech.fo4_delay,
+                    cell_leakage: lib.leakage,
+                    access_gate_width: lib.access_width,
+                },
+            )
+        }
+    }
+}
+
+/// Technology-neutral cell numbers consumed by the shared estimator.
+struct CellNumbers {
+    area: f64,
+    read_cell_latency: f64,
+    write_cell_latency: f64,
+    read_cell_energy: f64,
+    write_cell_energy: f64,
+    sense_latency: f64,
+    cell_leakage: f64,
+    access_gate_width: f64,
+}
+
+fn estimate_with_cell(
+    tech: &TechParams,
+    cfg: &MemoryConfig,
+    cell: CellNumbers,
+) -> Result<ArrayMetrics, NvsimError> {
+    let geo = geometry(cfg, cell.area);
+    let rows = cfg.subarray_rows as f64;
+    let cols = cfg.subarray_cols as f64;
+    let n_sub = cfg.subarrays_per_bank() as f64 * cfg.banks as f64;
+    let f = tech.feature;
+    let vdd = tech.vdd;
+
+    // --- Decoder ---
+    let stages = (rows.log2()).max(1.0);
+    let decoder_delay = stages * 1.5 * tech.fo4_delay + 2.0 * tech.fo4_delay;
+    let decoder_energy = stages * 4.0 * tech.inv_energy;
+
+    // --- Word line ---
+    let r_wl = tech.wire_res_per_len * geo.wl_len;
+    let c_wl = tech.wire_cap_per_len * geo.wl_len + cols * tech.gate_cap(cell.access_gate_width);
+    let wl_delay = 0.69 * 0.5 * r_wl * c_wl;
+    let wl_energy = c_wl * vdd * vdd;
+
+    // --- Bit line ---
+    let r_bl = tech.wire_res_per_len * geo.bl_len;
+    let c_bl = tech.wire_cap_per_len * geo.bl_len
+        + rows * tech.junction_cap(cell.access_gate_width) * 0.5;
+    let bl_delay = 0.69 * 0.5 * r_bl * c_bl;
+    // Reads swing the bit line by ~0.2 V; writes swing it rail to rail.
+    let bl_read_energy = c_bl * vdd * 0.2;
+    let bl_write_energy = c_bl * vdd * vdd;
+
+    // --- Global routing ---
+    let edge = geo.wl_len.max(geo.bl_len);
+    let global_len = n_sub.sqrt() * edge;
+    let routing_delay = wire_delay_per_len(tech) * global_len;
+    let routing_energy_per_bit = tech.wire_cap_per_len * global_len * vdd * vdd * 0.5;
+
+    // --- Word mapping ---
+    // A word may span several subarrays; each active subarray fires its
+    // decoder, word line and the word's share of bit lines.
+    let bits_per_sub = cols.min(cfg.word_bits as f64);
+    let active_subs = (cfg.word_bits as f64 / bits_per_sub).ceil();
+
+    let read_breakdown = LatencyBreakdown {
+        decoder: decoder_delay,
+        wordline: wl_delay,
+        bitline: bl_delay,
+        cell: cell.read_cell_latency,
+        sense: cell.sense_latency,
+        routing: routing_delay,
+    };
+    let write_breakdown = LatencyBreakdown {
+        decoder: decoder_delay,
+        wordline: wl_delay,
+        bitline: bl_delay,
+        cell: cell.write_cell_latency,
+        sense: 2.0 * tech.fo4_delay, // write driver
+        routing: routing_delay,
+    };
+
+    let word = cfg.word_bits as f64;
+    let read_energy = active_subs * (decoder_energy + wl_energy)
+        + word * (cell.read_cell_energy + bl_read_energy)
+        + word * routing_energy_per_bit;
+    let write_energy = active_subs * (decoder_energy + wl_energy)
+        + word * (cell.write_cell_energy + bl_write_energy)
+        + word * routing_energy_per_bit;
+
+    // --- Leakage ---
+    let total_cells = cfg.total_bits() as f64;
+    let cell_leak_power = total_cells * cell.cell_leakage * vdd;
+    // Peripheral strips leak per subarray (decoder + sense rows).
+    let periph_leak_per_sub = (rows + cols) * tech.leakage(2.0 * tech.min_width) * 1e-3;
+    let leakage_power = cell_leak_power + n_sub * periph_leak_per_sub * vdd;
+
+    // --- Area ---
+    let dec_strip = 25.0 * f;
+    let sense_strip = 35.0 * f;
+    let sub_area = (geo.wl_len + dec_strip) * (geo.bl_len + sense_strip);
+    let area = n_sub * sub_area;
+
+    Ok(ArrayMetrics {
+        read_latency: read_breakdown.total(),
+        write_latency: write_breakdown.total(),
+        read_energy,
+        write_energy,
+        leakage_power,
+        area,
+        read_breakdown,
+        write_breakdown,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mss_mtj::MssStack;
+    use mss_pdk::charlib::characterize;
+    use mss_pdk::tech::TechNode;
+
+    fn stt_lib() -> CellLibrary {
+        characterize(TechNode::N45, &MssStack::builder().build().unwrap()).unwrap()
+    }
+
+    fn tech() -> TechParams {
+        TechParams::node(TechNode::N45)
+    }
+
+    #[test]
+    fn sram_reads_and_writes_fast() {
+        let cfg = MemoryConfig::ram(1 << 20, 64).unwrap();
+        let m = estimate(&tech(), &cfg, &MemoryTechnology::Sram).unwrap();
+        assert!(m.read_latency > 0.0 && m.read_latency < 3e-9, "{}", m.read_latency);
+        assert!(m.write_latency < 3e-9);
+        assert!(m.leakage_power > 0.0);
+    }
+
+    #[test]
+    fn stt_write_much_slower_than_read() {
+        let cfg = MemoryConfig::ram(1 << 20, 64).unwrap();
+        let m = estimate(&tech(), &cfg, &MemoryTechnology::SttMram(stt_lib())).unwrap();
+        assert!(m.write_latency > 2.0 * m.read_latency);
+        assert!(m.write_energy > m.read_energy);
+    }
+
+    #[test]
+    fn stt_denser_and_less_leaky_than_sram() {
+        let cfg = MemoryConfig::ram(1 << 20, 64).unwrap();
+        let sram = estimate(&tech(), &cfg, &MemoryTechnology::Sram).unwrap();
+        let stt = estimate(&tech(), &cfg, &MemoryTechnology::SttMram(stt_lib())).unwrap();
+        assert!(stt.area < sram.area, "stt {} vs sram {}", stt.area, sram.area);
+        assert!(
+            stt.leakage_power < 0.3 * sram.leakage_power,
+            "stt {} vs sram {}",
+            stt.leakage_power,
+            sram.leakage_power
+        );
+    }
+
+    #[test]
+    fn bigger_arrays_cost_more() {
+        let lib = stt_lib();
+        let small = MemoryConfig::ram(256 << 10, 64).unwrap();
+        let large = MemoryConfig::ram(4 << 20, 64).unwrap();
+        let ms = estimate(&tech(), &small, &MemoryTechnology::SttMram(lib.clone())).unwrap();
+        let ml = estimate(&tech(), &large, &MemoryTechnology::SttMram(lib)).unwrap();
+        assert!(ml.area > ms.area);
+        assert!(ml.leakage_power > ms.leakage_power);
+        assert!(ml.read_latency > ms.read_latency); // longer global routing
+    }
+
+    #[test]
+    fn wider_word_costs_more_energy() {
+        let lib = stt_lib();
+        let narrow = MemoryConfig::ram(1 << 20, 64).unwrap();
+        let wide = MemoryConfig::new(
+            1 << 20,
+            512,
+            1,
+            512,
+            512,
+            crate::config::MemoryKind::Ram,
+        )
+        .unwrap();
+        let mn = estimate(&tech(), &narrow, &MemoryTechnology::SttMram(lib.clone())).unwrap();
+        let mw = estimate(&tech(), &wide, &MemoryTechnology::SttMram(lib)).unwrap();
+        assert!(mw.write_energy > 4.0 * mn.write_energy);
+        assert!(mw.read_energy > 4.0 * mn.read_energy);
+    }
+
+    #[test]
+    fn cache_adds_tag_overhead() {
+        let lib = stt_lib();
+        let ram = MemoryConfig::new(
+            512 << 10,
+            512,
+            1,
+            512,
+            512,
+            crate::config::MemoryKind::Ram,
+        )
+        .unwrap();
+        let cache = MemoryConfig::cache(512 << 10, 8, 64).unwrap();
+        let mr = estimate(&tech(), &ram, &MemoryTechnology::SttMram(lib.clone())).unwrap();
+        let mc = estimate(&tech(), &cache, &MemoryTechnology::SttMram(lib)).unwrap();
+        assert!(mc.read_energy > mr.read_energy);
+        assert!(mc.area > mr.area);
+        assert!(mc.read_latency >= mr.read_latency);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let cfg = MemoryConfig::ram(1 << 20, 64).unwrap();
+        let m = estimate(&tech(), &cfg, &MemoryTechnology::SttMram(stt_lib())).unwrap();
+        assert!((m.read_breakdown.total() - m.read_latency).abs() < 1e-15);
+        // Cache compare time is folded into the breakdown too.
+        let ccfg = MemoryConfig::cache(1 << 20, 8, 64).unwrap();
+        let mc = estimate(&tech(), &ccfg, &MemoryTechnology::SttMram(stt_lib())).unwrap();
+        assert!(mc.read_latency >= mc.read_breakdown.decoder);
+    }
+
+    #[test]
+    fn write_cell_dominates_stt_write_path() {
+        let cfg = MemoryConfig::ram(1 << 20, 64).unwrap();
+        let m = estimate(&tech(), &cfg, &MemoryTechnology::SttMram(stt_lib())).unwrap();
+        assert!(m.write_breakdown.cell > 0.5 * m.write_latency);
+    }
+
+    #[test]
+    fn technology_name() {
+        assert_eq!(MemoryTechnology::Sram.name(), "SRAM");
+        assert_eq!(MemoryTechnology::SttMram(stt_lib()).name(), "STT-MRAM");
+    }
+}

@@ -1,0 +1,614 @@
+//! Cell characterisation: template → transient → MDL → cell configuration.
+//!
+//! This is the paper's Sec. IV-A loop: *"the SPICE simulation generates
+//! output measurement file that is then parsed to extract the required cell
+//! level parameters such as switching current, delay and energy values.
+//! These values are updated into the cell configuration file of the VAET-STT
+//! tool."* [`characterize`] produces a [`CellLibrary`]; its
+//! [`CellLibrary::to_report`]/[`CellLibrary::from_report`] pair is the
+//! measurement-file round trip.
+
+use mss_mtj::resistance::MtjState;
+use mss_mtj::MssStack;
+use mss_spice::analysis::{dc_operating_point, Transient, TransientOptions, TransientResult};
+use mss_spice::mdl::{Edge, Measurement, Probe, Report};
+use mss_spice::netlist::Netlist;
+use mss_spice::waveform::Waveform;
+use serde::{Deserialize, Serialize};
+
+use crate::cells::{
+    bitcell_write_deck, nvff_backup_deck, nvff_restore_deck, pcsa_read_deck, WriteDirection,
+};
+use crate::tech::{TechNode, TechParams};
+use crate::variation::{ProcessCorner, VariationCard};
+use crate::PdkError;
+
+/// Latency/energy/current triple for one memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpMetrics {
+    /// Operation latency in seconds.
+    pub latency: f64,
+    /// Energy per operation in joules (cell-level, excluding array wires).
+    pub energy: f64,
+    /// Cell current during the operation in amperes.
+    pub current: f64,
+}
+
+/// The characterised cell configuration consumed by VAET-STT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    /// Technology node the library was characterised at.
+    pub node: TechNode,
+    /// Worst-case write metrics across both polarities.
+    pub write: OpMetrics,
+    /// Worst-case read (sense) metrics across both stored states.
+    pub read: OpMetrics,
+    /// Access-transistor width chosen by the sizing loop, metres.
+    pub access_width: f64,
+    /// Bit-cell area in m².
+    pub cell_area: f64,
+    /// Cell leakage in amperes (access device off-state).
+    pub leakage: f64,
+    /// Critical current of the junction, amperes.
+    pub critical_current: f64,
+    /// Thermal stability factor Δ of the junction.
+    pub delta: f64,
+    /// Parallel-state resistance, ohms.
+    pub r_parallel: f64,
+    /// Antiparallel-state resistance, ohms.
+    pub r_antiparallel: f64,
+}
+
+/// Characterised metrics of the non-volatile flip-flop (backup + restore).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NvffMetrics {
+    /// Two-phase backup time (both junctions written), seconds.
+    pub backup_latency: f64,
+    /// Energy of one backup, joules.
+    pub backup_energy: f64,
+    /// Restore (PCSA regeneration) delay, seconds.
+    pub restore_latency: f64,
+    /// Energy of one restore, joules.
+    pub restore_energy: f64,
+}
+
+/// Target write overdrive I_write/I_c0 used by the access sizing loop.
+const TARGET_OVERDRIVE: f64 = 2.5;
+/// Write pulse used during characterisation, seconds.
+const CHAR_WRITE_PULSE: f64 = 12e-9;
+/// Sense window used during read characterisation, seconds.
+const CHAR_SENSE_WINDOW: f64 = 3e-9;
+
+/// Runs the full characterisation flow for a node + stack pair.
+///
+/// # Errors
+///
+/// - [`PdkError::Characterization`] when the access device cannot reach the
+///   write overdrive or a junction never flips within the pulse,
+/// - circuit/device errors from the underlying layers.
+pub fn characterize(node: TechNode, stack: &MssStack) -> Result<CellLibrary, PdkError> {
+    let tech = TechParams::node(node);
+    characterize_with(&tech, stack)
+}
+
+/// [`characterize`] with an explicit (possibly variation-sampled) CMOS card.
+///
+/// # Errors
+///
+/// See [`characterize`].
+pub fn characterize_with(tech: &TechParams, stack: &MssStack) -> Result<CellLibrary, PdkError> {
+    let access_width = size_access_width(tech, stack)?;
+    let write = characterize_write(tech, stack, access_width)?;
+    let read = characterize_read(tech, stack)?;
+    Ok(CellLibrary {
+        node: tech.node,
+        write,
+        read,
+        access_width,
+        cell_area: tech.stt_cell_area(access_width),
+        leakage: tech.leakage(access_width) * 1e-4, // off-state ~1e-4 of on-state scale
+        critical_current: stack.critical_current(),
+        delta: stack.thermal_stability(),
+        r_parallel: stack.resistance_parallel(),
+        r_antiparallel: stack.resistance_antiparallel(),
+    })
+}
+
+/// DC write current through the cell for a candidate width, in the
+/// worst-case (source-degenerated, P → AP) polarity.
+fn dc_write_current(tech: &TechParams, stack: &MssStack, w: f64) -> Result<f64, PdkError> {
+    let mut nl = Netlist::new();
+    nl.add_vsource("vbl", "bl", "0", Waveform::dc(tech.vdd))?;
+    nl.add_vsource("vwl", "wl", "0", Waveform::dc(tech.vdd))?;
+    nl.add_vsource("vsl", "sl", "0", Waveform::dc(0.0))?;
+    nl.add_mosfet(
+        "m1",
+        "bl",
+        "wl",
+        "x",
+        tech.nmos,
+        mss_spice::mosfet::MosGeometry {
+            width: w,
+            length: tech.gate_length(),
+        },
+    )?;
+    // Worst case: writing through the high-resistance AP state with the
+    // access source degenerated by the junction voltage drop.
+    nl.add_mtj("x1", "x", "sl", stack, MtjState::Antiparallel)?;
+    let dc = dc_operating_point(&nl)?;
+    Ok((-dc.source_current("vbl")?).abs())
+}
+
+/// Finds the smallest access width that reaches the target overdrive in the
+/// worst-case write polarity.
+fn size_access_width(tech: &TechParams, stack: &MssStack) -> Result<f64, PdkError> {
+    let target = TARGET_OVERDRIVE * stack.critical_current();
+    let (mut lo, mut hi) = (tech.min_width, 400.0 * tech.min_width);
+    if dc_write_current(tech, stack, hi)? < target {
+        return Err(PdkError::Characterization {
+            step: "access sizing",
+            reason: format!(
+                "even a {:.2e} m access device cannot deliver {:.2e} A",
+                hi, target
+            ),
+        });
+    }
+    if dc_write_current(tech, stack, lo)? >= target {
+        return Ok(lo);
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if dc_write_current(tech, stack, mid)? >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if (hi - lo) < 1e-9 {
+            break;
+        }
+    }
+    Ok(hi)
+}
+
+fn run_deck(deck: &mss_spice::parser::Deck) -> Result<TransientResult, PdkError> {
+    let (dt, stop) = deck.tran.ok_or(PdkError::Characterization {
+        step: "deck run",
+        reason: "deck has no .tran directive".to_string(),
+    })?;
+    Ok(Transient::new(&deck.netlist)?.run(&TransientOptions::new(dt, stop))?)
+}
+
+fn characterize_write(
+    tech: &TechParams,
+    stack: &MssStack,
+    w_access: f64,
+) -> Result<OpMetrics, PdkError> {
+    let mut worst = OpMetrics {
+        latency: 0.0,
+        energy: 0.0,
+        current: f64::INFINITY,
+    };
+    for dir in [WriteDirection::ToParallel, WriteDirection::ToAntiparallel] {
+        let deck = bitcell_write_deck(tech, stack, dir, w_access, CHAR_WRITE_PULSE, 5e-15)?;
+        let res = run_deck(&deck)?;
+        // Latency: active-rail 50% rise -> junction flip.
+        let rail = match dir {
+            WriteDirection::ToParallel => "vbl",
+            WriteDirection::ToAntiparallel => "vsl",
+        };
+        let flip = Measurement::CrossTime {
+            name: "t_flip".into(),
+            probe: Probe::MtjState("X1".into()),
+            value: 0.0,
+            edge: Edge::Either,
+            nth: 1,
+        }
+        .evaluate(&res)
+        .map_err(|_| PdkError::Characterization {
+            step: "write",
+            reason: format!("junction never flipped in {dir:?} within the pulse"),
+        })?;
+        let t_start = Measurement::CrossTime {
+            name: "t_start".into(),
+            probe: Probe::NodeVoltage(rail_node(rail)),
+            value: tech.vdd / 2.0,
+            edge: Edge::Rise,
+            nth: 1,
+        }
+        .evaluate(&res)?;
+        let latency = flip - t_start;
+        // Energy: both rail sources over the active window.
+        let mut energy = 0.0;
+        for src in ["VBL", "VSL", "VWL"] {
+            energy += Measurement::Energy {
+                name: format!("e_{src}"),
+                source: src.to_string(),
+                from: t_start,
+                to: flip,
+            }
+            .evaluate(&res)?;
+        }
+        // Switching current: average source-line/bit-line current while
+        // writing.
+        let i_avg = Measurement::Average {
+            name: "i_wr".into(),
+            probe: Probe::SourceCurrent(rail.to_ascii_uppercase()),
+            from: t_start,
+            to: flip,
+        }
+        .evaluate(&res)?
+        .abs();
+        if latency > worst.latency {
+            worst.latency = latency;
+            worst.energy = energy;
+        }
+        worst.current = worst.current.min(i_avg);
+    }
+    Ok(worst)
+}
+
+fn rail_node(rail: &str) -> String {
+    match rail {
+        "vbl" => "bl".to_string(),
+        "vsl" => "sl".to_string(),
+        other => other.to_string(),
+    }
+}
+
+fn characterize_read(tech: &TechParams, stack: &MssStack) -> Result<OpMetrics, PdkError> {
+    let r_ref = (stack.resistance_parallel() * stack.resistance_antiparallel()).sqrt();
+    let mut worst = OpMetrics {
+        latency: 0.0,
+        energy: 0.0,
+        current: 0.0,
+    };
+    for state in [MtjState::Parallel, MtjState::Antiparallel] {
+        let deck = pcsa_read_deck(tech, stack, state, r_ref, CHAR_SENSE_WINDOW)?;
+        let res = run_deck(&deck)?;
+        // Sense delay: clk 50% rise -> losing side below vdd/2.
+        let falling = if state == MtjState::Parallel {
+            "out"
+        } else {
+            "outb"
+        };
+        let latency = Measurement::Delay {
+            name: "t_sense".into(),
+            trig: Probe::NodeVoltage("clk".into()),
+            trig_value: tech.vdd / 2.0,
+            trig_edge: Edge::Rise,
+            targ: Probe::NodeVoltage(falling.into()),
+            targ_value: tech.vdd / 2.0,
+            targ_edge: Edge::Fall,
+        }
+        .evaluate(&res)
+        .map_err(|_| PdkError::Characterization {
+            step: "read",
+            reason: format!("PCSA failed to resolve for state {state:?}"),
+        })?;
+        let mut energy = 0.0;
+        for src in ["VDD", "VCLK"] {
+            energy += Measurement::Energy {
+                name: format!("e_{src}"),
+                source: src.to_string(),
+                from: 1e-9,
+                to: 1e-9 + CHAR_SENSE_WINDOW,
+            }
+            .evaluate(&res)?;
+        }
+        // Read current through the cell branch: (v(s1) - v(tail)) / R.
+        let s1 = res.node_voltage("s1")?;
+        let tail = res.node_voltage("tail")?;
+        let times = res.times();
+        let r = match state {
+            MtjState::Parallel => stack.resistance_parallel(),
+            MtjState::Antiparallel => stack.resistance_antiparallel(),
+        };
+        // Charge-average cell current across the sense window: the figure
+        // that matters for read disturb (the discharge spike is brief).
+        let mut q_moved = 0.0;
+        let mut window = 0.0;
+        for k in 1..times.len() {
+            if times[k] >= 1e-9 && times[k] <= 1e-9 + CHAR_SENSE_WINDOW {
+                let dt = times[k] - times[k - 1];
+                let i_inst = ((s1[k] - tail[k]) / r).abs();
+                q_moved += i_inst * dt;
+                window += dt;
+            }
+        }
+        let i_avg = if window > 0.0 { q_moved / window } else { 0.0 };
+        if latency > worst.latency {
+            worst.latency = latency;
+            worst.energy = energy;
+        }
+        worst.current = worst.current.max(i_avg);
+    }
+    Ok(worst)
+}
+
+/// Characterises the cell at every process corner (TT/SS/FF/SF/FS) —
+/// classic corner-based signoff next to the statistical VAET flow.
+///
+/// # Errors
+///
+/// Propagates per-corner characterisation failures.
+pub fn characterize_corners(
+    node: TechNode,
+    stack: &MssStack,
+) -> Result<Vec<(ProcessCorner, CellLibrary)>, PdkError> {
+    let nominal = TechParams::node(node);
+    let card = VariationCard::node(node);
+    ProcessCorner::ALL
+        .iter()
+        .map(|&corner| {
+            let tech = card.corner_tech(&nominal, corner);
+            characterize_with(&tech, stack).map(|lib| (corner, lib))
+        })
+        .collect()
+}
+
+/// Characterises the non-volatile flip-flop: worst-case two-phase backup
+/// followed by a PCSA restore.
+///
+/// # Errors
+///
+/// [`PdkError::Characterization`] when a junction never flips during backup
+/// or the restore latch fails to resolve.
+pub fn characterize_nvff(tech: &TechParams, stack: &MssStack) -> Result<NvffMetrics, PdkError> {
+    let w_access = 24.0 * tech.feature;
+    let t_phase = 15e-9;
+    let mut backup_latency: f64 = 0.0;
+    let mut backup_energy: f64 = 0.0;
+    for q in [true, false] {
+        let deck = nvff_backup_deck(tech, stack, q, w_access, t_phase)?;
+        let res = run_deck(&deck)?;
+        if res.events().len() != 2 {
+            return Err(PdkError::Characterization {
+                step: "nvff backup",
+                reason: format!(
+                    "expected both junctions to flip for q={q}, saw {} events",
+                    res.events().len()
+                ),
+            });
+        }
+        let last_flip = res
+            .events()
+            .iter()
+            .map(|e| e.time)
+            .fold(f64::NEG_INFINITY, f64::max);
+        backup_latency = backup_latency.max(last_flip - 1e-9);
+        let mut energy = 0.0;
+        for src in ["VQ", "VQB", "VCOM", "VCTRL"] {
+            energy += Measurement::Energy {
+                name: format!("e_{src}"),
+                source: src.to_string(),
+                from: 1e-9,
+                to: last_flip,
+            }
+            .evaluate(&res)?;
+        }
+        backup_energy = backup_energy.max(energy);
+    }
+
+    let t_sense = 3e-9;
+    let mut restore_latency: f64 = 0.0;
+    let mut restore_energy: f64 = 0.0;
+    for q in [true, false] {
+        let deck = nvff_restore_deck(tech, stack, q, t_sense)?;
+        let res = run_deck(&deck)?;
+        // The P-side output falls; measure clk 50% -> falling side below
+        // vdd/2.
+        let falling = if q { "q" } else { "qb" };
+        let latency = Measurement::Delay {
+            name: "t_restore".into(),
+            trig: Probe::NodeVoltage("clk".into()),
+            trig_value: tech.vdd / 2.0,
+            trig_edge: Edge::Rise,
+            targ: Probe::NodeVoltage(falling.into()),
+            targ_value: tech.vdd / 2.0,
+            targ_edge: Edge::Fall,
+        }
+        .evaluate(&res)
+        .map_err(|_| PdkError::Characterization {
+            step: "nvff restore",
+            reason: format!("latch failed to resolve for q={q}"),
+        })?;
+        restore_latency = restore_latency.max(latency);
+        let mut energy = 0.0;
+        for src in ["VDD", "VCLK"] {
+            energy += Measurement::Energy {
+                name: format!("e_{src}"),
+                source: src.to_string(),
+                from: 1e-9,
+                to: 1e-9 + t_sense,
+            }
+            .evaluate(&res)?;
+        }
+        restore_energy = restore_energy.max(energy);
+    }
+
+    Ok(NvffMetrics {
+        backup_latency,
+        backup_energy,
+        restore_latency,
+        restore_energy,
+    })
+}
+
+impl CellLibrary {
+    /// Serialises to the `name = value` measurement-file format (the cell
+    /// configuration file of the VAET-STT tool).
+    pub fn to_report(&self) -> Report {
+        let mut r = Report::new();
+        r.insert(
+            "node_nm",
+            match self.node {
+                TechNode::N45 => 45.0,
+                TechNode::N65 => 65.0,
+            },
+        );
+        r.insert("write_latency", self.write.latency);
+        r.insert("write_energy", self.write.energy);
+        r.insert("write_current", self.write.current);
+        r.insert("read_latency", self.read.latency);
+        r.insert("read_energy", self.read.energy);
+        r.insert("read_current", self.read.current);
+        r.insert("access_width", self.access_width);
+        r.insert("cell_area", self.cell_area);
+        r.insert("leakage", self.leakage);
+        r.insert("critical_current", self.critical_current);
+        r.insert("delta", self.delta);
+        r.insert("r_parallel", self.r_parallel);
+        r.insert("r_antiparallel", self.r_antiparallel);
+        r
+    }
+
+    /// Parses a cell configuration back from a measurement report.
+    ///
+    /// # Errors
+    ///
+    /// [`PdkError::Characterization`] when a required key is missing.
+    pub fn from_report(report: &Report) -> Result<Self, PdkError> {
+        let get = |key: &str| {
+            report.get(key).ok_or(PdkError::Characterization {
+                step: "report parse",
+                reason: format!("missing key '{key}'"),
+            })
+        };
+        let node = if (get("node_nm")? - 45.0).abs() < 1.0 {
+            TechNode::N45
+        } else {
+            TechNode::N65
+        };
+        Ok(Self {
+            node,
+            write: OpMetrics {
+                latency: get("write_latency")?,
+                energy: get("write_energy")?,
+                current: get("write_current")?,
+            },
+            read: OpMetrics {
+                latency: get("read_latency")?,
+                energy: get("read_energy")?,
+                current: get("read_current")?,
+            },
+            access_width: get("access_width")?,
+            cell_area: get("cell_area")?,
+            leakage: get("leakage")?,
+            critical_current: get("critical_current")?,
+            delta: get("delta")?,
+            r_parallel: get("r_parallel")?,
+            r_antiparallel: get("r_antiparallel")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack() -> MssStack {
+        MssStack::builder().build().unwrap()
+    }
+
+    #[test]
+    fn sizing_hits_overdrive_target() {
+        let tech = TechParams::node(TechNode::N45);
+        let s = stack();
+        let w = size_access_width(&tech, &s).unwrap();
+        let i = dc_write_current(&tech, &s, w).unwrap();
+        let target = TARGET_OVERDRIVE * s.critical_current();
+        assert!(
+            i >= target && i < 1.3 * target,
+            "i = {i:.3e}, target = {target:.3e}"
+        );
+        assert!(w > tech.min_width && w < 400.0 * tech.min_width);
+    }
+
+    #[test]
+    fn characterization_produces_sane_metrics_45nm() {
+        let lib = characterize(TechNode::N45, &stack()).unwrap();
+        // Write: a few ns, read: sub-2ns (paper Table 1 nominal shapes).
+        assert!(
+            lib.write.latency > 1e-9 && lib.write.latency < 12e-9,
+            "write latency = {:.3e}",
+            lib.write.latency
+        );
+        assert!(
+            lib.read.latency > 10e-12 && lib.read.latency < 2e-9,
+            "read latency = {:.3e}",
+            lib.read.latency
+        );
+        assert!(lib.read.latency < lib.write.latency);
+        // Cell-level energies: write in the 100s of fJ, read far less.
+        assert!(lib.write.energy > 1e-14 && lib.write.energy < 5e-12);
+        assert!(lib.read.energy < lib.write.energy);
+        // Write current near the overdrive target, read well below Ic0.
+        assert!(lib.write.current > 1.5 * lib.critical_current);
+        assert!(lib.read.current < 0.8 * lib.critical_current);
+    }
+
+    #[test]
+    fn both_nodes_characterize() {
+        let s = stack();
+        let l45 = characterize(TechNode::N45, &s).unwrap();
+        let l65 = characterize(TechNode::N65, &s).unwrap();
+        // The same junction needs a similar write current; both nodes must
+        // deliver it.
+        assert!(l45.write.current > 0.0 && l65.write.current > 0.0);
+        // 65 nm cells are physically larger.
+        assert!(l65.cell_area > l45.cell_area);
+    }
+
+    #[test]
+    fn corner_characterisation_orders_write_current() {
+        let libs = characterize_corners(TechNode::N45, &stack()).unwrap();
+        assert_eq!(libs.len(), 5);
+        let get = |c: ProcessCorner| {
+            libs.iter()
+                .find(|(k, _)| *k == c)
+                .map(|(_, l)| l)
+                .expect("corner present")
+        };
+        let ss = get(ProcessCorner::Ss);
+        let tt = get(ProcessCorner::Tt);
+        let ff = get(ProcessCorner::Ff);
+        // Slow silicon needs a wider access device for the same overdrive.
+        assert!(ss.access_width > tt.access_width);
+        assert!(ff.access_width < tt.access_width);
+        // The junction's own numbers don't move with the CMOS corner.
+        assert_eq!(ss.critical_current, ff.critical_current);
+    }
+
+    #[test]
+    fn nvff_characterisation_is_sane() {
+        let tech = TechParams::node(TechNode::N45);
+        let m = characterize_nvff(&tech, &stack()).unwrap();
+        // Backup spans both write phases: slower than a single cell write
+        // but bounded by the two 15 ns phases.
+        assert!(
+            m.backup_latency > 5e-9 && m.backup_latency < 32e-9,
+            "backup latency {:.3e}",
+            m.backup_latency
+        );
+        // Restore is a sense, orders of magnitude faster than backup.
+        assert!(m.restore_latency < 0.1 * m.backup_latency);
+        assert!(m.backup_energy > m.restore_energy);
+        assert!(m.restore_energy > 0.0);
+    }
+
+    #[test]
+    fn report_round_trip() {
+        let lib = characterize(TechNode::N45, &stack()).unwrap();
+        let text = lib.to_report().to_text();
+        let back = CellLibrary::from_report(&Report::parse(&text).unwrap()).unwrap();
+        assert_eq!(lib.node, back.node);
+        assert!((lib.write.latency - back.write.latency).abs() < 1e-20);
+        assert!((lib.read.energy - back.read.energy).abs() < 1e-25);
+    }
+
+    #[test]
+    fn from_report_rejects_missing_keys() {
+        let r = Report::parse("node_nm = 45\n").unwrap();
+        assert!(CellLibrary::from_report(&r).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for PDK construction and characterisation.
+
+use std::fmt;
+
+use mss_mtj::MtjError;
+use mss_spice::SpiceError;
+
+/// Errors produced by PDK operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PdkError {
+    /// A device-model error bubbled up from `mss-mtj`.
+    Device(MtjError),
+    /// A circuit-simulation error bubbled up from `mss-spice`.
+    Circuit(SpiceError),
+    /// Characterisation could not find a working operating point (e.g. no
+    /// access-transistor width delivers the target write current).
+    Characterization {
+        /// Which step failed.
+        step: &'static str,
+        /// Why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PdkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdkError::Device(e) => write!(f, "device model error: {e}"),
+            PdkError::Circuit(e) => write!(f, "circuit simulation error: {e}"),
+            PdkError::Characterization { step, reason } => {
+                write!(f, "characterisation failed in {step}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PdkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PdkError::Device(e) => Some(e),
+            PdkError::Circuit(e) => Some(e),
+            PdkError::Characterization { .. } => None,
+        }
+    }
+}
+
+impl From<MtjError> for PdkError {
+    fn from(e: MtjError) -> Self {
+        PdkError::Device(e)
+    }
+}
+
+impl From<SpiceError> for PdkError {
+    fn from(e: SpiceError) -> Self {
+        PdkError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e: PdkError = SpiceError::SingularMatrix.into();
+        assert!(e.to_string().contains("singular"));
+        let e: PdkError = MtjError::Convergence { context: "x" }.into();
+        assert!(e.to_string().contains("x"));
+    }
+}

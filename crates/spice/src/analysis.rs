@@ -1,0 +1,761 @@
+//! DC operating-point and transient analyses.
+//!
+//! Both analyses assemble a Modified Nodal Analysis system: one unknown per
+//! non-ground node voltage plus one branch current per voltage source.
+//! Nonlinear devices (MOSFETs, MTJs) are handled by Newton iteration with
+//! per-iteration linearised stamps; capacitors use backward-Euler companion
+//! models in transient (A-stable, which matters for the stiff RC/MTJ decks
+//! the characterisation flow produces).
+
+use std::collections::HashMap;
+
+use crate::netlist::{Element, Netlist, NodeId};
+use crate::solver::{solve, Matrix};
+use crate::SpiceError;
+
+/// Conductance from every node to ground, keeping floating nets solvable.
+const GMIN: f64 = 1e-12;
+/// Newton voltage tolerance (volts).
+const VTOL: f64 = 1e-9;
+/// Newton iteration cap.
+const MAX_NEWTON: usize = 200;
+/// Per-iteration clamp on voltage updates (volts) for Newton damping.
+const VSTEP_MAX: f64 = 0.5;
+
+/// Result of a DC operating-point analysis.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    node_names: Vec<String>,
+    voltages: Vec<f64>,
+    vsource_currents: HashMap<String, f64>,
+}
+
+impl DcSolution {
+    /// Voltage at a named node.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::UnknownNode`] when the node does not exist.
+    pub fn node_voltage(&self, name: &str) -> Result<f64, SpiceError> {
+        let key = name.to_ascii_lowercase();
+        self.node_names
+            .iter()
+            .position(|n| *n == key)
+            .map(|i| self.voltages[i])
+            .ok_or(SpiceError::UnknownNode(key))
+    }
+
+    /// Branch current of a named voltage source (MNA convention: positive
+    /// flowing from the `+` terminal through the source to `-`; a battery
+    /// delivering power therefore reads negative).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::UnknownNode`] when no such source exists.
+    pub fn source_current(&self, name: &str) -> Result<f64, SpiceError> {
+        self.vsource_currents
+            .get(name)
+            .copied()
+            .ok_or_else(|| SpiceError::UnknownNode(name.to_string()))
+    }
+}
+
+/// Workspace shared by DC and transient assembly. Holds only index
+/// structure, never a borrow of the netlist, so the transient loop can
+/// mutate MTJ states between steps.
+struct Mna {
+    n_nodes: usize,
+    vsource_rows: Vec<(usize, usize)>, // (element index, mna row)
+    has_nonlinear: bool,
+}
+
+impl Mna {
+    fn new(netlist: &Netlist) -> Self {
+        let n_nodes = netlist.node_count() - 1; // exclude ground
+        let mut vsource_rows = Vec::new();
+        let mut next = n_nodes;
+        for (ei, e) in netlist.elements().iter().enumerate() {
+            if matches!(e, Element::VSource { .. }) {
+                vsource_rows.push((ei, next));
+                next += 1;
+            }
+        }
+        let has_nonlinear = netlist
+            .elements()
+            .iter()
+            .any(|e| matches!(e, Element::Mosfet { .. } | Element::Mtj { .. }));
+        Self {
+            n_nodes,
+            vsource_rows,
+            has_nonlinear,
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.n_nodes + self.vsource_rows.len()
+    }
+
+    fn node_idx(&self, n: NodeId) -> Option<usize> {
+        if n.is_ground() {
+            None
+        } else {
+            Some(n.0 - 1)
+        }
+    }
+
+    fn voltage(&self, x: &[f64], n: NodeId) -> f64 {
+        match self.node_idx(n) {
+            Some(i) => x[i],
+            None => 0.0,
+        }
+    }
+
+    fn stamp_conductance(&self, m: &mut Matrix, a: NodeId, b: NodeId, g: f64) {
+        if let Some(ia) = self.node_idx(a) {
+            m.add(ia, ia, g);
+            if let Some(ib) = self.node_idx(b) {
+                m.add(ia, ib, -g);
+                m.add(ib, ia, -g);
+                m.add(ib, ib, g);
+            }
+        } else if let Some(ib) = self.node_idx(b) {
+            m.add(ib, ib, g);
+        }
+    }
+
+    /// Injects current `i` into node `n` (adds to the RHS).
+    fn inject(&self, rhs: &mut [f64], n: NodeId, i: f64) {
+        if let Some(idx) = self.node_idx(n) {
+            rhs[idx] += i;
+        }
+    }
+
+    /// Assembles and solves one Newton iteration.
+    ///
+    /// `t` selects source values; `cap_state` holds previous-step voltages
+    /// for the backward-Euler companions (`None` in DC: capacitors open).
+    /// `x0` is the current Newton iterate; `mtj_voltages` receives nothing —
+    /// MTJ conductances are read from `x0`.
+    fn assemble_and_solve(
+        &self,
+        netlist: &Netlist,
+        t: f64,
+        x0: &[f64],
+        dt: Option<f64>,
+        cap_prev: Option<&[f64]>,
+    ) -> Result<Vec<f64>, SpiceError> {
+        let dim = self.dim();
+        let mut m = Matrix::zeros(dim, dim);
+        let mut rhs = vec![0.0; dim];
+
+        // gmin to ground on every node.
+        for i in 0..self.n_nodes {
+            m.add(i, i, GMIN);
+        }
+
+        let mut vk = 0usize;
+        for e in netlist.elements() {
+            match e {
+                Element::Resistor { a, b, ohms, .. } => {
+                    self.stamp_conductance(&mut m, *a, *b, 1.0 / ohms);
+                }
+                Element::Capacitor { a, b, farads, .. } => {
+                    if let (Some(dt), Some(prev)) = (dt, cap_prev) {
+                        let geq = farads / dt;
+                        self.stamp_conductance(&mut m, *a, *b, geq);
+                        let va = match self.node_idx(*a) {
+                            Some(i) => prev[i],
+                            None => 0.0,
+                        };
+                        let vb = match self.node_idx(*b) {
+                            Some(i) => prev[i],
+                            None => 0.0,
+                        };
+                        let ieq = geq * (va - vb);
+                        self.inject(&mut rhs, *a, ieq);
+                        self.inject(&mut rhs, *b, -ieq);
+                    }
+                    // DC: open circuit (gmin keeps nodes grounded).
+                }
+                Element::VSource { plus, minus, wave, .. } => {
+                    let row = self.vsource_rows[vk].1;
+                    vk += 1;
+                    if let Some(ip) = self.node_idx(*plus) {
+                        m.add(ip, row, 1.0);
+                        m.add(row, ip, 1.0);
+                    }
+                    if let Some(im) = self.node_idx(*minus) {
+                        m.add(im, row, -1.0);
+                        m.add(row, im, -1.0);
+                    }
+                    rhs[row] = wave.eval(t);
+                }
+                Element::ISource { plus, minus, wave, .. } => {
+                    let i = wave.eval(t);
+                    self.inject(&mut rhs, *plus, -i);
+                    self.inject(&mut rhs, *minus, i);
+                }
+                Element::Mosfet {
+                    d, g, s, model, geom, ..
+                } => {
+                    let vg = self.voltage(x0, *g);
+                    let vd = self.voltage(x0, *d);
+                    let vs = self.voltage(x0, *s);
+                    let op = model.evaluate(geom, vg - vs, vd - vs);
+                    // i_d = id0 + gm*(vgs - vgs0) + gds*(vds - vds0)
+                    // Stamps: gds between d and s, VCCS gm from (g,s) into (d,s).
+                    self.stamp_conductance(&mut m, *d, *s, op.gds);
+                    let (id_, ig, is_) = (self.node_idx(*d), self.node_idx(*g), self.node_idx(*s));
+                    if let Some(di) = id_ {
+                        if let Some(gi) = ig {
+                            m.add(di, gi, op.gm);
+                        }
+                        if let Some(si) = is_ {
+                            m.add(di, si, -op.gm);
+                        }
+                    }
+                    if let Some(si) = is_ {
+                        if let Some(gi) = ig {
+                            m.add(si, gi, -op.gm);
+                        }
+                        m.add(si, si, op.gm);
+                    }
+                    let i0 = op.id - op.gm * (vg - vs) - op.gds * (vd - vs);
+                    self.inject(&mut rhs, *d, -i0);
+                    self.inject(&mut rhs, *s, i0);
+                }
+                Element::Mtj {
+                    plus, minus, device, ..
+                } => {
+                    let v = self.voltage(x0, *plus) - self.voltage(x0, *minus);
+                    let (g, _) = device.linearize(v);
+                    self.stamp_conductance(&mut m, *plus, *minus, g);
+                }
+            }
+        }
+
+        solve(m, rhs)
+    }
+
+    /// Newton loop at time `t`.
+    fn newton(
+        &self,
+        netlist: &Netlist,
+        t: f64,
+        x_init: &[f64],
+        dt: Option<f64>,
+        cap_prev: Option<&[f64]>,
+        analysis: &'static str,
+    ) -> Result<Vec<f64>, SpiceError> {
+        let mut x = x_init.to_vec();
+        if !self.has_nonlinear {
+            return self.assemble_and_solve(netlist, t, &x, dt, cap_prev);
+        }
+        for _ in 0..MAX_NEWTON {
+            let x_new = self.assemble_and_solve(netlist, t, &x, dt, cap_prev)?;
+            let mut max_dv: f64 = 0.0;
+            let mut damped = x_new.clone();
+            for i in 0..self.n_nodes {
+                let dv = x_new[i] - x[i];
+                max_dv = max_dv.max(dv.abs());
+                if dv.abs() > VSTEP_MAX {
+                    damped[i] = x[i] + dv.signum() * VSTEP_MAX;
+                }
+            }
+            let converged = max_dv < VTOL;
+            x = damped;
+            if converged {
+                return Ok(x);
+            }
+        }
+        Err(SpiceError::NoConvergence {
+            analysis,
+            time: if dt.is_some() { Some(t) } else { None },
+        })
+    }
+}
+
+/// Computes the DC operating point with sources at their `t = 0` values and
+/// capacitors open.
+///
+/// # Errors
+///
+/// Propagates singular-matrix and non-convergence failures.
+pub fn dc_operating_point(netlist: &Netlist) -> Result<DcSolution, SpiceError> {
+    let mna = Mna::new(netlist);
+    let x0 = vec![0.0; mna.dim()];
+    let x = mna.newton(netlist, 0.0, &x0, None, None, "dc operating point")?;
+    Ok(package_dc(netlist, &mna, &x))
+}
+
+fn package_dc(netlist: &Netlist, mna: &Mna, x: &[f64]) -> DcSolution {
+    let mut node_names = Vec::with_capacity(netlist.node_count());
+    let mut voltages = Vec::with_capacity(netlist.node_count());
+    for i in 0..netlist.node_count() {
+        node_names.push(netlist.node_name(NodeId(i)).to_string());
+        voltages.push(if i == 0 { 0.0 } else { x[i - 1] });
+    }
+    let mut vsource_currents = HashMap::new();
+    for (ei, row) in &mna.vsource_rows {
+        if let Element::VSource { name, .. } = &netlist.elements()[*ei] {
+            vsource_currents.insert(name.clone(), x[*row]);
+        }
+    }
+    DcSolution {
+        node_names,
+        voltages,
+        vsource_currents,
+    }
+}
+
+/// Options for a fixed-step transient run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientOptions {
+    /// Time step in seconds.
+    pub dt: f64,
+    /// Stop time in seconds.
+    pub t_stop: f64,
+}
+
+impl TransientOptions {
+    /// Creates options with the given step and stop time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is non-positive or `t_stop < dt`.
+    pub fn new(dt: f64, t_stop: f64) -> Self {
+        assert!(dt > 0.0 && t_stop > 0.0 && t_stop >= dt, "bad transient window");
+        Self { dt, t_stop }
+    }
+}
+
+/// An MTJ state-change event observed during transient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchEvent {
+    /// Simulation time of the flip, seconds.
+    pub time: f64,
+    /// MTJ instance name.
+    pub element: String,
+    /// `+1` for parallel, `-1` for antiparallel after the flip.
+    pub new_state_cos: f64,
+}
+
+/// Transient simulation engine.
+#[derive(Debug, Clone)]
+pub struct Transient {
+    netlist: Netlist,
+}
+
+impl Transient {
+    /// Prepares a transient analysis for a netlist (cloned internally so the
+    /// caller's MTJ initial states are preserved across runs).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; reserved for pre-flight checks.
+    pub fn new(netlist: &Netlist) -> Result<Self, SpiceError> {
+        Ok(Self {
+            netlist: netlist.clone(),
+        })
+    }
+
+    /// Runs the transient and returns recorded waveforms.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Newton non-convergence and singular-matrix failures with
+    /// the failing time point attached.
+    pub fn run(&self, opts: &TransientOptions) -> Result<TransientResult, SpiceError> {
+        let mut netlist = self.netlist.clone();
+        let mna = Mna::new(&netlist);
+        let steps = (opts.t_stop / opts.dt).round() as usize;
+
+        // t = 0: DC operating point (capacitors open).
+        let mut x = mna.newton(
+            &netlist,
+            0.0,
+            &vec![0.0; mna.dim()],
+            None,
+            None,
+            "transient dc init",
+        )?;
+
+        let node_names: Vec<String> = (0..netlist.node_count())
+            .map(|i| netlist.node_name(NodeId(i)).to_string())
+            .collect();
+        let vsource_names: Vec<String> = netlist
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                Element::VSource { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        let vsource_nodes: Vec<(usize, usize)> = netlist
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                Element::VSource { plus, minus, .. } => Some((plus.0, minus.0)),
+                _ => None,
+            })
+            .collect();
+        let mtj_indices: Vec<usize> = netlist
+            .elements()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| matches!(e, Element::Mtj { .. }).then_some(i))
+            .collect();
+        let mtj_names: Vec<String> = mtj_indices
+            .iter()
+            .map(|&i| netlist.elements()[i].name().to_string())
+            .collect();
+
+        let mut result = TransientResult {
+            times: Vec::with_capacity(steps + 1),
+            node_names,
+            voltages: vec![Vec::with_capacity(steps + 1); netlist.node_count()],
+            vsource_names,
+            vsource_nodes,
+            currents: vec![Vec::with_capacity(steps + 1); mna.vsource_rows.len()],
+            mtj_names,
+            mtj_cos: vec![Vec::with_capacity(steps + 1); mtj_indices.len()],
+            events: Vec::new(),
+        };
+        record(&mut result, &mna, &netlist, &mtj_indices, 0.0, &x);
+
+        for k in 1..=steps {
+            let t = k as f64 * opts.dt;
+            let prev = x.clone();
+            x = mna.newton(&netlist, t, &prev, Some(opts.dt), Some(&prev), "transient")?;
+
+            // Advance MTJ states with the solved currents.
+            let mut events = Vec::new();
+            {
+                let elements = netlist.elements_mut();
+                for &ei in &mtj_indices {
+                    if let Element::Mtj {
+                        name,
+                        plus,
+                        minus,
+                        device,
+                    } = &mut elements[ei]
+                    {
+                        let v = mna_voltage(&mna, &x, *plus) - mna_voltage(&mna, &x, *minus);
+                        let i = v / device.resistance(v);
+                        if device.advance(i, opts.dt) {
+                            events.push(SwitchEvent {
+                                time: t,
+                                element: name.clone(),
+                                new_state_cos: device.state().cos_angle(),
+                            });
+                        }
+                    }
+                }
+            }
+            result.events.extend(events);
+            record(&mut result, &mna, &netlist, &mtj_indices, t, &x);
+        }
+        Ok(result)
+    }
+}
+
+fn mna_voltage(mna: &Mna, x: &[f64], n: NodeId) -> f64 {
+    mna.voltage(x, n)
+}
+
+fn record(
+    result: &mut TransientResult,
+    mna: &Mna,
+    netlist: &Netlist,
+    mtj_indices: &[usize],
+    t: f64,
+    x: &[f64],
+) {
+    result.times.push(t);
+    for i in 0..netlist.node_count() {
+        let v = if i == 0 { 0.0 } else { x[i - 1] };
+        result.voltages[i].push(v);
+    }
+    for (slot, (_, row)) in mna.vsource_rows.iter().enumerate() {
+        result.currents[slot].push(x[*row]);
+    }
+    for (slot, &ei) in mtj_indices.iter().enumerate() {
+        if let Element::Mtj { device, .. } = &netlist.elements()[ei] {
+            result.mtj_cos[slot].push(device.state().cos_angle());
+        }
+    }
+}
+
+/// Recorded transient waveforms.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    node_names: Vec<String>,
+    voltages: Vec<Vec<f64>>,
+    vsource_names: Vec<String>,
+    vsource_nodes: Vec<(usize, usize)>,
+    currents: Vec<Vec<f64>>,
+    mtj_names: Vec<String>,
+    mtj_cos: Vec<Vec<f64>>,
+    events: Vec<SwitchEvent>,
+}
+
+impl TransientResult {
+    /// Time points in seconds.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Voltage waveform of a named node.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::UnknownNode`] when the node does not exist.
+    pub fn node_voltage(&self, name: &str) -> Result<&[f64], SpiceError> {
+        let key = name.to_ascii_lowercase();
+        self.node_names
+            .iter()
+            .position(|n| *n == key)
+            .map(|i| self.voltages[i].as_slice())
+            .ok_or(SpiceError::UnknownNode(key))
+    }
+
+    /// Branch-current waveform of a voltage source (MNA sign convention:
+    /// a source delivering power reads negative).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::UnknownNode`] when no such source exists.
+    pub fn source_current(&self, name: &str) -> Result<&[f64], SpiceError> {
+        self.vsource_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.currents[i].as_slice())
+            .ok_or_else(|| SpiceError::UnknownNode(name.to_string()))
+    }
+
+    /// Terminal voltage waveform (`v_plus − v_minus`) of a voltage source.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::UnknownNode`] when no such source exists.
+    pub fn source_voltage(&self, name: &str) -> Result<Vec<f64>, SpiceError> {
+        let idx = self
+            .vsource_names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| SpiceError::UnknownNode(name.to_string()))?;
+        let (p, m) = self.vsource_nodes[idx];
+        Ok(self.voltages[p]
+            .iter()
+            .zip(&self.voltages[m])
+            .map(|(a, b)| a - b)
+            .collect())
+    }
+
+    /// MTJ state trace (`+1` parallel / `-1` antiparallel per time point).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::UnknownNode`] when no such MTJ exists.
+    pub fn mtj_state(&self, name: &str) -> Result<&[f64], SpiceError> {
+        self.mtj_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.mtj_cos[i].as_slice())
+            .ok_or_else(|| SpiceError::UnknownNode(name.to_string()))
+    }
+
+    /// MTJ switching events in time order.
+    pub fn events(&self) -> &[SwitchEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mosfet::{MosGeometry, MosModel};
+    use crate::waveform::Waveform;
+    use mss_mtj::resistance::MtjState;
+    use mss_mtj::MssStack;
+
+    #[test]
+    fn resistor_divider_dc() {
+        let mut nl = Netlist::new();
+        nl.add_vsource("v1", "in", "0", Waveform::dc(2.0)).unwrap();
+        nl.add_resistor("r1", "in", "mid", 1e3).unwrap();
+        nl.add_resistor("r2", "mid", "0", 1e3).unwrap();
+        let dc = dc_operating_point(&nl).unwrap();
+        assert!((dc.node_voltage("mid").unwrap() - 1.0).abs() < 1e-6);
+        // Source current: 2V across 2k -> 1 mA, negative by MNA convention.
+        assert!((dc.source_current("v1").unwrap() + 1e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kcl_holds_on_rc_ladder() {
+        let mut nl = Netlist::new();
+        nl.add_vsource("v1", "n1", "0", Waveform::dc(1.0)).unwrap();
+        for i in 1..5 {
+            nl.add_resistor(&format!("r{i}"), &format!("n{i}"), &format!("n{}", i + 1), 1e3)
+                .unwrap();
+        }
+        nl.add_resistor("rend", "n5", "0", 1e3).unwrap();
+        let dc = dc_operating_point(&nl).unwrap();
+        // Voltages decrease monotonically down the ladder.
+        let mut last = dc.node_voltage("n1").unwrap();
+        for i in 2..=5 {
+            let v = dc.node_voltage(&format!("n{i}")).unwrap();
+            assert!(v < last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn rc_transient_time_constant() {
+        let mut nl = Netlist::new();
+        nl.add_vsource("vin", "in", "0", Waveform::dc(1.0)).unwrap();
+        nl.add_resistor("r1", "in", "out", 1e3).unwrap();
+        nl.add_capacitor("c1", "out", "0", 1e-12).unwrap();
+        // tau = 1 ns. (DC init starts the cap at its operating point = 1 V,
+        // so drive with a pulse instead to see the charge-up.)
+        let mut nl2 = Netlist::new();
+        nl2.add_vsource(
+            "vin",
+            "in",
+            "0",
+            Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0, 0.0),
+        )
+        .unwrap();
+        nl2.add_resistor("r1", "in", "out", 1e3).unwrap();
+        nl2.add_capacitor("c1", "out", "0", 1e-12).unwrap();
+        let res = Transient::new(&nl2)
+            .unwrap()
+            .run(&TransientOptions::new(1e-12, 5e-9))
+            .unwrap();
+        let v = res.node_voltage("out").unwrap();
+        let t = res.times();
+        // Value at t = tau should be ~63.2%.
+        let idx = t.iter().position(|&tt| tt >= 1e-9).unwrap();
+        assert!(
+            (v[idx] - 0.632).abs() < 0.02,
+            "v(tau) = {} (backward Euler tolerance)",
+            v[idx]
+        );
+        drop(nl);
+    }
+
+    #[test]
+    fn nmos_inverter_dc_transfer() {
+        // NMOS with resistive pull-up: in=0 -> out high; in=Vdd -> out low.
+        let build = |vin: f64| {
+            let mut nl = Netlist::new();
+            nl.add_vsource("vdd", "vdd", "0", Waveform::dc(1.0)).unwrap();
+            nl.add_vsource("vin", "in", "0", Waveform::dc(vin)).unwrap();
+            nl.add_resistor("rl", "vdd", "out", 10e3).unwrap();
+            nl.add_mosfet(
+                "m1",
+                "out",
+                "in",
+                "0",
+                MosModel::generic_nmos(),
+                MosGeometry {
+                    width: 1e-6,
+                    length: 100e-9,
+                },
+            )
+            .unwrap();
+            nl
+        };
+        let low = dc_operating_point(&build(0.0)).unwrap();
+        assert!(low.node_voltage("out").unwrap() > 0.95);
+        let high = dc_operating_point(&build(1.0)).unwrap();
+        assert!(high.node_voltage("out").unwrap() < 0.2);
+    }
+
+    #[test]
+    fn isource_into_resistor() {
+        let mut nl = Netlist::new();
+        // 1 mA drawn from ground, pushed into node a: v(a) = i*R = 1 V.
+        nl.add_isource("i1", "0", "a", Waveform::dc(1e-3)).unwrap();
+        nl.add_resistor("r1", "a", "0", 1e3).unwrap();
+        let dc = dc_operating_point(&nl).unwrap();
+        assert!((dc.node_voltage("a").unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mtj_write_pulse_switches_state() {
+        let stack = MssStack::builder().build().unwrap();
+        let ic0 = stack.critical_current();
+        let r_ap = stack.resistance_antiparallel();
+        // Voltage needed for ~2.5x overdrive through the AP state.
+        let v_write = 2.5 * ic0 * r_ap;
+        let mut nl = Netlist::new();
+        nl.add_vsource(
+            "vw",
+            "top",
+            "0",
+            Waveform::pulse(0.0, v_write, 1e-9, 0.05e-9, 0.05e-9, 40e-9, 0.0),
+        )
+        .unwrap();
+        nl.add_mtj("x1", "top", "0", &stack, MtjState::Antiparallel)
+            .unwrap();
+        let res = Transient::new(&nl)
+            .unwrap()
+            .run(&TransientOptions::new(0.02e-9, 50e-9))
+            .unwrap();
+        assert_eq!(res.events().len(), 1, "expected exactly one switch event");
+        let trace = res.mtj_state("x1").unwrap();
+        assert_eq!(trace[0], -1.0);
+        assert_eq!(*trace.last().unwrap(), 1.0);
+        // The switch happens after the pulse starts.
+        assert!(res.events()[0].time > 1e-9);
+    }
+
+    #[test]
+    fn mtj_read_pulse_does_not_switch() {
+        let stack = MssStack::builder().build().unwrap();
+        let v_read = 0.1; // well below write voltages
+        let mut nl = Netlist::new();
+        nl.add_vsource("vr", "top", "0", Waveform::dc(v_read)).unwrap();
+        nl.add_mtj("x1", "top", "0", &stack, MtjState::Antiparallel)
+            .unwrap();
+        let res = Transient::new(&nl)
+            .unwrap()
+            .run(&TransientOptions::new(0.05e-9, 20e-9))
+            .unwrap();
+        assert!(res.events().is_empty());
+        assert_eq!(*res.mtj_state("x1").unwrap().last().unwrap(), -1.0);
+    }
+
+    #[test]
+    fn floating_node_is_not_singular() {
+        let mut nl = Netlist::new();
+        nl.add_vsource("v1", "a", "0", Waveform::dc(1.0)).unwrap();
+        nl.add_resistor("r1", "a", "b", 1e3).unwrap();
+        // "c" floats entirely (capacitor only).
+        nl.add_capacitor("c1", "b", "c", 1e-15).unwrap();
+        let dc = dc_operating_point(&nl).unwrap();
+        assert!(dc.node_voltage("c").unwrap().abs() < 1e-3);
+    }
+
+    #[test]
+    fn unknown_probe_names_error() {
+        let mut nl = Netlist::new();
+        nl.add_vsource("v1", "a", "0", Waveform::dc(1.0)).unwrap();
+        nl.add_resistor("r1", "a", "0", 1.0e3).unwrap();
+        let res = Transient::new(&nl)
+            .unwrap()
+            .run(&TransientOptions::new(1e-10, 1e-9))
+            .unwrap();
+        assert!(res.node_voltage("zz").is_err());
+        assert!(res.source_current("vxx").is_err());
+        assert!(res.mtj_state("none").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad transient window")]
+    fn bad_options_panic() {
+        let _ = TransientOptions::new(0.0, 1.0);
+    }
+}

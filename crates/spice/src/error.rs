@@ -1,0 +1,94 @@
+//! Error type for the circuit simulator.
+
+use std::fmt;
+
+/// Errors produced while building, parsing or simulating a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// A referenced node name does not exist in the netlist.
+    UnknownNode(String),
+    /// An element name was used twice.
+    DuplicateElement(String),
+    /// An element parameter is unphysical (negative resistance, ...).
+    InvalidElement {
+        /// Element name.
+        name: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// Netlist text could not be parsed.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A `{param}` placeholder had no binding during template expansion.
+    UnboundTemplateParameter(String),
+    /// The MNA matrix is singular (floating subcircuit, V-source loop, ...).
+    SingularMatrix,
+    /// Newton iteration did not converge.
+    NoConvergence {
+        /// Which analysis failed.
+        analysis: &'static str,
+        /// Time point for transient failures (seconds), `None` for DC.
+        time: Option<f64>,
+    },
+    /// A measurement could not be evaluated (missing crossing, bad window).
+    Measurement {
+        /// Measurement name.
+        name: String,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::UnknownNode(n) => write!(f, "unknown node '{n}'"),
+            SpiceError::DuplicateElement(n) => write!(f, "duplicate element '{n}'"),
+            SpiceError::InvalidElement { name, reason } => {
+                write!(f, "invalid element '{name}': {reason}")
+            }
+            SpiceError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            SpiceError::UnboundTemplateParameter(p) => {
+                write!(f, "unbound template parameter '{{{p}}}'")
+            }
+            SpiceError::SingularMatrix => write!(f, "singular MNA matrix"),
+            SpiceError::NoConvergence { analysis, time } => match time {
+                Some(t) => write!(f, "{analysis} failed to converge at t = {t:.3e} s"),
+                None => write!(f, "{analysis} failed to converge"),
+            },
+            SpiceError::Measurement { name, reason } => {
+                write!(f, "measurement '{name}' failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SpiceError::UnknownNode("x".into()).to_string().contains("x"));
+        assert!(SpiceError::SingularMatrix.to_string().contains("singular"));
+        let e = SpiceError::NoConvergence {
+            analysis: "transient",
+            time: Some(1e-9),
+        };
+        assert!(e.to_string().contains("transient"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<SpiceError>();
+    }
+}

@@ -1,0 +1,54 @@
+//! A compact SPICE-class circuit simulator for the GREAT MSS flow.
+//!
+//! The paper's circuit level (Sec. IV-A) runs template-generated netlists
+//! through SPICE, measures delays/energies/currents with a Measurement
+//! Descriptive Language (MDL) and parses the results into the VAET-STT cell
+//! configuration. This crate is that engine:
+//!
+//! - [`netlist`] — programmatic netlist construction (R, C, V, I, level-1
+//!   MOSFETs, MTJ devices from `mss-mtj`),
+//! - [`parser`] — a SPICE-like text front end with engineering suffixes,
+//! - [`template`] — `{param}` substitution for netlist/stimulus templates,
+//! - [`analysis`] — DC operating point (Newton) and fixed-step transient
+//!   (backward-Euler companion models),
+//! - [`ac`] — small-signal frequency-domain analysis (Bode responses,
+//!   corner frequencies) linearised at the DC operating point,
+//! - [`mdl`] — measurement specs (delay, energy, avg/min/max/rms, final
+//!   value) evaluated against transient results,
+//! - [`solver`] — dense LU with partial pivoting (circuits here are tiny).
+//!
+//! # Example: RC step response
+//!
+//! ```
+//! use mss_spice::netlist::Netlist;
+//! use mss_spice::waveform::Waveform;
+//! use mss_spice::analysis::{Transient, TransientOptions};
+//!
+//! # fn main() -> Result<(), mss_spice::SpiceError> {
+//! let mut nl = Netlist::new();
+//! nl.add_vsource("vin", "in", "0", Waveform::dc(1.0))?;
+//! nl.add_resistor("r1", "in", "out", 1e3)?;
+//! nl.add_capacitor("c1", "out", "0", 1e-12)?;
+//! let result = Transient::new(&nl)?.run(&TransientOptions::new(1e-11, 10e-9))?;
+//! let v_out = result.node_voltage("out")?;
+//! // After 10 tau the output has settled to the input.
+//! assert!((v_out.last().copied().unwrap() - 1.0).abs() < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod ac;
+pub mod analysis;
+mod error;
+pub mod mdl;
+pub mod mosfet;
+pub mod mtjelem;
+pub mod netlist;
+pub mod parser;
+pub mod solver;
+pub mod template;
+pub mod waveform;
+
+pub use error::SpiceError;

@@ -1,0 +1,658 @@
+//! Measurement Descriptive Language (MDL): extract cell-level parameters
+//! from transient waveforms.
+//!
+//! The paper's flow creates "a template file for the netlist, stimulus and
+//! Measurement Descriptive Language (MDL)", runs SPICE, and parses the
+//! output measurement file. [`Measurement`] is the spec, a
+//! [`MeasurementSet`] evaluates a batch against a
+//! [`crate::analysis::TransientResult`], and
+//! [`Report`] is the measurement file — it serialises to the `name = value`
+//! text the downstream "file parser" stage consumes and parses back.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::TransientResult;
+use crate::SpiceError;
+
+/// What signal a measurement probes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Probe {
+    /// Voltage of a named node.
+    NodeVoltage(String),
+    /// Branch current of a named voltage source (MNA sign convention).
+    SourceCurrent(String),
+    /// State trace of a named MTJ (`+1` parallel, `-1` antiparallel).
+    MtjState(String),
+}
+
+impl Probe {
+    /// Fetches the probed waveform from a transient result.
+    ///
+    /// # Errors
+    ///
+    /// Unknown probe targets surface as [`SpiceError::UnknownNode`].
+    pub fn signal<'a>(&self, result: &'a TransientResult) -> Result<&'a [f64], SpiceError> {
+        match self {
+            Probe::NodeVoltage(n) => result.node_voltage(n),
+            Probe::SourceCurrent(n) => result.source_current(n),
+            Probe::MtjState(n) => result.mtj_state(n),
+        }
+    }
+}
+
+/// Crossing direction for threshold-based measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Edge {
+    /// Low-to-high crossing.
+    Rise,
+    /// High-to-low crossing.
+    Fall,
+    /// Either direction.
+    Either,
+}
+
+/// One measurement specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Measurement {
+    /// Time from a trigger crossing to a target crossing (propagation delay).
+    Delay {
+        /// Report key.
+        name: String,
+        /// Trigger signal.
+        trig: Probe,
+        /// Trigger threshold.
+        trig_value: f64,
+        /// Trigger direction.
+        trig_edge: Edge,
+        /// Target signal.
+        targ: Probe,
+        /// Target threshold.
+        targ_value: f64,
+        /// Target direction.
+        targ_edge: Edge,
+    },
+    /// Energy delivered by a voltage source over a window:
+    /// `∫ v(t)·(−i(t)) dt` (positive when the source powers the circuit).
+    Energy {
+        /// Report key.
+        name: String,
+        /// Voltage source name.
+        source: String,
+        /// Window start, seconds.
+        from: f64,
+        /// Window end, seconds.
+        to: f64,
+    },
+    /// Time-average of a signal over a window.
+    Average {
+        /// Report key.
+        name: String,
+        /// Probed signal.
+        probe: Probe,
+        /// Window start, seconds.
+        from: f64,
+        /// Window end, seconds.
+        to: f64,
+    },
+    /// Minimum over a window.
+    Minimum {
+        /// Report key.
+        name: String,
+        /// Probed signal.
+        probe: Probe,
+        /// Window start, seconds.
+        from: f64,
+        /// Window end, seconds.
+        to: f64,
+    },
+    /// Maximum over a window.
+    Maximum {
+        /// Report key.
+        name: String,
+        /// Probed signal.
+        probe: Probe,
+        /// Window start, seconds.
+        from: f64,
+        /// Window end, seconds.
+        to: f64,
+    },
+    /// RMS over a window.
+    Rms {
+        /// Report key.
+        name: String,
+        /// Probed signal.
+        probe: Probe,
+        /// Window start, seconds.
+        from: f64,
+        /// Window end, seconds.
+        to: f64,
+    },
+    /// The signal value at the final time point.
+    FinalValue {
+        /// Report key.
+        name: String,
+        /// Probed signal.
+        probe: Probe,
+    },
+    /// Time of the n-th threshold crossing.
+    CrossTime {
+        /// Report key.
+        name: String,
+        /// Probed signal.
+        probe: Probe,
+        /// Threshold.
+        value: f64,
+        /// Direction.
+        edge: Edge,
+        /// Which crossing (1-based).
+        nth: usize,
+    },
+}
+
+impl Measurement {
+    /// The report key of this measurement.
+    pub fn name(&self) -> &str {
+        match self {
+            Measurement::Delay { name, .. }
+            | Measurement::Energy { name, .. }
+            | Measurement::Average { name, .. }
+            | Measurement::Minimum { name, .. }
+            | Measurement::Maximum { name, .. }
+            | Measurement::Rms { name, .. }
+            | Measurement::FinalValue { name, .. }
+            | Measurement::CrossTime { name, .. } => name,
+        }
+    }
+
+    /// Evaluates the measurement against a transient result.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::Measurement`] when a crossing never happens or the
+    /// window is empty; unknown probes surface as
+    /// [`SpiceError::UnknownNode`].
+    pub fn evaluate(&self, result: &TransientResult) -> Result<f64, SpiceError> {
+        let times = result.times();
+        match self {
+            Measurement::Delay {
+                name,
+                trig,
+                trig_value,
+                trig_edge,
+                targ,
+                targ_value,
+                targ_edge,
+            } => {
+                let ts = trig.signal(result)?;
+                let t_trig = nth_crossing(times, ts, *trig_value, *trig_edge, 1, 0.0)
+                    .ok_or_else(|| measurement_err(name, "trigger never crossed"))?;
+                let vs = targ.signal(result)?;
+                let t_targ = nth_crossing(times, vs, *targ_value, *targ_edge, 1, t_trig)
+                    .ok_or_else(|| measurement_err(name, "target never crossed after trigger"))?;
+                Ok(t_targ - t_trig)
+            }
+            Measurement::Energy {
+                name,
+                source,
+                from,
+                to,
+            } => {
+                let i = result.source_current(source)?;
+                let v = result.source_voltage(source)?;
+                integrate_window(times, &v, i, *from, *to)
+                    .ok_or_else(|| measurement_err(name, "empty integration window"))
+            }
+            Measurement::Average { name, probe, from, to } => {
+                window_reduce(times, probe.signal(result)?, *from, *to, name, |acc, dtv| {
+                    (acc.0 + dtv.0 * dtv.1, acc.1 + dtv.1)
+                })
+                .map(|(sum, dur)| sum / dur)
+            }
+            Measurement::Minimum { name, probe, from, to } => {
+                window_values(times, probe.signal(result)?, *from, *to, name)
+                    .map(|vals| vals.iter().copied().fold(f64::INFINITY, f64::min))
+            }
+            Measurement::Maximum { name, probe, from, to } => {
+                window_values(times, probe.signal(result)?, *from, *to, name)
+                    .map(|vals| vals.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+            }
+            Measurement::Rms { name, probe, from, to } => {
+                window_reduce(times, probe.signal(result)?, *from, *to, name, |acc, dtv| {
+                    (acc.0 + dtv.0 * dtv.0 * dtv.1, acc.1 + dtv.1)
+                })
+                .map(|(sum, dur)| (sum / dur).sqrt())
+            }
+            Measurement::FinalValue { name, probe } => probe
+                .signal(result)?
+                .last()
+                .copied()
+                .ok_or_else(|| measurement_err(name, "empty waveform")),
+            Measurement::CrossTime {
+                name,
+                probe,
+                value,
+                edge,
+                nth,
+            } => nth_crossing(times, probe.signal(result)?, *value, *edge, *nth, 0.0)
+                .ok_or_else(|| measurement_err(name, "crossing not found")),
+        }
+    }
+}
+
+fn measurement_err(name: &str, reason: &str) -> SpiceError {
+    SpiceError::Measurement {
+        name: name.to_string(),
+        reason: reason.to_string(),
+    }
+}
+
+/// Finds the time of the `nth` crossing of `value` after `t_min`.
+fn nth_crossing(
+    times: &[f64],
+    signal: &[f64],
+    value: f64,
+    edge: Edge,
+    nth: usize,
+    t_min: f64,
+) -> Option<f64> {
+    let mut count = 0;
+    for k in 1..signal.len() {
+        if times[k] < t_min {
+            continue;
+        }
+        let (a, b) = (signal[k - 1], signal[k]);
+        let rising = a < value && b >= value;
+        let falling = a > value && b <= value;
+        let hit = match edge {
+            Edge::Rise => rising,
+            Edge::Fall => falling,
+            Edge::Either => rising || falling,
+        };
+        if hit {
+            count += 1;
+            if count == nth {
+                let frac = if (b - a).abs() < 1e-300 {
+                    0.0
+                } else {
+                    (value - a) / (b - a)
+                };
+                return Some(times[k - 1] + frac * (times[k] - times[k - 1]));
+            }
+        }
+    }
+    None
+}
+
+/// Trapezoidal ∫ v·(−i) dt over `[from, to]`.
+fn integrate_window(times: &[f64], v: &[f64], i: &[f64], from: f64, to: f64) -> Option<f64> {
+    let mut acc = 0.0;
+    let mut any = false;
+    for k in 1..times.len() {
+        let (t0, t1) = (times[k - 1], times[k]);
+        if t1 < from || t0 > to {
+            continue;
+        }
+        any = true;
+        let p0 = v[k - 1] * -i[k - 1];
+        let p1 = v[k] * -i[k];
+        acc += 0.5 * (p0 + p1) * (t1 - t0);
+    }
+    any.then_some(acc)
+}
+
+fn window_values<'a>(
+    times: &[f64],
+    signal: &'a [f64],
+    from: f64,
+    to: f64,
+    name: &str,
+) -> Result<Vec<f64>, SpiceError> {
+    let vals: Vec<f64> = times
+        .iter()
+        .zip(signal)
+        .filter(|(t, _)| **t >= from && **t <= to)
+        .map(|(_, v)| *v)
+        .collect();
+    if vals.is_empty() {
+        Err(measurement_err(name, "empty window"))
+    } else {
+        Ok(vals)
+    }
+}
+
+fn window_reduce(
+    times: &[f64],
+    signal: &[f64],
+    from: f64,
+    to: f64,
+    name: &str,
+    f: impl Fn((f64, f64), (f64, f64)) -> (f64, f64),
+) -> Result<(f64, f64), SpiceError> {
+    let mut acc = (0.0, 0.0);
+    for k in 1..times.len() {
+        let (t0, t1) = (times[k - 1], times[k]);
+        if t1 < from || t0 > to {
+            continue;
+        }
+        let dt = t1 - t0;
+        let mid = 0.5 * (signal[k - 1] + signal[k]);
+        acc = f(acc, (mid, dt));
+    }
+    if acc.1 == 0.0 {
+        Err(measurement_err(name, "empty window"))
+    } else {
+        Ok(acc)
+    }
+}
+
+/// A batch of measurements evaluated together.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementSet {
+    measurements: Vec<Measurement>,
+}
+
+impl MeasurementSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a measurement.
+    pub fn push(&mut self, m: Measurement) -> &mut Self {
+        self.measurements.push(m);
+        self
+    }
+
+    /// The contained measurements.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Evaluates every measurement, failing fast on the first error.
+    ///
+    /// # Errors
+    ///
+    /// The first evaluation failure.
+    pub fn evaluate(&self, result: &TransientResult) -> Result<Report, SpiceError> {
+        let mut report = Report::new();
+        for m in &self.measurements {
+            let v = m.evaluate(result)?;
+            report.insert(m.name(), v);
+        }
+        Ok(report)
+    }
+}
+
+impl Extend<Measurement> for MeasurementSet {
+    fn extend<T: IntoIterator<Item = Measurement>>(&mut self, iter: T) {
+        self.measurements.extend(iter);
+    }
+}
+
+impl FromIterator<Measurement> for MeasurementSet {
+    fn from_iter<T: IntoIterator<Item = Measurement>>(iter: T) -> Self {
+        Self {
+            measurements: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// The measurement output "file": name → value pairs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    values: BTreeMap<String, f64>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a value (replacing a previous one with the same key).
+    pub fn insert(&mut self, name: &str, value: f64) {
+        self.values.insert(name.to_string(), value);
+    }
+
+    /// Looks up a measured value.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no measurement is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Serialises to the `name = value` text format the flow's file-parser
+    /// stage consumes.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.values {
+            out.push_str(&format!("{k} = {v:.12e}\n"));
+        }
+        out
+    }
+
+    /// Parses the text format back (the "file parser" of the paper's Fig. 10).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::Parse`] on malformed lines.
+    pub fn parse(text: &str) -> Result<Self, SpiceError> {
+        let mut report = Report::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with('*') {
+                continue;
+            }
+            let (name, value) = line.split_once('=').ok_or(SpiceError::Parse {
+                line: lineno + 1,
+                message: "expected 'name = value'".to_string(),
+            })?;
+            let value: f64 = value.trim().parse().map_err(|e| SpiceError::Parse {
+                line: lineno + 1,
+                message: format!("bad number: {e}"),
+            })?;
+            report.insert(name.trim(), value);
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{Transient, TransientOptions};
+    use crate::netlist::Netlist;
+    use crate::waveform::Waveform;
+
+    fn rc_result() -> TransientResult {
+        let mut nl = Netlist::new();
+        nl.add_vsource(
+            "vin",
+            "in",
+            "0",
+            Waveform::pulse(0.0, 1.0, 1e-9, 1e-11, 1e-11, 1.0, 0.0),
+        )
+        .unwrap();
+        nl.add_resistor("r1", "in", "out", 1e3).unwrap();
+        nl.add_capacitor("c1", "out", "0", 1e-12).unwrap();
+        Transient::new(&nl)
+            .unwrap()
+            .run(&TransientOptions::new(1e-12, 8e-9))
+            .unwrap()
+    }
+
+    #[test]
+    fn delay_measures_rc_half_crossing() {
+        let res = rc_result();
+        let m = Measurement::Delay {
+            name: "tpd".into(),
+            trig: Probe::NodeVoltage("in".into()),
+            trig_value: 0.5,
+            trig_edge: Edge::Rise,
+            targ: Probe::NodeVoltage("out".into()),
+            targ_value: 0.5,
+            targ_edge: Edge::Rise,
+        };
+        let d = m.evaluate(&res).unwrap();
+        // RC 50% delay = ln(2)*tau = 0.693 ns.
+        assert!((d - 0.693e-9).abs() < 0.03e-9, "delay = {d}");
+    }
+
+    #[test]
+    fn energy_of_source_is_positive_and_sane() {
+        let res = rc_result();
+        let m = Measurement::Energy {
+            name: "e".into(),
+            source: "vin".into(),
+            from: 0.0,
+            to: 8e-9,
+        };
+        // Total energy to charge C through R = C*V^2 (half stored, half
+        // dissipated) = 1e-12 J.
+        let e = m.evaluate(&res).unwrap();
+        assert!(e > 0.8e-12 && e < 1.1e-12, "energy = {e}");
+        // Unknown source names fail cleanly.
+        let bad = Measurement::Energy {
+            name: "e2".into(),
+            source: "nope".into(),
+            from: 0.0,
+            to: 8e-9,
+        };
+        assert!(bad.evaluate(&res).is_err());
+    }
+
+    #[test]
+    fn min_max_avg_rms() {
+        let res = rc_result();
+        let probe = Probe::NodeVoltage("in".into());
+        let win = (0.0, 8e-9);
+        let min = Measurement::Minimum {
+            name: "mn".into(),
+            probe: probe.clone(),
+            from: win.0,
+            to: win.1,
+        }
+        .evaluate(&res)
+        .unwrap();
+        let max = Measurement::Maximum {
+            name: "mx".into(),
+            probe: probe.clone(),
+            from: win.0,
+            to: win.1,
+        }
+        .evaluate(&res)
+        .unwrap();
+        let avg = Measurement::Average {
+            name: "av".into(),
+            probe: probe.clone(),
+            from: win.0,
+            to: win.1,
+        }
+        .evaluate(&res)
+        .unwrap();
+        let rms = Measurement::Rms {
+            name: "rm".into(),
+            probe,
+            from: win.0,
+            to: win.1,
+        }
+        .evaluate(&res)
+        .unwrap();
+        assert_eq!(min, 0.0);
+        assert_eq!(max, 1.0);
+        assert!(avg > 0.8 && avg < 0.95); // high ~7/8 of the window
+        assert!(rms >= avg && rms <= max);
+    }
+
+    #[test]
+    fn final_value_and_cross_time() {
+        let res = rc_result();
+        let f = Measurement::FinalValue {
+            name: "vf".into(),
+            probe: Probe::NodeVoltage("out".into()),
+        }
+        .evaluate(&res)
+        .unwrap();
+        assert!((f - 1.0).abs() < 1e-2);
+        let t = Measurement::CrossTime {
+            name: "tc".into(),
+            probe: Probe::NodeVoltage("in".into()),
+            value: 0.5,
+            edge: Edge::Rise,
+            nth: 1,
+        }
+        .evaluate(&res)
+        .unwrap();
+        assert!((t - 1e-9).abs() < 0.05e-9);
+    }
+
+    #[test]
+    fn missing_crossing_is_a_measurement_error() {
+        let res = rc_result();
+        let m = Measurement::CrossTime {
+            name: "never".into(),
+            probe: Probe::NodeVoltage("out".into()),
+            value: 5.0,
+            edge: Edge::Rise,
+            nth: 1,
+        };
+        assert!(matches!(
+            m.evaluate(&res),
+            Err(SpiceError::Measurement { .. })
+        ));
+    }
+
+    #[test]
+    fn report_round_trips_text() {
+        let mut r = Report::new();
+        r.insert("write_latency", 4.9e-9);
+        r.insert("write_energy", 159e-12);
+        let text = r.to_text();
+        let back = Report::parse(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!((back.get("write_latency").unwrap() - 4.9e-9).abs() < 1e-20);
+        assert!((back.get("write_energy").unwrap() - 159e-12).abs() < 1e-20);
+    }
+
+    #[test]
+    fn report_parse_rejects_garbage() {
+        assert!(Report::parse("no equals sign here").is_err());
+        assert!(Report::parse("x = not_a_number").is_err());
+        // Comments and blanks are fine.
+        let r = Report::parse("* comment\n\n# other\nx = 1.0\n").unwrap();
+        assert_eq!(r.get("x"), Some(1.0));
+    }
+
+    #[test]
+    fn measurement_set_batch() {
+        let res = rc_result();
+        let set: MeasurementSet = vec![
+            Measurement::FinalValue {
+                name: "a".into(),
+                probe: Probe::NodeVoltage("out".into()),
+            },
+            Measurement::Maximum {
+                name: "b".into(),
+                probe: Probe::NodeVoltage("in".into()),
+                from: 0.0,
+                to: 8e-9,
+            },
+        ]
+        .into_iter()
+        .collect();
+        let report = set.evaluate(&res).unwrap();
+        assert_eq!(report.len(), 2);
+        assert!(report.get("a").is_some());
+        assert!(!report.is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! Dense linear algebra for MNA systems.
+//!
+//! Characterisation circuits in this flow are tiny (tens of unknowns), so a
+//! dense LU with partial pivoting is both simpler and faster than any sparse
+//! machinery would be at this size.
+
+use crate::SpiceError;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n_rows × n_cols` zero matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        Self {
+            n_rows,
+            n_cols,
+            data: vec![0.0; n_rows * n_cols],
+        }
+    }
+
+    /// Row count.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Column count.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Reads element `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n_cols + c]
+    }
+
+    /// Writes element `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n_cols + c] = v;
+    }
+
+    /// Adds `v` to element `(r, c)` — the MNA "stamp" primitive.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n_cols + c] += v;
+    }
+
+    /// Resets every entry to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n_cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_cols);
+        let mut y = vec![0.0; self.n_rows];
+        for r in 0..self.n_rows {
+            let row = &self.data[r * self.n_cols..(r + 1) * self.n_cols];
+            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+}
+
+/// Solves `A·x = b` in place by LU with partial pivoting.
+///
+/// `a` and `b` are consumed as scratch.
+///
+/// # Errors
+///
+/// [`SpiceError::SingularMatrix`] when a pivot falls below `1e-300`.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b` has the wrong length.
+pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>, SpiceError> {
+    let n = a.n_rows();
+    assert_eq!(a.n_cols(), n, "matrix must be square");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    for k in 0..n {
+        // Partial pivot.
+        let mut piv = k;
+        let mut max = a.get(k, k).abs();
+        for r in (k + 1)..n {
+            let v = a.get(r, k).abs();
+            if v > max {
+                max = v;
+                piv = r;
+            }
+        }
+        if max < 1e-300 {
+            return Err(SpiceError::SingularMatrix);
+        }
+        if piv != k {
+            for c in 0..n {
+                let tmp = a.get(k, c);
+                a.set(k, c, a.get(piv, c));
+                a.set(piv, c, tmp);
+            }
+            b.swap(k, piv);
+        }
+        let pivot = a.get(k, k);
+        for r in (k + 1)..n {
+            let factor = a.get(r, k) / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            a.set(r, k, 0.0);
+            for c in (k + 1)..n {
+                let v = a.get(r, c) - factor * a.get(k, c);
+                a.set(r, c, v);
+            }
+            b[r] -= factor * b[k];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for k in (0..n).rev() {
+        let mut sum = b[k];
+        for c in (k + 1)..n {
+            sum -= a.get(k, c) * x[c];
+        }
+        x[k] = sum / a.get(k, k);
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut a = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            a.set(i, i, 1.0);
+        }
+        let x = solve(a, vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // A = [[2,1],[1,3]], b = [5, 10] -> x = [1, 3]
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 2.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 3.0);
+        let x = solve(a, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 0.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 0.0);
+        let x = solve(a, vec![2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_is_detected() {
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 4.0);
+        assert_eq!(
+            solve(a, vec![1.0, 2.0]).unwrap_err(),
+            SpiceError::SingularMatrix
+        );
+    }
+
+    #[test]
+    fn residual_is_small_on_random_system() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for n in [3usize, 8, 20] {
+            let mut a = Matrix::zeros(n, n);
+            for r in 0..n {
+                for c in 0..n {
+                    a.set(r, c, rng.gen_range(-1.0..1.0));
+                }
+                // Diagonal dominance keeps it well-conditioned.
+                a.add(r, r, n as f64);
+            }
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let x = solve(a.clone(), b.clone()).unwrap();
+            let ax = a.mul_vec(&x);
+            for i in 0..n {
+                assert!((ax[i] - b[i]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_vec_basic() {
+        let mut a = Matrix::zeros(2, 3);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(0, 2, 3.0);
+        a.set(1, 2, 4.0);
+        let y = a.mul_vec(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![6.0, 4.0]);
+    }
+
+    #[test]
+    fn clear_keeps_dimensions() {
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 5.0);
+        a.clear();
+        assert_eq!(a.get(0, 0), 0.0);
+        assert_eq!(a.n_rows(), 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Reproducible random sampling for Monte Carlo analyses.
+//!
+//! `rand` ships uniform sampling only (we deliberately avoid a `rand_distr`
+//! dependency); the Gaussian machinery here is Box–Muller based and works
+//! with any [`Rng`], so every crate in the workspace can share seeded,
+//! deterministic variation sampling.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Draws one standard-normal sample via the Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let z = mss_units::rng::standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Reject u1 == 0 so ln(u1) is finite.
+    let mut u1: f64 = rng.gen();
+    while u1 <= f64::MIN_POSITIVE {
+        u1 = rng.gen();
+    }
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal sample with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Draws a lognormal sample whose *underlying normal* has the given
+/// parameters.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Draws a normal sample truncated to `[lo, hi]` by rejection.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`. Intended for mild truncation (e.g. ±4σ physical
+/// clamps on geometry); pathological windows fall back to clamping after
+/// 1000 rejections so the call always terminates.
+pub fn truncated_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std_dev: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    assert!(lo < hi, "invalid truncation window [{lo}, {hi}]");
+    for _ in 0..1000 {
+        let x = normal(rng, mean, std_dev);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    mean.clamp(lo, hi)
+}
+
+/// A named Gaussian variation source: `value = nominal · (1 + σ_rel·z)` or
+/// `value = nominal + σ_abs·z` depending on [`VariationKind`].
+///
+/// Process-variation cards in `mss-pdk` are built from these.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Variation {
+    /// Dispersion magnitude; interpretation depends on `kind`.
+    pub sigma: f64,
+    /// Relative or absolute dispersion.
+    pub kind: VariationKind,
+}
+
+/// How a [`Variation`]'s sigma is applied to a nominal value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VariationKind {
+    /// `sigma` is a fraction of the nominal value (σ/μ).
+    Relative,
+    /// `sigma` is in the same unit as the value.
+    Absolute,
+}
+
+impl Variation {
+    /// A relative (σ/μ) variation.
+    pub const fn relative(sigma: f64) -> Self {
+        Self {
+            sigma,
+            kind: VariationKind::Relative,
+        }
+    }
+
+    /// An absolute variation in the value's own unit.
+    pub const fn absolute(sigma: f64) -> Self {
+        Self {
+            sigma,
+            kind: VariationKind::Absolute,
+        }
+    }
+
+    /// No variation at all.
+    pub const fn none() -> Self {
+        Self::absolute(0.0)
+    }
+
+    /// Samples a varied value around `nominal`, truncated at ±4σ so physical
+    /// quantities (lengths, currents) cannot go negative for realistic σ/μ.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, nominal: f64) -> f64 {
+        if self.sigma == 0.0 {
+            return nominal;
+        }
+        let sd = match self.kind {
+            VariationKind::Relative => self.sigma * nominal.abs(),
+            VariationKind::Absolute => self.sigma,
+        };
+        truncated_normal(rng, nominal, sd, nominal - 4.0 * sd, nominal + 4.0 * sd)
+    }
+
+    /// The effective absolute standard deviation around `nominal`.
+    pub fn std_dev_at(&self, nominal: f64) -> f64 {
+        match self.kind {
+            VariationKind::Relative => self.sigma * nominal.abs(),
+            VariationKind::Absolute => self.sigma,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::OnlineStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let s: OnlineStats = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        assert!(s.mean().abs() < 0.03, "mean {}", s.mean());
+        assert!((s.sample_std_dev() - 1.0).abs() < 0.03, "sd {}", s.sample_std_dev());
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s: OnlineStats = (0..20_000).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        assert!((s.mean() - 10.0).abs() < 0.1);
+        assert!((s.sample_std_dev() - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(lognormal(&mut rng, 0.0, 0.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn truncated_normal_respects_window() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = truncated_normal(&mut rng, 0.0, 1.0, -0.5, 0.5);
+            assert!((-0.5..=0.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn variation_sampling_is_seed_deterministic() {
+        let v = Variation::relative(0.05);
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..32).map(|_| v.sample(&mut rng, 100.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..32).map(|_| v.sample(&mut rng, 100.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_variation_returns_nominal() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(Variation::none().sample(&mut rng, 123.0), 123.0);
+    }
+
+    #[test]
+    fn relative_variation_std_dev() {
+        let v = Variation::relative(0.1);
+        assert!((v.std_dev_at(50.0) - 5.0).abs() < 1e-12);
+        let a = Variation::absolute(0.3);
+        assert_eq!(a.std_dev_at(1e9), 0.3);
+    }
+}

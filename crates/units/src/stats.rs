@@ -1,0 +1,246 @@
+//! Streaming and batch statistics for Monte Carlo analyses.
+//!
+//! VAET-STT reports distributions (μ, σ) rather than nominal scalars; this
+//! module provides the numerically stable accumulation those reports use.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford online accumulator for mean / variance / extrema.
+///
+/// # Examples
+///
+/// ```
+/// use mss_units::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (Bessel-corrected); 0 with < 2 samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance; 0 when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Minimum observation; `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation; `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Summary of a distribution, as reported in the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistributionSummary {
+    /// Mean (μ).
+    pub mean: f64,
+    /// Sample standard deviation (σ).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Number of Monte Carlo samples behind the summary.
+    pub samples: u64,
+}
+
+impl From<&OnlineStats> for DistributionSummary {
+    fn from(s: &OnlineStats) -> Self {
+        Self {
+            mean: s.mean(),
+            std_dev: s.sample_std_dev(),
+            min: s.min(),
+            max: s.max(),
+            samples: s.count(),
+        }
+    }
+}
+
+/// Returns the `p`-quantile (0 ≤ p ≤ 1) of `data` by linear interpolation.
+///
+/// The input is sorted internally; pass a scratch copy if the original order
+/// matters.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `p` is outside `[0, 1]`.
+pub fn quantile(data: &mut [f64], p: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    data.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let idx = p * (data.len() - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    if lo == hi {
+        data[lo]
+    } else {
+        let t = idx - lo as f64;
+        data[lo] * (1.0 - t) + data[hi] * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0).collect();
+        let s: OnlineStats = data.iter().copied().collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var =
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.sample_variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = (50..120).map(|i| i as f64 * 1.5).collect();
+        let mut s1: OnlineStats = a.iter().copied().collect();
+        let s2: OnlineStats = b.iter().copied().collect();
+        s1.merge(&s2);
+        let all: OnlineStats = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(s1.count(), all.count());
+        assert!((s1.mean() - all.mean()).abs() < 1e-9);
+        assert!((s1.sample_variance() - all.sample_variance()).abs() < 1e-9);
+        assert_eq!(s1.min(), all.min());
+        assert_eq!(s1.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: OnlineStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let before = s.clone();
+        s.merge(&OnlineStats::new());
+        assert_eq!(s.count(), before.count());
+        assert_eq!(s.mean(), before.mean());
+    }
+
+    #[test]
+    fn quantile_median_and_extremes() {
+        let mut data = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&mut data, 0.5), 3.0);
+        assert_eq!(quantile(&mut data, 0.0), 1.0);
+        assert_eq!(quantile(&mut data, 1.0), 5.0);
+        assert_eq!(quantile(&mut data, 0.25), 2.0);
+    }
+
+    #[test]
+    fn summary_reflects_stats() {
+        let s: OnlineStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let d = DistributionSummary::from(&s);
+        assert_eq!(d.samples, 3);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 3.0);
+        assert!((d.mean - 2.0).abs() < 1e-15);
+    }
+}

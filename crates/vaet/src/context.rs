@@ -1,0 +1,156 @@
+//! The analysis context: everything the variation-aware passes need,
+//! assembled once from the nominal flow.
+
+use mss_mtj::MssStack;
+use mss_nvsim::config::MemoryConfig;
+use mss_nvsim::model::{estimate, ArrayMetrics, MemoryTechnology};
+use mss_pdk::charlib::{characterize, CellLibrary};
+use mss_pdk::tech::{TechNode, TechParams};
+use mss_pdk::variation::VariationCard;
+use serde::{Deserialize, Serialize};
+
+use crate::VaetError;
+
+/// Sense-amplifier input-referred offset (1σ), volts. A standard PCSA
+/// figure; read-margin analyses divide the sense signal by this.
+pub const SENSE_OFFSET_SIGMA: f64 = 0.02;
+
+/// Bundled nominal flow + variation card.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VaetContext {
+    /// CMOS technology card.
+    pub tech: TechParams,
+    /// Nominal MTJ stack.
+    pub stack: MssStack,
+    /// Characterised cell library (the cell configuration file).
+    pub cell: CellLibrary,
+    /// Array organisation under analysis.
+    pub config: MemoryConfig,
+    /// Nominal (variation-unaware) NVSim estimate.
+    pub nominal: ArrayMetrics,
+    /// Process-variation card for the node.
+    pub variation: VariationCard,
+}
+
+impl VaetContext {
+    /// The paper's standard configuration: a 1024×1024 array accessed as
+    /// full 1024-bit words ("memory array of 1024x1024"), default stack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterisation and estimation failures.
+    pub fn standard(node: TechNode) -> Result<Self, VaetError> {
+        let stack = MssStack::builder()
+            .build()
+            .map_err(VaetError::Device)?;
+        let config = MemoryConfig::new(
+            1024 * 1024 / 8,
+            1024,
+            1,
+            1024,
+            1024,
+            mss_nvsim::config::MemoryKind::Ram,
+        )?;
+        Self::build(node, stack, config)
+    }
+
+    /// Builds a context for an arbitrary stack and array organisation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterisation and estimation failures.
+    pub fn build(
+        node: TechNode,
+        stack: MssStack,
+        config: MemoryConfig,
+    ) -> Result<Self, VaetError> {
+        let tech = TechParams::node(node);
+        let cell = characterize(node, &stack)?;
+        let nominal = estimate(&tech, &config, &MemoryTechnology::SttMram(cell.clone()))?;
+        let variation = VariationCard::node(node);
+        Ok(Self {
+            tech,
+            stack,
+            cell,
+            config,
+            nominal,
+            variation,
+        })
+    }
+
+    /// Re-targets the context at a different array organisation, reusing
+    /// the (expensive) characterised cell library.
+    ///
+    /// # Errors
+    ///
+    /// Propagates array-estimation failures.
+    pub fn with_config(&self, config: MemoryConfig) -> Result<Self, VaetError> {
+        let nominal = estimate(
+            &self.tech,
+            &config,
+            &MemoryTechnology::SttMram(self.cell.clone()),
+        )?;
+        Ok(Self {
+            config,
+            nominal,
+            ..self.clone()
+        })
+    }
+
+    /// The peripheral (non-cell) share of the nominal write latency.
+    pub fn write_periphery_latency(&self) -> f64 {
+        self.nominal.write_latency - self.nominal.write_breakdown.cell
+    }
+
+    /// The peripheral (non-cell) share of the nominal read latency.
+    pub fn read_periphery_latency(&self) -> f64 {
+        self.nominal.read_latency - self.nominal.read_breakdown.cell
+    }
+
+    /// Nominal sense signal at the amplifier input, volts.
+    ///
+    /// For a PCSA the discriminating quantity is the discharge-rate
+    /// imbalance between the cell and reference branches, input-referred as
+    /// `V_dd·ΔR/(R_P+R_AP)` and clamped to half the supply.
+    pub fn sense_signal(&self) -> f64 {
+        let window = self.cell.r_antiparallel - self.cell.r_parallel;
+        (self.tech.vdd * window / (self.cell.r_antiparallel + self.cell.r_parallel))
+            .min(self.tech.vdd / 2.0)
+    }
+
+    /// Sustained read-bias current used for read-disturb analysis, amperes.
+    ///
+    /// The PCSA's charge-averaged current underestimates disturb exposure
+    /// (current stops after the latch resolves); disturb analyses follow the
+    /// usual design point of a sustained bias at 30 % of I_c0.
+    pub fn read_disturb_current(&self) -> f64 {
+        0.3 * self.cell.critical_current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_context_is_consistent() {
+        let ctx = VaetContext::standard(TechNode::N45).unwrap();
+        assert_eq!(ctx.config.word_bits, 1024);
+        assert_eq!(ctx.config.total_bits(), 1024 * 1024);
+        assert!(ctx.write_periphery_latency() > 0.0);
+        assert!(ctx.read_periphery_latency() > 0.0);
+        assert!(ctx.write_periphery_latency() < ctx.nominal.write_latency);
+        let sig = ctx.sense_signal();
+        assert!(sig > 0.0 && sig <= ctx.tech.vdd / 2.0);
+        // The sense signal must beat the offset by a usable factor.
+        assert!(sig > 3.0 * SENSE_OFFSET_SIGMA, "signal = {sig}");
+    }
+
+    #[test]
+    fn both_nodes_build() {
+        for node in TechNode::ALL {
+            let ctx = VaetContext::standard(node).unwrap();
+            assert!(ctx.nominal.write_latency > ctx.nominal.read_latency);
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Access-level Monte Carlo: latency/energy distributions under process
+//! variation and stochastic switching.
+//!
+//! One Monte Carlo sample is one *word access*:
+//!
+//! 1. a global (per-die) CMOS sample perturbs the peripheral speed,
+//! 2. each bit of the word gets a local MTJ sample (diameter, RA, TMR, K_i)
+//!    and — for writes — a thermal initial angle drawn from the Rayleigh
+//!    distribution `p(θ₀) = 2Δθ₀·exp(−Δθ₀²)`,
+//! 3. the access completes when its **slowest bit** completes; the write
+//!    current keeps flowing for the whole (per-access) pulse, so energy
+//!    scales with the completion time, not each bit's own switch time.
+//!
+//! This is what makes the variation-aware mean (μ) far exceed the nominal
+//! value in the paper's Table 1: the max over a 1024-bit word sits deep in
+//! the exponential tail of the per-bit switching-time distribution.
+
+use mss_mtj::switching::SwitchingModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use mss_units::rng::normal;
+use mss_units::stats::{DistributionSummary, OnlineStats};
+
+use crate::context::{VaetContext, SENSE_OFFSET_SIGMA};
+use crate::report::VaetReport;
+use crate::VaetError;
+
+/// Options for a Monte Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloOptions {
+    /// Number of word accesses to simulate.
+    pub samples: usize,
+    /// RNG seed (runs are fully deterministic per seed).
+    pub seed: u64,
+    /// Override the word width (defaults to the context's configuration).
+    pub word_bits: Option<u32>,
+}
+
+impl Default for MonteCarloOptions {
+    fn default() -> Self {
+        Self {
+            samples: 2000,
+            seed: 0x5713_AE77,
+            word_bits: None,
+        }
+    }
+}
+
+/// Draws a thermal initial angle from the Rayleigh-like distribution.
+fn thermal_angle<R: Rng + ?Sized>(rng: &mut R, delta: f64) -> f64 {
+    // θ₀² ~ Exp(Δ): invert the CDF with a guarded uniform.
+    let mut u: f64 = rng.gen();
+    while u <= f64::MIN_POSITIVE {
+        u = rng.gen();
+    }
+    (-u.ln() / delta).sqrt().min(std::f64::consts::FRAC_PI_2)
+}
+
+/// Per-bit precessional switching time with an explicit initial angle.
+fn switching_time(sw: &SwitchingModel, i_write: f64, theta0: f64) -> f64 {
+    let i = i_write / sw.critical_current();
+    if i <= 1.0 {
+        // Subcritical sample (deep process corner): report a pessimistic
+        // 10x the nominal-style time so the tail is visible, bounded to
+        // keep statistics finite.
+        return 10.0 * sw.tau_d() * (std::f64::consts::FRAC_PI_2 / theta0.max(1e-6)).ln();
+    }
+    sw.tau_d() / (i - 1.0) * (std::f64::consts::FRAC_PI_2 / theta0.max(1e-9)).ln()
+}
+
+/// Runs the Monte Carlo and returns the Table-1-shaped report.
+///
+/// # Errors
+///
+/// [`VaetError::InvalidOptions`] on zero samples; device sampling errors
+/// propagate.
+pub fn run(ctx: &VaetContext, opts: &MonteCarloOptions) -> Result<VaetReport, VaetError> {
+    if opts.samples == 0 {
+        return Err(VaetError::InvalidOptions {
+            reason: "samples must be non-zero".into(),
+        });
+    }
+    let word = opts.word_bits.unwrap_or(ctx.config.word_bits) as usize;
+    if word == 0 {
+        return Err(VaetError::InvalidOptions {
+            reason: "word width must be non-zero".into(),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    let mut wl = OnlineStats::new();
+    let mut we = OnlineStats::new();
+    let mut rl = OnlineStats::new();
+    let mut re = OnlineStats::new();
+
+    let periph_wl = ctx.write_periphery_latency();
+    let periph_rl = ctx.read_periphery_latency();
+    // Peripheral energy share = array energy minus the word's cell energy,
+    // rescaled when the word width is overridden (narrower accesses fire
+    // proportionally less periphery).
+    let word_fraction = word as f64 / ctx.config.word_bits as f64;
+    let periph_we = (ctx.nominal.write_energy
+        - ctx.config.word_bits as f64 * ctx.cell.write.energy)
+        .max(0.0)
+        * word_fraction;
+    let periph_re = (ctx.nominal.read_energy
+        - ctx.config.word_bits as f64 * ctx.cell.read.energy)
+        .max(0.0)
+        * word_fraction;
+    // Nominal energies consistent with the effective word width.
+    let nominal_we = periph_we + word as f64 * ctx.cell.write.energy;
+    let nominal_re = periph_re + word as f64 * ctx.cell.read.energy;
+
+    let i_write_nom = ctx.cell.write.current;
+    let sense_nom = ctx.cell.read.latency;
+    let signal_nom = ctx.sense_signal();
+
+    for _ in 0..opts.samples {
+        // Global CMOS sample: peripheral speed/energy factor.
+        let t_sample = ctx.variation.sample_tech(&mut rng, &ctx.tech);
+        let drive = |t: &mss_pdk::tech::TechParams| {
+            t.nmos.kp * (t.vdd - t.nmos.vth).powi(2)
+        };
+        let speed_factor = (drive(&ctx.tech) / drive(&t_sample)).clamp(0.5, 2.0);
+
+        // --- Write access ---
+        // Power drawn by one nominal cell during its write (the measured
+        // cell energy spread over the measured cell latency); the pulse is
+        // held for the slowest bit, so every bit burns this power for the
+        // whole completion time — the paper's mu >> nominal energy effect.
+        let cell_power_nom = ctx.cell.write.energy / ctx.cell.write.latency.max(1e-12);
+        let mut t_cell_max: f64 = 0.0;
+        let mut power_sum = 0.0;
+        for _ in 0..word {
+            let stack = ctx
+                .variation
+                .sample_stack(&mut rng, &ctx.stack)
+                .map_err(VaetError::Device)?;
+            let sw = SwitchingModel::new(&stack);
+            // Local access-device mismatch perturbs the write current.
+            let i_rel = normal(&mut rng, 1.0, 0.04).clamp(0.7, 1.3) / speed_factor;
+            let i_bit = i_write_nom * i_rel;
+            let theta0 = thermal_angle(&mut rng, sw.delta());
+            let t_bit = switching_time(&sw, i_bit, theta0);
+            t_cell_max = t_cell_max.max(t_bit);
+            // Dissipation scales as I^2 R relative to the nominal cell.
+            let r_rel = stack.resistance_parallel() / ctx.cell.r_parallel;
+            power_sum += cell_power_nom * i_rel * i_rel * r_rel;
+        }
+        let t_write = periph_wl * speed_factor + t_cell_max;
+        let e_write = periph_we + power_sum * t_cell_max;
+        wl.push(t_write);
+        we.push(e_write);
+
+        // --- Read access ---
+        let mut t_sense_max: f64 = 0.0;
+        let mut e_read_cells = 0.0;
+        for _ in 0..word {
+            let stack = ctx
+                .variation
+                .sample_stack(&mut rng, &ctx.stack)
+                .map_err(VaetError::Device)?;
+            // Signal scales with this bit's resistance window.
+            let window = stack.resistance_antiparallel() - stack.resistance_parallel();
+            let window_nom = ctx.cell.r_antiparallel - ctx.cell.r_parallel;
+            let offset = normal(&mut rng, 0.0, SENSE_OFFSET_SIGMA);
+            let signal = (signal_nom * window / window_nom - offset.abs()).max(0.05 * signal_nom);
+            // Regeneration time grows as the effective signal shrinks.
+            let t_bit = sense_nom * (signal_nom / signal).min(8.0);
+            t_sense_max = t_sense_max.max(t_bit);
+            e_read_cells += ctx.cell.read.energy * (window_nom / window).clamp(0.5, 2.0);
+        }
+        let t_read = periph_rl * speed_factor + t_sense_max;
+        let e_read = periph_re + e_read_cells;
+        rl.push(t_read);
+        re.push(e_read);
+    }
+
+    Ok(VaetReport {
+        node: ctx.tech.node,
+        samples: opts.samples as u64,
+        word_bits: word as u32,
+        nominal_write_latency: ctx.nominal.write_latency,
+        nominal_write_energy: nominal_we,
+        nominal_read_latency: ctx.nominal.read_latency,
+        nominal_read_energy: nominal_re,
+        write_latency: DistributionSummary::from(&wl),
+        write_energy: DistributionSummary::from(&we),
+        read_latency: DistributionSummary::from(&rl),
+        read_energy: DistributionSummary::from(&re),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mss_pdk::tech::TechNode;
+    use std::sync::OnceLock;
+
+    fn ctx45() -> &'static VaetContext {
+        static CTX: OnceLock<VaetContext> = OnceLock::new();
+        CTX.get_or_init(|| VaetContext::standard(TechNode::N45).unwrap())
+    }
+
+    fn small_opts(seed: u64) -> MonteCarloOptions {
+        MonteCarloOptions {
+            samples: 150,
+            seed,
+            word_bits: Some(64),
+        }
+    }
+
+    #[test]
+    fn variation_aware_mean_exceeds_nominal() {
+        let report = run(ctx45(), &small_opts(1)).unwrap();
+        // The paper's headline: mu >> nominal for write latency & energy.
+        assert!(
+            report.write_latency.mean > 1.3 * report.nominal_write_latency,
+            "mu {} vs nominal {}",
+            report.write_latency.mean,
+            report.nominal_write_latency
+        );
+        assert!(report.read_latency.mean > report.nominal_read_latency);
+    }
+
+    #[test]
+    fn distributions_have_positive_spread() {
+        let report = run(ctx45(), &small_opts(2)).unwrap();
+        assert!(report.write_latency.std_dev > 0.0);
+        assert!(report.read_latency.std_dev > 0.0);
+        assert!(report.write_energy.std_dev > 0.0);
+        // Read is much tighter than write (Table 1 shape).
+        assert!(report.read_latency.std_dev < report.write_latency.std_dev);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(ctx45(), &small_opts(7)).unwrap();
+        let b = run(ctx45(), &small_opts(7)).unwrap();
+        assert_eq!(a.write_latency.mean, b.write_latency.mean);
+        let c = run(ctx45(), &small_opts(8)).unwrap();
+        assert_ne!(a.write_latency.mean, c.write_latency.mean);
+    }
+
+    #[test]
+    fn wider_words_have_larger_completion_latency() {
+        let narrow = run(
+            ctx45(),
+            &MonteCarloOptions {
+                samples: 120,
+                seed: 3,
+                word_bits: Some(16),
+            },
+        )
+        .unwrap();
+        let wide = run(
+            ctx45(),
+            &MonteCarloOptions {
+                samples: 120,
+                seed: 3,
+                word_bits: Some(256),
+            },
+        )
+        .unwrap();
+        assert!(wide.write_latency.mean > narrow.write_latency.mean);
+    }
+
+    #[test]
+    fn zero_samples_rejected() {
+        let err = run(
+            ctx45(),
+            &MonteCarloOptions {
+                samples: 0,
+                seed: 0,
+                word_bits: None,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, VaetError::InvalidOptions { .. }));
+    }
+
+    #[test]
+    fn thermal_angle_statistics() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let delta = 45.0;
+        let mean_sq: f64 =
+            (0..20_000).map(|_| thermal_angle(&mut rng, delta).powi(2)).sum::<f64>() / 20_000.0;
+        // E[theta^2] = 1/Delta.
+        assert!((mean_sq * delta - 1.0).abs() < 0.05, "mean_sq*delta = {}", mean_sq * delta);
+    }
+}

@@ -1,0 +1,123 @@
+//! Read disturb vs read period (the paper's Fig. 9) and the RER/disturb
+//! conflict.
+//!
+//! *"Even though a higher read latency leads to a lower RER ..., it will
+//! lead to increased read disturb probability ... Hence the read period
+//! should be fixed considering the conflicting requirements for RER and
+//! read disturb."*
+
+use mss_mtj::reliability;
+use serde::{Deserialize, Serialize};
+
+use crate::context::VaetContext;
+use crate::margins::ReadMarginSolver;
+use crate::VaetError;
+
+/// One point of the read-period trade-off sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadPoint {
+    /// Read period (current pulse width through the cell), seconds.
+    pub period: f64,
+    /// Per-bit read-disturb probability at this period.
+    pub disturb_probability: f64,
+    /// Per-bit read error rate at this period (sensing failure).
+    pub read_error_rate: f64,
+}
+
+/// Sweeps read periods — the Fig. 9 series plus the conflicting RER curve.
+pub fn figure9(ctx: &VaetContext, periods: &[f64]) -> Vec<ReadPoint> {
+    let margin = ReadMarginSolver::new(ctx);
+    periods
+        .iter()
+        .map(|&period| ReadPoint {
+            period,
+            disturb_probability: reliability::read_disturb_probability(
+                &ctx.stack,
+                period,
+                ctx.read_disturb_current(),
+            ),
+            read_error_rate: margin.bit_rer(period),
+        })
+        .collect()
+}
+
+/// Finds the read period minimising the combined per-read failure
+/// probability `RER(t) + RDP(t)` over a bracket — the "fix the read period
+/// considering the conflicting requirements" step.
+///
+/// # Errors
+///
+/// [`VaetError::InvalidOptions`] on an empty or inverted bracket.
+pub fn optimal_read_period(ctx: &VaetContext, lo: f64, hi: f64) -> Result<ReadPoint, VaetError> {
+    if !(lo > 0.0 && hi > lo) {
+        return Err(VaetError::InvalidOptions {
+            reason: format!("bad read-period bracket [{lo}, {hi}]"),
+        });
+    }
+    let margin = ReadMarginSolver::new(ctx);
+    let i_read = ctx.read_disturb_current();
+    let combined =
+        |t: f64| margin.bit_rer(t) + reliability::read_disturb_probability(&ctx.stack, t, i_read);
+    // Golden-section search (the combined curve is unimodal: RER falls
+    // exponentially, disturb grows linearly).
+    let phi = (5.0f64.sqrt() - 1.0) / 2.0;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - phi * (b - a);
+    let mut d = a + phi * (b - a);
+    for _ in 0..200 {
+        if combined(c) < combined(d) {
+            b = d;
+        } else {
+            a = c;
+        }
+        c = b - phi * (b - a);
+        d = a + phi * (b - a);
+        if (b - a) < 1e-13 {
+            break;
+        }
+    }
+    let t = 0.5 * (a + b);
+    Ok(ReadPoint {
+        period: t,
+        disturb_probability: reliability::read_disturb_probability(&ctx.stack, t, i_read),
+        read_error_rate: margin.bit_rer(t),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mss_pdk::tech::TechNode;
+    use std::sync::OnceLock;
+
+    fn ctx() -> &'static VaetContext {
+        static CTX: OnceLock<VaetContext> = OnceLock::new();
+        CTX.get_or_init(|| VaetContext::standard(TechNode::N45).unwrap())
+    }
+
+    #[test]
+    fn disturb_grows_and_rer_falls_with_period() {
+        let periods: Vec<f64> = (1..=10).map(|k| k as f64 * 1e-9).collect();
+        let points = figure9(ctx(), &periods);
+        for w in points.windows(2) {
+            assert!(w[1].disturb_probability >= w[0].disturb_probability);
+            assert!(w[1].read_error_rate <= w[0].read_error_rate);
+        }
+        assert!(points.last().unwrap().disturb_probability > 0.0);
+    }
+
+    #[test]
+    fn optimal_period_is_interior() {
+        let best = optimal_read_period(ctx(), 0.2e-9, 50e-9).unwrap();
+        assert!(best.period > 0.2e-9 && best.period < 50e-9);
+        // At the optimum, both failure modes are small.
+        assert!(best.read_error_rate < 1e-3);
+        assert!(best.disturb_probability < 1e-3);
+    }
+
+    #[test]
+    fn bad_bracket_rejected() {
+        assert!(optimal_read_period(ctx(), 1e-9, 1e-10).is_err());
+        assert!(optimal_read_period(ctx(), 0.0, 1e-9).is_err());
+    }
+}

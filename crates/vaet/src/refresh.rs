@@ -1,0 +1,201 @@
+//! Relaxed-retention design: trading retention for write energy with
+//! DRAM-style refresh.
+//!
+//! The paper's memory-mode knob: *"MTJs can have adjustable retention by
+//! playing with the diameter of the stack thus allowing to minimize the
+//! switching current according to the specified retention."* A
+//! lower-retention (smaller-Δ) pillar writes with less current and energy,
+//! but data that must outlive the retention window needs periodic scrubbing.
+//! Total power therefore has an optimum retention spec that depends on the
+//! write intensity — computed here.
+
+use mss_mtj::{reliability, MssStack};
+use serde::{Deserialize, Serialize};
+
+use crate::VaetError;
+
+/// One point of the retention/energy trade-off sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RefreshPoint {
+    /// Retention specification, seconds.
+    pub retention: f64,
+    /// Pillar diameter meeting the spec, metres.
+    pub diameter: f64,
+    /// Thermal stability Δ of the resized pillar.
+    pub delta: f64,
+    /// Energy per demand write, joules (scaled from the reference cell).
+    pub write_energy: f64,
+    /// Refresh power for the whole array, watts.
+    pub refresh_power: f64,
+    /// Demand-write power at the given write rate, watts.
+    pub demand_power: f64,
+}
+
+impl RefreshPoint {
+    /// Total write-related power, watts.
+    pub fn total_power(&self) -> f64 {
+        self.refresh_power + self.demand_power
+    }
+}
+
+/// Sweep inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RefreshAnalysis {
+    /// Array capacity in bits.
+    pub capacity_bits: u64,
+    /// Demand write rate for the whole array, writes/second.
+    pub write_rate: f64,
+    /// Reference energy per write at the reference stack, joules.
+    pub reference_write_energy: f64,
+    /// Scrub interval as a fraction of the retention time (margin against
+    /// the exponential failure tail; 0.01 = refresh at 1 % of retention).
+    pub scrub_fraction: f64,
+}
+
+impl RefreshAnalysis {
+    /// Evaluates one retention specification.
+    ///
+    /// Write energy scales with the switching current squared and the
+    /// junction resistance: `E ∝ I_c0²·R_P ∝ Δ²/A ∝ A` (with `Δ ∝ A` and
+    /// `R ∝ 1/A`), so a half-retention (smaller) pillar writes with
+    /// proportionally less energy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sizing failures for unreachable retention targets.
+    pub fn evaluate(
+        &self,
+        reference: &MssStack,
+        retention: f64,
+    ) -> Result<RefreshPoint, VaetError> {
+        if self.scrub_fraction <= 0.0 || self.scrub_fraction > 1.0 {
+            return Err(VaetError::InvalidOptions {
+                reason: format!("scrub fraction {} outside (0, 1]", self.scrub_fraction),
+            });
+        }
+        let sized = reliability::diameter_for_retention(reference, retention)
+            .map_err(VaetError::Device)?;
+        // E_write ∝ Ic0² · R: both derive from the stack.
+        let scale = (sized.critical_current() / reference.critical_current()).powi(2)
+            * (sized.resistance_parallel() / reference.resistance_parallel());
+        let write_energy = self.reference_write_energy * scale;
+        let t_scrub = retention * self.scrub_fraction;
+        let refresh_power = self.capacity_bits as f64 * write_energy / t_scrub;
+        let demand_power = self.write_rate * write_energy;
+        Ok(RefreshPoint {
+            retention,
+            diameter: sized.diameter(),
+            delta: sized.thermal_stability(),
+            write_energy,
+            refresh_power,
+            demand_power,
+        })
+    }
+
+    /// Sweeps retention specifications and returns the points together with
+    /// the index of the total-power optimum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures; errors on an empty sweep.
+    pub fn sweep(
+        &self,
+        reference: &MssStack,
+        retentions: &[f64],
+    ) -> Result<(Vec<RefreshPoint>, usize), VaetError> {
+        if retentions.is_empty() {
+            return Err(VaetError::InvalidOptions {
+                reason: "empty retention sweep".into(),
+            });
+        }
+        let points: Vec<RefreshPoint> = retentions
+            .iter()
+            .map(|&r| self.evaluate(reference, r))
+            .collect::<Result<_, _>>()?;
+        let best = points
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                a.1.total_power()
+                    .partial_cmp(&b.1.total_power())
+                    .expect("finite powers")
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        Ok((points, best))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference() -> MssStack {
+        MssStack::builder().build().unwrap()
+    }
+
+    fn analysis(write_rate: f64) -> RefreshAnalysis {
+        RefreshAnalysis {
+            capacity_bits: 1 << 20,
+            write_rate,
+            reference_write_energy: 200e-15,
+            scrub_fraction: 0.01,
+        }
+    }
+
+    fn retentions() -> Vec<f64> {
+        // 1 hour .. 10 years, log-spaced.
+        let lo: f64 = 3600.0;
+        let hi: f64 = 10.0 * 365.25 * 86400.0;
+        (0..12)
+            .map(|k| lo * (hi / lo).powf(k as f64 / 11.0))
+            .collect()
+    }
+
+    #[test]
+    fn shorter_retention_writes_cheaper_but_refreshes_harder() {
+        let a = analysis(1e6);
+        let pts: Vec<RefreshPoint> = retentions()
+            .iter()
+            .map(|&r| a.evaluate(&reference(), r).unwrap())
+            .collect();
+        for w in pts.windows(2) {
+            assert!(w[1].write_energy > w[0].write_energy); // longer retention = bigger pillar
+            assert!(w[1].refresh_power < w[0].refresh_power);
+            assert!(w[1].delta > w[0].delta);
+        }
+    }
+
+    #[test]
+    fn optimum_moves_with_write_intensity() {
+        let reference = reference();
+        let rets = retentions();
+        // Write-heavy arrays prefer short retention (cheap writes);
+        // archival arrays prefer long retention (no refresh).
+        let (_, busy_idx) = analysis(1e8).sweep(&reference, &rets).unwrap();
+        let (_, idle_idx) = analysis(1e2).sweep(&reference, &rets).unwrap();
+        assert!(
+            busy_idx <= idle_idx,
+            "busy optimum {busy_idx} vs idle optimum {idle_idx}"
+        );
+        assert!(idle_idx > 0, "idle arrays should not pick the shortest retention");
+    }
+
+    #[test]
+    fn ten_year_spec_needs_no_meaningful_refresh() {
+        let a = analysis(1e6);
+        let ten_years = 10.0 * 365.25 * 86400.0;
+        let p = a.evaluate(&reference(), ten_years).unwrap();
+        assert!(p.refresh_power < 0.05 * p.demand_power);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let mut a = analysis(1e6);
+        a.scrub_fraction = 0.0;
+        assert!(a.evaluate(&reference(), 3600.0).is_err());
+        let a = analysis(1e6);
+        assert!(a.sweep(&reference(), &[]).is_err());
+        assert!(a.evaluate(&reference(), 1e300).is_err());
+    }
+}

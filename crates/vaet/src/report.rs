@@ -1,0 +1,114 @@
+//! The Table-1-shaped output record.
+
+use mss_pdk::tech::TechNode;
+use mss_units::fmt::Eng;
+use mss_units::stats::DistributionSummary;
+use serde::{Deserialize, Serialize};
+
+/// Variation-aware latency/energy report for one node (one column pair of
+/// the paper's Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VaetReport {
+    /// Technology node.
+    pub node: TechNode,
+    /// Monte Carlo sample count.
+    pub samples: u64,
+    /// Word width used for the access statistics.
+    pub word_bits: u32,
+    /// Nominal (NVSim) write latency, seconds.
+    pub nominal_write_latency: f64,
+    /// Nominal write energy, joules.
+    pub nominal_write_energy: f64,
+    /// Nominal read latency, seconds.
+    pub nominal_read_latency: f64,
+    /// Nominal read energy, joules.
+    pub nominal_read_energy: f64,
+    /// Variation-aware write-latency distribution.
+    pub write_latency: DistributionSummary,
+    /// Variation-aware write-energy distribution.
+    pub write_energy: DistributionSummary,
+    /// Variation-aware read-latency distribution.
+    pub read_latency: DistributionSummary,
+    /// Variation-aware read-energy distribution.
+    pub read_energy: DistributionSummary,
+}
+
+impl VaetReport {
+    /// Renders the paper's Table-1 rows for this node.
+    pub fn to_table(&self) -> String {
+        let row = |name: &str, unit: &'static str, nominal: f64, d: &DistributionSummary| {
+            format!(
+                "{name:<18} | {:>12} | {:>12} | {:>12}\n",
+                Eng(nominal, unit).to_string(),
+                Eng(d.mean, unit).to_string(),
+                Eng(d.std_dev, unit).to_string()
+            )
+        };
+        let mut out = format!(
+            "== {} (word = {} bits, N = {}) ==\n{:<18} | {:>12} | {:>12} | {:>12}\n",
+            self.node, self.word_bits, self.samples, "metric", "nominal", "mu", "sigma"
+        );
+        out.push_str(&row(
+            "write latency",
+            "s",
+            self.nominal_write_latency,
+            &self.write_latency,
+        ));
+        out.push_str(&row(
+            "write energy",
+            "J",
+            self.nominal_write_energy,
+            &self.write_energy,
+        ));
+        out.push_str(&row(
+            "read latency",
+            "s",
+            self.nominal_read_latency,
+            &self.read_latency,
+        ));
+        out.push_str(&row(
+            "read energy",
+            "J",
+            self.nominal_read_energy,
+            &self.read_energy,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(mean: f64) -> DistributionSummary {
+        DistributionSummary {
+            mean,
+            std_dev: mean / 10.0,
+            min: mean / 2.0,
+            max: mean * 2.0,
+            samples: 100,
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let r = VaetReport {
+            node: TechNode::N45,
+            samples: 100,
+            word_bits: 1024,
+            nominal_write_latency: 4.9e-9,
+            nominal_write_energy: 159e-12,
+            nominal_read_latency: 1.2e-9,
+            nominal_read_energy: 3.4e-12,
+            write_latency: dummy(14.7e-9),
+            write_energy: dummy(425e-12),
+            read_latency: dummy(1.7e-9),
+            read_energy: dummy(4.8e-12),
+        };
+        let t = r.to_table();
+        assert!(t.contains("write latency"));
+        assert!(t.contains("read energy"));
+        assert!(t.contains("45 nm"));
+        assert!(t.contains("14.70 ns") || t.contains("14.7"), "{t}");
+    }
+}

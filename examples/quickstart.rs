@@ -1,0 +1,64 @@
+//! Quickstart: one Multifunctional Standardized Stack, three functions.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use great_mss::mtj::{reliability, switching::SwitchingModel, MssDevice, MssStack};
+use great_mss::units::fmt::Eng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One baseline stack — the "standardized" part of the MSS.
+    let stack = MssStack::builder().diameter(40e-9).build()?;
+    println!("MSS baseline stack: 40 nm pillar");
+    println!("  thermal stability  Δ  = {:.1}", stack.thermal_stability());
+    println!(
+        "  critical current  Ic0 = {}",
+        Eng(stack.critical_current(), "A")
+    );
+    println!(
+        "  R_P / R_AP            = {} / {}",
+        Eng(stack.resistance_parallel(), "ohm"),
+        Eng(stack.resistance_antiparallel(), "ohm")
+    );
+
+    // --- Memory mode: bistable storage ---
+    let memory = MssDevice::memory(stack.clone());
+    println!("\n[memory mode]");
+    println!(
+        "  retention            = {:.0} years",
+        reliability::retention_years(memory.stack())
+    );
+    let sw = SwitchingModel::new(memory.stack());
+    let i_write = 2.5 * sw.critical_current();
+    println!(
+        "  switching time @2.5x Ic0 = {}",
+        Eng(sw.mean_switching_time(i_write)?, "s")
+    );
+    println!(
+        "  pulse for WER 1e-9       = {}",
+        Eng(sw.pulse_for_wer(1e-9, i_write)?, "s")
+    );
+
+    // --- Sensor mode: permanent magnets pull the free layer in-plane ---
+    let sensor = MssDevice::sensor(stack.clone())?;
+    println!("\n[sensor mode]  (bias magnet {:.0} Oe)", sensor.bias().field_oe());
+    println!(
+        "  sensitivity          = {:.2} ohm/Oe over ±{:.0} Oe",
+        sensor.sensor_sensitivity()? * great_mss::units::consts::oe_to_am(1.0),
+        great_mss::units::consts::am_to_oe(sensor.sensor_linear_range())
+    );
+
+    // --- Oscillator mode: half-anisotropy bias tilts the layer ~30° ---
+    let osc = MssDevice::oscillator(stack);
+    println!("\n[oscillator mode] (bias magnet {:.0} Oe)", osc.bias().field_oe());
+    println!(
+        "  equilibrium tilt     = {:.1} deg (paper: ~30 deg)",
+        osc.equilibrium_tilt_degrees()
+    );
+    println!(
+        "  frequency estimate   = {}",
+        Eng(osc.oscillator_frequency_estimate(), "Hz")
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Oscillator-mode MSS: bias-field retargeting for RF generation.
+//!
+//! Sweeps the permanent-magnet bias field, showing the tilt reaching the
+//! paper's ~30° at H_b = H_k/2, and runs the LLG physical model to measure
+//! the precession frequency against the analytic estimate.
+//!
+//! ```sh
+//! cargo run --release --example sto_oscillator
+//! ```
+
+use great_mss::mtj::llg::{LlgOptions, LlgSimulator};
+use great_mss::mtj::{BiasMagnet, MssDevice, MssStack};
+use great_mss::units::fmt::Eng;
+use great_mss::units::Vec3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stack = MssStack::builder().build()?;
+    let hk = stack.hk_eff();
+    println!(
+        "oscillator-mode MSS sweep (Hk_eff = {:.0} Oe)\n",
+        great_mss::units::consts::am_to_oe(hk)
+    );
+    println!(
+        "{:>10} | {:>10} | {:>14} | {:>14}",
+        "Hb/Hk", "tilt (deg)", "f analytic", "f LLG"
+    );
+    for ratio in [0.2, 0.35, 0.5, 0.65, 0.8] {
+        let device =
+            MssDevice::oscillator_with_bias(stack.clone(), BiasMagnet::with_field(ratio * hk))?;
+        let tilt = device.equilibrium_tilt_degrees();
+        let f_est = device.oscillator_frequency_estimate();
+        // Ring-down run: kick the magnetization off equilibrium and count
+        // precession cycles.
+        let sim = LlgSimulator::new(&device);
+        let m0 = Vec3::from_spherical(tilt.to_radians() + 0.15, 0.1);
+        let traj = sim.run(
+            m0,
+            4e-9,
+            &LlgOptions {
+                record_every: 1,
+                ..LlgOptions::default()
+            },
+        );
+        let f_llg = traj
+            .estimate_frequency()
+            .map(|f| Eng(f, "Hz").to_string())
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{ratio:>10.2} | {tilt:>10.1} | {:>14} | {:>14}",
+            Eng(f_est, "Hz").to_string(),
+            f_llg
+        );
+    }
+    println!(
+        "\nAt Hb = Hk/2 the tilt is ~30 deg — the paper's spin-transfer-oscillator bias point."
+    );
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! `great-mss` — umbrella crate for the Rust reproduction of *"Using
+//! Multifunctional Standardized Stack as Universal Spintronic Technology for
+//! IoT"* (Tahoori et al., DATE 2018).
+//!
+//! Re-exports every layer of the cross-layer flow under one roof:
+//!
+//! - [`mtj`] — the MSS compact model (memory / sensor / oscillator modes),
+//! - [`spice`] — netlist-level MNA circuit simulation with MDL measurements,
+//! - [`pdk`] — CMOS + MTJ process design kit, standard cells, characterisation,
+//! - [`nvsim`] — memory-array latency/energy/area estimation,
+//! - [`vaet`] — variation-aware estimation (Monte Carlo, ECC, RER/WER),
+//! - [`gemsim`] — manycore performance simulation with Parsec-like kernels,
+//! - [`mcpat`] — architecture-level power/area estimation,
+//! - [`core`] — the MAGPIE cross-layer hybrid design-exploration flow.
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! experiment index.
+
+pub use mss_core as core;
+pub use mss_gemsim as gemsim;
+pub use mss_mcpat as mcpat;
+pub use mss_mtj as mtj;
+pub use mss_nvsim as nvsim;
+pub use mss_pdk as pdk;
+pub use mss_spice as spice;
+pub use mss_units as units;
+pub use mss_vaet as vaet;

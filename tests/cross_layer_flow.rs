@@ -1,0 +1,121 @@
+//! Integration: the full MAGPIE cross-layer flow (PDK → SPICE → NVSim →
+//! gemsim → McPAT) is deterministic and reproduces the paper's Fig. 11/12
+//! qualitative shapes.
+
+use great_mss::core::flow::{MagpieFlow, MagpieInputs};
+use great_mss::core::scenario::Scenario;
+use great_mss::gemsim::workload::Kernel;
+use great_mss::pdk::tech::TechNode;
+use std::sync::OnceLock;
+
+fn report() -> &'static great_mss::core::flow::MagpieReport {
+    static CELL: OnceLock<great_mss::core::flow::MagpieReport> = OnceLock::new();
+    CELL.get_or_init(|| {
+        MagpieFlow::new(MagpieInputs {
+            node: TechNode::N45,
+            kernels: vec![Kernel::bodytrack(), Kernel::streamcluster()],
+            scenarios: Scenario::ALL.to_vec(),
+            seed: 2024,
+            sample_cap: 150_000,
+        })
+        .expect("flow setup")
+        .run()
+        .expect("flow run")
+    })
+}
+
+#[test]
+fn flow_is_deterministic() {
+    let flow = MagpieFlow::new(MagpieInputs {
+        node: TechNode::N45,
+        kernels: vec![Kernel::swaptions()],
+        scenarios: vec![Scenario::FullSram],
+        seed: 7,
+        sample_cap: 20_000,
+    })
+    .expect("setup");
+    let a = flow.run().expect("run a");
+    let b = flow.run().expect("run b");
+    assert_eq!(a.results[0].runtime, b.results[0].runtime);
+    assert_eq!(a.results[0].energy, b.results[0].energy);
+}
+
+#[test]
+fn every_scenario_and_kernel_evaluated() {
+    let r = report();
+    assert_eq!(r.results.len(), 8);
+    assert_eq!(r.kernels().len(), 2);
+}
+
+#[test]
+fn fig11_shape_stt_l2_cuts_l2_energy() {
+    // The STT L2's (mostly leakage) energy collapses vs the SRAM L2.
+    let r = report();
+    let sram = r
+        .result("bodytrack", Scenario::FullSram)
+        .and_then(|x| x.power.component("big.L2"))
+        .expect("sram big.L2");
+    let stt = r
+        .result("bodytrack", Scenario::BigL2Stt)
+        .and_then(|x| x.power.component("big.L2"))
+        .expect("stt big.L2");
+    assert!(
+        stt.total() < 0.5 * sram.total(),
+        "stt {} vs sram {}",
+        stt.total(),
+        sram.total()
+    );
+}
+
+#[test]
+fn fig12_shape_energy_improves_in_every_stt_scenario() {
+    let r = report();
+    for kernel in r.kernels() {
+        for s in [Scenario::LittleL2Stt, Scenario::BigL2Stt, Scenario::FullL2Stt] {
+            let (_, e, _) = r.normalized(&kernel, s).expect("result");
+            assert!(e < 1.0, "{kernel}/{s}: energy ratio {e}");
+        }
+    }
+}
+
+#[test]
+fn fig12_shape_little_speedup_and_big_slowdown() {
+    let r = report();
+    // Capacity-sensitive kernel: iso-area LITTLE STT L2 is faster.
+    let (t_little, _, _) = r
+        .normalized("bodytrack", Scenario::LittleL2Stt)
+        .expect("result");
+    assert!(t_little < 0.9, "LITTLE speedup ratio {t_little}");
+    // Iso-capacity big STT L2 never speeds anything up.
+    for kernel in r.kernels() {
+        let (t_big, _, _) = r.normalized(&kernel, Scenario::BigL2Stt).expect("result");
+        assert!(t_big >= 1.0 - 1e-9, "{kernel}: big ratio {t_big}");
+    }
+}
+
+#[test]
+fn fig12_shape_edp_compensates_slowdowns() {
+    // "The penalty observed on the execution time ... is compensated by the
+    // enabled energy savings": EDP <= 1.0 in every STT scenario.
+    let r = report();
+    for kernel in r.kernels() {
+        for s in [Scenario::LittleL2Stt, Scenario::BigL2Stt, Scenario::FullL2Stt] {
+            let (_, _, edp) = r.normalized(&kernel, s).expect("result");
+            assert!(edp < 1.02, "{kernel}/{s}: EDP ratio {edp}");
+        }
+    }
+}
+
+#[test]
+fn activity_counters_are_consistent() {
+    let r = report();
+    for res in &r.results {
+        for cache in &res.activity.caches {
+            let s = &cache.stats;
+            assert_eq!(s.hits() + s.misses(), s.accesses());
+        }
+        assert!(res.activity.runtime_seconds > 0.0);
+        assert!(res.energy > 0.0);
+        assert!((res.edp - res.energy * res.runtime).abs() < 1e-12 * res.edp);
+    }
+}
