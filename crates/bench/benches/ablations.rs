@@ -1,9 +1,10 @@
 //! Ablation benches for the design choices DESIGN.md §7 calls out:
 //! integrator scheme, ECC strength, Monte Carlo depth and cache geometry.
+//! Timed with the in-tree harness (`mss_bench::harness`, no Criterion).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use mss_bench::harness::Harness;
 use mss_bench::standard_context;
 use mss_gemsim::cache::{Cache, CacheConfig};
 use mss_gemsim::workload::{AccessStream, Kernel};
@@ -14,115 +15,86 @@ use mss_units::Vec3;
 use mss_vaet::ecc::EccScheme;
 use mss_vaet::montecarlo::{run as mc_run, MonteCarloOptions};
 
-/// RK4 (deterministic) vs stochastic Heun step cost for the same wall-clock
-/// of simulated dynamics.
-fn ablation_integrator(c: &mut Criterion) {
+fn main() {
+    Harness::print_header("ablations");
+    let mut h = Harness::new();
+
+    // RK4 (deterministic) vs stochastic Heun step cost for the same
+    // wall-clock of simulated dynamics.
     let device = MssDevice::memory(MssStack::builder().build().unwrap());
     let sim = LlgSimulator::new(&device);
     let m0 = Vec3::from_spherical(0.4, 0.2);
-    let mut g = c.benchmark_group("ablation_integrator");
-    g.bench_function("rk4_deterministic_1ns", |b| {
-        b.iter(|| {
-            sim.run(
-                black_box(m0),
-                1e-9,
-                &LlgOptions {
-                    thermal: false,
-                    ..LlgOptions::default()
-                },
-            )
-        })
+    h.bench("ablation_integrator/rk4_deterministic_1ns", || {
+        sim.run(
+            black_box(m0),
+            1e-9,
+            &LlgOptions {
+                thermal: false,
+                ..LlgOptions::default()
+            },
+        )
     });
-    g.bench_function("heun_stochastic_1ns", |b| {
-        b.iter(|| {
-            sim.run(
-                black_box(m0),
-                1e-9,
-                &LlgOptions {
-                    thermal: true,
-                    seed: 3,
-                    ..LlgOptions::default()
-                },
-            )
-        })
+    h.bench("ablation_integrator/heun_stochastic_1ns", || {
+        sim.run(
+            black_box(m0),
+            1e-9,
+            &LlgOptions {
+                thermal: true,
+                seed: 3,
+                ..LlgOptions::default()
+            },
+        )
     });
-    g.finish();
-}
 
-/// Margin-solve cost as ECC strength grows (stronger codes relax the target
-/// so the bracketing range shifts).
-fn ablation_ecc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_ecc");
+    // Margin-solve cost as ECC strength grows (stronger codes relax the
+    // target so the bracketing range shifts).
     for t in [1u32, 2, 4, 8] {
         let scheme = EccScheme::bch(t, 1024);
-        g.bench_with_input(BenchmarkId::new("allowed_bit_wer", t), &scheme, |b, s| {
-            b.iter(|| s.allowed_bit_wer(black_box(1e-18)).unwrap())
+        h.bench(&format!("ablation_ecc/allowed_bit_wer/{t}"), || {
+            scheme.allowed_bit_wer(black_box(1e-18)).unwrap()
         });
     }
-    g.finish();
-}
 
-/// Monte Carlo cost vs sample count (σ estimates converge as 1/√N; this
-/// shows the price of each doubling).
-fn ablation_mc(c: &mut Criterion) {
+    // Monte Carlo cost vs sample count (σ estimates converge as 1/√N; this
+    // shows the price of each doubling).
     let ctx = standard_context(TechNode::N45);
-    let mut g = c.benchmark_group("ablation_mc");
-    g.sample_size(10);
     for n in [50usize, 100, 200] {
-        g.bench_with_input(BenchmarkId::new("samples", n), &n, |b, &n| {
-            b.iter(|| {
-                mc_run(
-                    &ctx,
-                    &MonteCarloOptions {
-                        samples: n,
-                        seed: 5,
-                        word_bits: Some(128),
-                    },
-                )
-                .unwrap()
-            })
+        h.bench(&format!("ablation_mc/samples/{n}"), || {
+            mc_run(
+                &ctx,
+                &MonteCarloOptions {
+                    samples: n,
+                    seed: 5,
+                    word_bits: Some(128),
+                },
+            )
+            .unwrap()
         });
     }
-    g.finish();
-}
 
-/// Cache-simulation throughput vs associativity (the LRU search is the
-/// inner loop of every MAGPIE run).
-fn ablation_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_cache");
+    // Cache-simulation throughput vs associativity (the LRU search is the
+    // inner loop of every MAGPIE run).
     for assoc in [2u32, 8, 16] {
-        g.bench_with_input(BenchmarkId::new("associativity", assoc), &assoc, |b, &assoc| {
-            let cfg = CacheConfig {
-                name: format!("l2_{assoc}w"),
-                capacity: 1 << 20,
-                associativity: assoc,
-                line_bytes: 64,
-                read_latency: 1e-9,
-                write_latency: 1e-9,
-                read_energy: 0.0,
-                write_energy: 0.0,
-                leakage_power: 0.0,
-            };
-            let kernel = Kernel::freqmine();
-            b.iter(|| {
-                let mut cache = Cache::new(cfg.clone()).unwrap();
-                let mut stream = AccessStream::new(&kernel, 0, 9);
-                for _ in 0..20_000 {
-                    let a = stream.next_access();
-                    cache.access(a.address, a.write);
-                }
-                black_box(cache.stats().miss_ratio())
-            })
+        let cfg = CacheConfig {
+            name: format!("l2_{assoc}w"),
+            capacity: 1 << 20,
+            associativity: assoc,
+            line_bytes: 64,
+            read_latency: 1e-9,
+            write_latency: 1e-9,
+            read_energy: 0.0,
+            write_energy: 0.0,
+            leakage_power: 0.0,
+        };
+        let kernel = Kernel::freqmine();
+        h.bench(&format!("ablation_cache/associativity/{assoc}"), || {
+            let mut cache = Cache::new(cfg.clone()).unwrap();
+            let mut stream = AccessStream::new(&kernel, 0, 9);
+            for _ in 0..20_000 {
+                let a = stream.next_access();
+                cache.access(a.address, a.write);
+            }
+            black_box(cache.stats().miss_ratio())
         });
     }
-    g.finish();
 }
-
-criterion_group!(
-    ablations,
-    ablation_integrator,
-    ablation_ecc,
-    ablation_mc,
-    ablation_cache
-);
-criterion_main!(ablations);

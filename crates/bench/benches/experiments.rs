@@ -1,11 +1,12 @@
-//! Criterion benches: one group per paper experiment (see DESIGN.md §4).
+//! Benches: one group per paper experiment (see DESIGN.md §4), timed with
+//! the in-tree harness (`mss_bench::harness`, no Criterion).
 //!
 //! These measure the cost of regenerating each table/figure; the printed
 //! *data* comes from the `src/bin/*` harnesses.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use mss_bench::harness::Harness;
 use mss_bench::{fig9_periods, standard_context, FIG7_TARGETS, FIG8_TARGET};
 use mss_core::flow::{MagpieFlow, MagpieInputs};
 use mss_core::scenario::Scenario;
@@ -20,55 +21,36 @@ use mss_vaet::margins::figure7;
 use mss_vaet::montecarlo::{run as mc_run, MonteCarloOptions};
 use mss_vaet::read::figure9;
 
-fn bench_table1(c: &mut Criterion) {
+fn main() {
+    Harness::print_header("experiments");
+    let mut h = Harness::new();
     let ctx = standard_context(TechNode::N45);
-    let mut g = c.benchmark_group("table1");
-    g.sample_size(10);
-    g.bench_function("monte_carlo_200x256", |b| {
-        b.iter(|| {
-            mc_run(
-                &ctx,
-                &MonteCarloOptions {
-                    samples: 200,
-                    seed: 1,
-                    word_bits: Some(256),
-                },
-            )
-            .unwrap()
-        })
-    });
-    g.finish();
-}
 
-fn bench_fig7(c: &mut Criterion) {
-    let ctx = standard_context(TechNode::N45);
-    let mut g = c.benchmark_group("fig7");
-    g.sample_size(10);
-    g.bench_function("margin_solve_3_targets", |b| {
-        b.iter(|| figure7(&ctx, black_box(&FIG7_TARGETS)).unwrap())
+    h.bench("table1/monte_carlo_200x256", || {
+        mc_run(
+            &ctx,
+            &MonteCarloOptions {
+                samples: 200,
+                seed: 1,
+                word_bits: Some(256),
+            },
+        )
+        .unwrap()
     });
-    g.finish();
-}
 
-fn bench_fig8(c: &mut Criterion) {
-    let ctx = standard_context(TechNode::N45);
-    let mut g = c.benchmark_group("fig8");
-    g.sample_size(10);
-    g.bench_function("ecc_sweep_t0_to_t4", |b| {
-        b.iter(|| figure8(&ctx, black_box(FIG8_TARGET), 4).unwrap())
+    h.bench("fig7/margin_solve_3_targets", || {
+        figure7(&ctx, black_box(&FIG7_TARGETS)).unwrap()
     });
-    g.finish();
-}
 
-fn bench_fig9(c: &mut Criterion) {
-    let ctx = standard_context(TechNode::N45);
+    h.bench("fig8/ecc_sweep_t0_to_t4", || {
+        figure8(&ctx, black_box(FIG8_TARGET), 4).unwrap()
+    });
+
     let periods = fig9_periods();
-    c.bench_function("fig9/read_disturb_sweep", |b| {
-        b.iter(|| figure9(&ctx, black_box(&periods)))
+    h.bench("fig9/read_disturb_sweep", || {
+        figure9(&ctx, black_box(&periods))
     });
-}
 
-fn bench_fig11_12(c: &mut Criterion) {
     // The full MAGPIE flow with a reduced sample cap (the shape generator
     // uses 250k; benching uses 20k to keep iteration time sane).
     let flow = MagpieFlow::new(MagpieInputs {
@@ -79,58 +61,35 @@ fn bench_fig11_12(c: &mut Criterion) {
         sample_cap: 20_000,
     })
     .expect("flow");
-    let mut g = c.benchmark_group("fig11_12");
-    g.sample_size(10);
-    g.bench_function("magpie_flow_1_kernel_4_scenarios", |b| {
-        b.iter(|| flow.run().unwrap())
+    h.bench("fig11_12/magpie_flow_1_kernel_4_scenarios", || {
+        flow.run().unwrap()
     });
-    g.finish();
-}
 
-fn bench_spice_char(c: &mut Criterion) {
     // E-C1: the circuit-level characterisation flow.
     let stack = MssStack::builder().build().unwrap();
-    let mut g = c.benchmark_group("spice_char");
-    g.sample_size(10);
-    g.bench_function("characterize_45nm", |b| {
-        b.iter(|| characterize(TechNode::N45, black_box(&stack)).unwrap())
+    h.bench("spice_char/characterize_45nm", || {
+        characterize(TechNode::N45, black_box(&stack)).unwrap()
     });
-    g.finish();
-}
 
-fn bench_modes(c: &mut Criterion) {
-    let stack = MssStack::builder().build().unwrap();
-    let mut g = c.benchmark_group("mss_modes");
     // E-M1: analytic switching solve.
     let sw = mss_mtj::switching::SwitchingModel::new(&stack);
-    g.bench_function("memory_pulse_for_wer", |b| {
-        b.iter(|| sw.pulse_for_wer(black_box(1e-15), 2.5 * sw.critical_current()).unwrap())
+    h.bench("mss_modes/memory_pulse_for_wer", || {
+        sw.pulse_for_wer(black_box(1e-15), 2.5 * sw.critical_current())
+            .unwrap()
     });
+
     // E-M2: sensor equilibrium solve.
     let sensor = MssDevice::sensor(stack.clone()).unwrap();
-    let h = 0.3 * sensor.sensor_linear_range();
-    g.bench_function("sensor_equilibrium", |b| {
-        b.iter(|| sensor.equilibrium_mz(black_box(h)).unwrap())
+    let h_field = 0.3 * sensor.sensor_linear_range();
+    h.bench("mss_modes/sensor_equilibrium", || {
+        sensor.equilibrium_mz(black_box(h_field)).unwrap()
     });
+
     // E-M3: oscillator ring-down (1 ns of LLG).
     let osc = MssDevice::oscillator(stack);
     let sim = LlgSimulator::new(&osc);
     let m0 = Vec3::from_spherical(0.7, 0.1);
-    g.sample_size(20);
-    g.bench_function("oscillator_llg_1ns", |b| {
-        b.iter(|| sim.run(black_box(m0), 1e-9, &LlgOptions::default()))
+    h.bench("mss_modes/oscillator_llg_1ns", || {
+        sim.run(black_box(m0), 1e-9, &LlgOptions::default())
     });
-    g.finish();
 }
-
-criterion_group!(
-    experiments,
-    bench_table1,
-    bench_fig7,
-    bench_fig8,
-    bench_fig9,
-    bench_fig11_12,
-    bench_spice_char,
-    bench_modes
-);
-criterion_main!(experiments);

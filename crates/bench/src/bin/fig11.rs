@@ -12,7 +12,7 @@ fn main() {
         node: TechNode::N45,
         kernels: vec![Kernel::bodytrack()],
         scenarios: Scenario::ALL.to_vec(),
-        seed: 0xF16_11,
+        seed: 0x000F_1611,
         sample_cap: 250_000,
     })
     .expect("flow setup");
@@ -24,7 +24,11 @@ fn main() {
         println!("(breakdown written to results/fig11.csv)");
     }
     // Overall savings vs the reference.
-    for s in [Scenario::LittleL2Stt, Scenario::BigL2Stt, Scenario::FullL2Stt] {
+    for s in [
+        Scenario::LittleL2Stt,
+        Scenario::BigL2Stt,
+        Scenario::FullL2Stt,
+    ] {
         if let Some((_, e, _)) = report.normalized("bodytrack", s) {
             println!("{s}: total energy {:.1}% vs Full-SRAM", (e - 1.0) * 100.0);
         }

@@ -12,7 +12,7 @@ fn main() {
         node: TechNode::N45,
         kernels: Kernel::parsec_extended(),
         scenarios: Scenario::ALL.to_vec(),
-        seed: 0xF16_12,
+        seed: 0x000F_1612,
         sample_cap: 250_000,
     })
     .expect("flow setup");
@@ -30,7 +30,11 @@ fn main() {
         if let Some((t, _, _)) = report.normalized(&kernel, Scenario::LittleL2Stt) {
             best_little_speedup = best_little_speedup.min(t);
         }
-        for s in [Scenario::LittleL2Stt, Scenario::BigL2Stt, Scenario::FullL2Stt] {
+        for s in [
+            Scenario::LittleL2Stt,
+            Scenario::BigL2Stt,
+            Scenario::FullL2Stt,
+        ] {
             if let Some((_, e, _)) = report.normalized(&kernel, s) {
                 worst_energy = worst_energy.max(e);
             }

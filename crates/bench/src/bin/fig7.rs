@@ -11,7 +11,10 @@ fn main() {
     let ctx = standard_context(TechNode::N45);
     let (write, read) = figure7(&ctx, &FIG7_TARGETS).expect("margin solve");
     println!("Fig. 7: overall read and write latencies for various error rates (45 nm)\n");
-    println!("{:<12} | {:>16} | {:>16}", "target rate", "write latency", "read latency");
+    println!(
+        "{:<12} | {:>16} | {:>16}",
+        "target rate", "write latency", "read latency"
+    );
     for (w, r) in write.iter().zip(&read) {
         println!(
             "{:<12.0e} | {:>16} | {:>16}",

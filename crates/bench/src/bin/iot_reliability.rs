@@ -8,9 +8,7 @@ use mss_mtj::astroid;
 use mss_pdk::tech::TechNode;
 use mss_units::consts::am_to_oe;
 use mss_units::fmt::Eng;
-use mss_vaet::optimize::{
-    explore_variation_aware, ReliabilityRequirements, VariationAwareTarget,
-};
+use mss_vaet::optimize::{explore_variation_aware, ReliabilityRequirements, VariationAwareTarget};
 use mss_vaet::temperature::{iot_corners, temperature_sweep};
 
 fn main() {
@@ -37,8 +35,7 @@ fn main() {
     // --- Co-integration stray-field budget ---
     let stack = &ctx.stack;
     let ten_years = 10.0 * 365.25 * 86400.0;
-    let budget =
-        astroid::max_tolerable_stray_field(stack, ten_years).expect("stray budget");
+    let budget = astroid::max_tolerable_stray_field(stack, ten_years).expect("stray budget");
     println!(
         "\nco-integration: a memory pillar keeps 10-year retention below {:.0} Oe of\n\
          in-plane stray field (sensor bias magnets produce {:.0} Oe locally — the\n\
@@ -65,5 +62,8 @@ fn main() {
         Eng(b.nominal.write_latency, "s"),
         Eng(b.margined_read_latency, "s")
     );
-    println!("  ({} feasible organisations evaluated)", exp.candidates.len());
+    println!(
+        "  ({} feasible organisations evaluated)",
+        exp.candidates.len()
+    );
 }

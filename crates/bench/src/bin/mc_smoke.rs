@@ -1,0 +1,52 @@
+//! CI smoke benchmark: a small Monte Carlo through the `mss-exec` runtime,
+//! printing sample throughput at one thread and at the environment's thread
+//! count. Designed to finish well under 30 s.
+//!
+//! ```text
+//! cargo run --release -p mss-bench --bin mc_smoke
+//! MSS_THREADS=8 cargo run --release -p mss-bench --bin mc_smoke -- 20000
+//! ```
+//!
+//! The optional argument overrides the sample count (default 4000).
+
+use mss_bench::standard_context;
+use mss_exec::ParallelConfig;
+use mss_pdk::tech::TechNode;
+use mss_vaet::montecarlo::{run_with_stats, MonteCarloOptions};
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4000);
+    let ctx = standard_context(TechNode::N45);
+    let opts = MonteCarloOptions {
+        samples,
+        seed: 0x5EED_C0DE,
+        word_bits: Some(64),
+    };
+
+    println!("== mc_smoke: {samples} samples x 64-bit words, N45 ==");
+    let serial_cfg = ParallelConfig::serial();
+    let (serial_report, serial_stats) =
+        run_with_stats(&ctx, &opts, &serial_cfg).expect("serial Monte Carlo");
+    println!(
+        "serial   : {}",
+        serial_stats.to_table().lines().next().unwrap_or("")
+    );
+
+    let par_cfg = ParallelConfig::from_env();
+    let (par_report, par_stats) =
+        run_with_stats(&ctx, &opts, &par_cfg).expect("parallel Monte Carlo");
+    print!("parallel : {}", par_stats.to_table());
+
+    assert_eq!(
+        serial_report, par_report,
+        "determinism violation: parallel report diverged from serial"
+    );
+    let speedup = par_stats.samples_per_second() / serial_stats.samples_per_second().max(1e-9);
+    println!(
+        "speedup {speedup:.2}x at {} threads | reports bit-identical: yes",
+        par_stats.threads
+    );
+}

@@ -34,7 +34,8 @@ fn main() {
     println!(
         "mean switching time at 2.5x Ic0: {}\n",
         Eng(
-            sw.mean_switching_time(2.5 * sw.critical_current()).expect("supercritical"),
+            sw.mean_switching_time(2.5 * sw.critical_current())
+                .expect("supercritical"),
             "s"
         )
     );

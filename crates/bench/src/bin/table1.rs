@@ -15,7 +15,7 @@ fn main() {
             &ctx,
             &MonteCarloOptions {
                 samples: 2000,
-                seed: 0x7AB1E_1,
+                seed: 0x007A_B1E1,
                 word_bits: None,
             },
         )

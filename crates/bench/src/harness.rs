@@ -1,0 +1,155 @@
+//! Minimal wall-clock micro-bench harness.
+//!
+//! A zero-dependency stand-in for Criterion: each benchmark warms up, then
+//! runs until a time budget (or iteration cap) is met, and reports
+//! mean/min/max per-iteration wall time. Used by the `benches/*.rs` targets
+//! (`harness = false`) so `cargo bench` works with no registry access.
+//!
+//! Tuning knobs (environment):
+//!
+//! - `MSS_BENCH_BUDGET_MS` — per-benchmark measurement budget in
+//!   milliseconds (default 300),
+//! - `MSS_BENCH_MAX_ITERS` — iteration cap within the budget (default 50).
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark measurement budget.
+fn budget() -> Duration {
+    let ms = std::env::var("MSS_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+/// Iteration cap within the budget.
+fn max_iters() -> u64 {
+    std::env::var("MSS_BENCH_MAX_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(50)
+}
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name (`group/function`).
+    pub name: String,
+    /// Measured iterations.
+    pub iters: u64,
+    /// Mean per-iteration wall time.
+    pub mean: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+}
+
+impl std::fmt::Display for BenchResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<44} {:>12} {:>12} {:>12} {:>6}",
+            self.name,
+            format_duration(self.mean),
+            format_duration(self.min),
+            format_duration(self.max),
+            self.iters
+        )
+    }
+}
+
+/// Renders a duration with an adaptive unit (ns/µs/ms/s).
+pub fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Collects and prints benchmark results for one bench target.
+#[derive(Debug, Default)]
+pub struct Harness {
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// An empty harness.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f` (after a warm-up pass) and records the result.
+    ///
+    /// The closure's return value is passed through [`std::hint::black_box`]
+    /// so the computation cannot be optimised away.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &BenchResult {
+        // Warm-up: one untimed pass (fills caches, triggers lazy init).
+        std::hint::black_box(f());
+        let budget = budget();
+        let cap = max_iters();
+        let mut times = Vec::new();
+        let started = Instant::now();
+        while (times.len() as u64) < cap && (times.is_empty() || started.elapsed() < budget) {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            times.push(t0.elapsed());
+        }
+        let iters = times.len() as u64;
+        let total: Duration = times.iter().sum();
+        let result = BenchResult {
+            name: name.to_string(),
+            iters,
+            mean: total / iters as u32,
+            min: times.iter().min().copied().unwrap_or_default(),
+            max: times.iter().max().copied().unwrap_or_default(),
+        };
+        println!("{result}");
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All recorded results.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the header row; call once before the first `bench`.
+    pub fn print_header(title: &str) {
+        println!("== {title} ==");
+        println!(
+            "{:<44} {:>12} {:>12} {:>12} {:>6}",
+            "benchmark", "mean", "min", "max", "iters"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_positive_times() {
+        let mut h = Harness::new();
+        let r = h.bench("smoke/sum", || (0..1000u64).sum::<u64>());
+        assert!(r.iters >= 1);
+        assert!(r.mean >= r.min);
+        assert!(r.max >= r.mean);
+        assert_eq!(h.results().len(), 1);
+    }
+
+    #[test]
+    fn durations_format_with_adaptive_units() {
+        assert!(format_duration(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(format_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(5)).ends_with("s"));
+    }
+}

@@ -1,13 +1,15 @@
 //! Experiment harnesses for every data-bearing table and figure of the
-//! paper, plus shared helpers for the Criterion benches.
+//! paper, plus shared helpers for the bench targets.
 //!
 //! Each experiment has a binary (`cargo run -p mss-bench --release --bin
-//! <id>`) that prints the paper-style rows, and a Criterion bench group
-//! measuring the cost of regenerating it. The mapping to the paper lives in
-//! `DESIGN.md` §4; measured-vs-paper numbers are recorded in
-//! `EXPERIMENTS.md`.
+//! <id>`) that prints the paper-style rows, and a bench group (in-tree
+//! [`harness`], no Criterion) measuring the cost of regenerating it. The
+//! mapping to the paper lives in `DESIGN.md` §4; measured-vs-paper numbers
+//! are recorded in `EXPERIMENTS.md`.
 
 #![deny(missing_docs)]
+
+pub mod harness;
 
 use mss_pdk::tech::TechNode;
 use mss_vaet::context::VaetContext;
@@ -37,7 +39,12 @@ pub fn fig9_periods() -> Vec<f64> {
 }
 
 /// Renders a simple two-column series as text rows.
-pub fn series_table(title: &str, x_label: &str, y_label: &str, rows: &[(String, String)]) -> String {
+pub fn series_table(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    rows: &[(String, String)],
+) -> String {
     let mut out = format!("== {title} ==\n{x_label:<24} | {y_label}\n");
     for (x, y) in rows {
         out.push_str(&format!("{x:<24} | {y}\n"));

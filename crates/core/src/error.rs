@@ -81,10 +81,7 @@ mod tests {
     fn conversions_and_display() {
         let e: MagpieError = NvsimError::NoFeasibleDesign.into();
         assert!(e.to_string().contains("nvsim"));
-        let e: MagpieError = GemsimError::InvalidSystem {
-            reason: "x".into(),
-        }
-        .into();
+        let e: MagpieError = GemsimError::InvalidSystem { reason: "x".into() }.into();
         assert!(e.to_string().contains("gemsim"));
     }
 }

@@ -1,5 +1,6 @@
 //! The MAGPIE evaluation flow: characterise → estimate → simulate → account.
 
+use mss_exec::{par_map, ParallelConfig};
 use mss_gemsim::cache::CacheConfig;
 use mss_gemsim::stats::SimReport;
 use mss_gemsim::system::{System, SystemConfig};
@@ -10,7 +11,6 @@ use mss_nvsim::config::MemoryConfig;
 use mss_nvsim::model::{estimate, ArrayMetrics, MemoryTechnology};
 use mss_pdk::charlib::{characterize, CellLibrary};
 use mss_pdk::tech::{TechNode, TechParams};
-use serde::{Deserialize, Serialize};
 
 use crate::scenario::Scenario;
 use crate::MagpieError;
@@ -21,7 +21,7 @@ use crate::MagpieError;
 pub const ISO_AREA_CAPACITY_FACTOR: u64 = 4;
 
 /// Inputs of one flow evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MagpieInputs {
     /// Technology node (the paper's Fig. 12 uses 45 nm).
     pub node: TechNode,
@@ -36,7 +36,7 @@ pub struct MagpieInputs {
 }
 
 /// One (kernel, scenario) evaluation outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelScenarioResult {
     /// Scenario evaluated.
     pub scenario: Scenario,
@@ -56,7 +56,7 @@ pub struct KernelScenarioResult {
 
 /// Silicon-area accounting for one scenario (the paper's Fig. 10 output:
 /// "total performance, total energy and total area").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScenarioArea {
     /// Scenario this area belongs to.
     pub scenario: Scenario,
@@ -78,7 +78,7 @@ impl ScenarioArea {
 }
 
 /// The complete flow report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MagpieReport {
     /// Every (kernel, scenario) outcome.
     pub results: Vec<KernelScenarioResult>,
@@ -197,8 +197,7 @@ impl MagpieFlow {
         } else {
             512 << 10
         };
-        let (little_l2, _) =
-            self.cache_config("LITTLE.L2", little_capacity, 8, little_stt)?;
+        let (little_l2, _) = self.cache_config("LITTLE.L2", little_capacity, 8, little_stt)?;
         base.clusters[1].l2 = little_l2;
 
         Ok(base)
@@ -236,32 +235,62 @@ impl MagpieFlow {
 
     /// Runs every (kernel, scenario) pair.
     ///
+    /// Parallelism policy comes from the environment (`MSS_THREADS` or all
+    /// cores); use [`run_with`](Self::run_with) for explicit control. The
+    /// report is independent of the thread count.
+    ///
     /// # Errors
     ///
     /// Propagates configuration and simulation failures.
     pub fn run(&self) -> Result<MagpieReport, MagpieError> {
+        self.run_with(&ParallelConfig::from_env())
+    }
+
+    /// [`run`](Self::run) with an explicit thread policy: scenarios are
+    /// prepared in parallel, then every (scenario, kernel) simulation fans
+    /// out as its own task; results are reduced in scenario-major order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_with(&self, exec: &ParallelConfig) -> Result<MagpieReport, MagpieError> {
         let mcpat_cfg = McpatConfig::default();
-        let mut results = Vec::new();
+        // Stage 1: per-scenario estimation (NVSim/McPAT) and platform build.
+        let prepared = par_map(exec, &self.inputs.scenarios, |_, &scenario| {
+            let area = self.scenario_area(scenario)?;
+            let system = System::new(self.system_config(scenario)?)?;
+            Ok::<_, MagpieError>((area, system))
+        });
         let mut areas = Vec::new();
-        for scenario in &self.inputs.scenarios {
-            areas.push(self.scenario_area(*scenario)?);
-            let sys_cfg = self.system_config(*scenario)?;
-            let mut system = System::new(sys_cfg)?;
-            for kernel in &self.inputs.kernels {
-                let activity = system.run(kernel, self.inputs.seed)?;
-                let mut power = mcpat_evaluate(&mcpat_cfg, &activity);
-                power.label = format!("{} / {}", kernel.name, scenario);
-                results.push(KernelScenarioResult {
-                    scenario: *scenario,
-                    kernel: kernel.name.clone(),
-                    runtime: activity.runtime_seconds,
-                    energy: power.total_energy(),
-                    edp: power.edp(),
-                    power,
-                    activity,
-                });
-            }
+        let mut systems = Vec::new();
+        for item in prepared {
+            let (area, system) = item?;
+            areas.push(area);
+            systems.push(system);
         }
+
+        // Stage 2: one task per (scenario, kernel) pair, scenario-major so
+        // the report order matches the sequential flow.
+        let pairs: Vec<(usize, usize)> = (0..self.inputs.scenarios.len())
+            .flat_map(|s| (0..self.inputs.kernels.len()).map(move |k| (s, k)))
+            .collect();
+        let evaluated = par_map(exec, &pairs, |_, &(s, k)| {
+            let scenario = self.inputs.scenarios[s];
+            let kernel = &self.inputs.kernels[k];
+            let activity = systems[s].run(kernel, self.inputs.seed)?;
+            let mut power = mcpat_evaluate(&mcpat_cfg, &activity);
+            power.label = format!("{} / {}", kernel.name, scenario);
+            Ok::<_, MagpieError>(KernelScenarioResult {
+                scenario,
+                kernel: kernel.name.clone(),
+                runtime: activity.runtime_seconds,
+                energy: power.total_energy(),
+                edp: power.edp(),
+                power,
+                activity,
+            })
+        });
+        let results = evaluated.into_iter().collect::<Result<Vec<_>, _>>()?;
         Ok(MagpieReport { results, areas })
     }
 }
@@ -321,7 +350,9 @@ impl MagpieReport {
             "scenario", "runtime", "energy", "area"
         );
         for s in Scenario::ALL {
-            let Some(r) = self.result(kernel, s) else { continue };
+            let Some(r) = self.result(kernel, s) else {
+                continue;
+            };
             let area = self.area(s).map(|a| a.total()).unwrap_or(0.0);
             out.push_str(&format!(
                 "{:<20} | {:>12} | {:>12} | {:>9.3} mm2\n",
@@ -408,7 +439,11 @@ impl MagpieReport {
     pub fn fig12_csv(&self) -> String {
         let mut out = String::from("kernel,scenario,time,energy,edp\n");
         for kernel in self.kernels() {
-            for s in [Scenario::LittleL2Stt, Scenario::BigL2Stt, Scenario::FullL2Stt] {
+            for s in [
+                Scenario::LittleL2Stt,
+                Scenario::BigL2Stt,
+                Scenario::FullL2Stt,
+            ] {
                 if let Some((t, e, edp)) = self.normalized(&kernel, s) {
                     out.push_str(&format!("{kernel},{s},{t:.6},{e:.6},{edp:.6}\n"));
                 }
@@ -420,15 +455,18 @@ impl MagpieReport {
     /// Renders the Fig. 12 table: per kernel, execution time / energy / EDP
     /// of each STT scenario normalised to Full-SRAM.
     pub fn fig12_table(&self) -> String {
-        let mut out = String::from(
-            "== Fig.12: execution time / energy / EDP normalised to Full-SRAM ==\n",
-        );
+        let mut out =
+            String::from("== Fig.12: execution time / energy / EDP normalised to Full-SRAM ==\n");
         out.push_str(&format!(
             "{:<14} | {:<20} | {:>8} | {:>8} | {:>8}\n",
             "kernel", "scenario", "time", "energy", "EDP"
         ));
         for kernel in self.kernels() {
-            for s in [Scenario::LittleL2Stt, Scenario::BigL2Stt, Scenario::FullL2Stt] {
+            for s in [
+                Scenario::LittleL2Stt,
+                Scenario::BigL2Stt,
+                Scenario::FullL2Stt,
+            ] {
                 if let Some((t, e, edp)) = self.normalized(&kernel, s) {
                     out.push_str(&format!(
                         "{:<14} | {:<20} | {:>8.3} | {:>8.3} | {:>8.3}\n",
@@ -496,6 +534,17 @@ mod tests {
     }
 
     #[test]
+    fn flow_is_thread_count_invariant() {
+        let (flow, report) = flow_report();
+        let serial = flow.run_with(&ParallelConfig::serial()).unwrap();
+        assert_eq!(&serial, report);
+        let four = flow
+            .run_with(&ParallelConfig::serial().with_threads(4))
+            .unwrap();
+        assert_eq!(&four, report);
+    }
+
+    #[test]
     fn all_scenarios_produce_results() {
         let (_, report) = flow_report();
         assert_eq!(report.results.len(), 8);
@@ -508,7 +557,11 @@ mod tests {
     fn stt_scenarios_save_energy() {
         let (_, report) = flow_report();
         for kernel in ["bodytrack", "streamcluster"] {
-            for s in [Scenario::LittleL2Stt, Scenario::BigL2Stt, Scenario::FullL2Stt] {
+            for s in [
+                Scenario::LittleL2Stt,
+                Scenario::BigL2Stt,
+                Scenario::FullL2Stt,
+            ] {
                 let (_, e, _) = report.normalized(kernel, s).unwrap();
                 assert!(e < 1.0, "{kernel}/{s}: energy ratio {e}");
             }
@@ -520,7 +573,9 @@ mod tests {
         // bodytrack's working set fits the 4x larger STT L2 but not the
         // SRAM one — the paper's up-to-50% LITTLE speedup case.
         let (_, report) = flow_report();
-        let (t, _, _) = report.normalized("bodytrack", Scenario::LittleL2Stt).unwrap();
+        let (t, _, _) = report
+            .normalized("bodytrack", Scenario::LittleL2Stt)
+            .unwrap();
         assert!(t < 0.95, "time ratio {t}");
     }
 

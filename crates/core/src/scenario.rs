@@ -15,10 +15,8 @@
 //! (the area/energy saving is taken instead), which exposes the STT write
 //! latency — the paper's observed slowdown.
 
-use serde::{Deserialize, Serialize};
-
 /// Which caches are replaced with STT-MRAM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scenario {
     /// Reference: every cache is SRAM.
     FullSram,

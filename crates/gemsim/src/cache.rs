@@ -1,11 +1,9 @@
 //! Set-associative LRU cache simulation with full activity counters.
 
-use serde::{Deserialize, Serialize};
-
 use crate::GemsimError;
 
 /// Static configuration of one cache.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheConfig {
     /// Display name ("big.L2", "LITTLE.L1D", ...).
     pub name: String,
@@ -44,10 +42,13 @@ impl CacheConfig {
             return fail("dimensions must be non-zero".into());
         }
         if !self.line_bytes.is_power_of_two() {
-            return fail(format!("line size {} must be a power of two", self.line_bytes));
+            return fail(format!(
+                "line size {} must be a power of two",
+                self.line_bytes
+            ));
         }
         let ways_bytes = self.associativity as u64 * self.line_bytes as u64;
-        if self.capacity % ways_bytes != 0 {
+        if !self.capacity.is_multiple_of(ways_bytes) {
             return fail("capacity not divisible by ways x line size".into());
         }
         let sets = self.capacity / ways_bytes;
@@ -67,7 +68,7 @@ impl CacheConfig {
 }
 
 /// Activity counters of one cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Read accesses.
     pub reads: u64,
@@ -304,7 +305,7 @@ mod tests {
     fn lru_eviction_order() {
         let mut c = Cache::new(small_config()).unwrap();
         // 8 sets; lines mapping to set 0: line numbers 0, 8, 16 (addr = line*64).
-        let a = 0u64 * 64;
+        let a = 0u64;
         let b = 8 * 64;
         let d = 16 * 64;
         c.access(a, false);
@@ -331,10 +332,10 @@ mod tests {
     #[test]
     fn counters_are_consistent() {
         let mut c = Cache::new(small_config()).unwrap();
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use mss_units::rng::{Rng, Xoshiro256PlusPlus};
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
         for _ in 0..10_000 {
-            let addr = rng.gen_range(0u64..64 * 1024);
+            let addr = rng.gen_range_u64(0, 64 * 1024);
             c.access(addr, rng.gen_bool(0.3));
         }
         let s = c.stats();
@@ -345,14 +346,14 @@ mod tests {
 
     #[test]
     fn bigger_cache_misses_less() {
-        use rand::{Rng, SeedableRng};
+        use mss_units::rng::{Rng, Xoshiro256PlusPlus};
         let run = |capacity: u64| {
             let mut cfg = small_config();
             cfg.capacity = capacity;
             let mut c = Cache::new(cfg).unwrap();
-            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
             for _ in 0..20_000 {
-                let addr = rng.gen_range(0u64..32 * 1024);
+                let addr = rng.gen_range_u64(0, 32 * 1024);
                 c.access(addr, false);
             }
             c.stats().miss_ratio()

@@ -6,10 +6,8 @@
 //! factor (out-of-order big cores hide a part of it, in-order LITTLE cores
 //! almost none).
 
-use serde::{Deserialize, Serialize};
-
 /// Which microarchitecture a core implements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoreKind {
     /// Out-of-order "big" core (Cortex-A15 class).
     Big,
@@ -27,7 +25,7 @@ impl std::fmt::Display for CoreKind {
 }
 
 /// Timing parameters of one core.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreModel {
     /// Microarchitecture class.
     pub kind: CoreKind,

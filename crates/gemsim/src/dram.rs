@@ -6,12 +6,10 @@
 //! is opt-in via [`crate::system::SystemConfig::row_buffer`]; the flat
 //! number remains the row-miss cost.
 
-use serde::{Deserialize, Serialize};
-
 use crate::GemsimError;
 
 /// Row-buffer configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RowBufferConfig {
     /// Latency of a row-buffer hit, seconds (the flat DRAM latency of the
     /// platform remains the miss cost).

@@ -25,7 +25,7 @@
 //!
 //! # fn main() -> Result<(), mss_gemsim::GemsimError> {
 //! let config = SystemConfig::big_little_default();
-//! let mut system = System::new(config)?;
+//! let system = System::new(config)?;
 //! let report = system.run(&Kernel::bodytrack(), 42)?;
 //! assert!(report.runtime_seconds > 0.0);
 //! assert!(report.total_instructions() > 0);

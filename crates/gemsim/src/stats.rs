@@ -1,13 +1,11 @@
 //! The activity report consumed by the power/area layer.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cache::{CacheConfig, CacheStats};
 use crate::core::CoreKind;
 
 /// Activity of one cache over a run (counters already scaled back to the
 /// full workload when sampling was used).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheActivity {
     /// Cache name ("big.L2", ...).
     pub name: String,
@@ -18,7 +16,7 @@ pub struct CacheActivity {
 }
 
 /// Activity of one core over a run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreActivity {
     /// Microarchitecture class.
     pub kind: CoreKind,
@@ -33,7 +31,7 @@ pub struct CoreActivity {
 /// The full activity report of one kernel run — the paper's "detailed
 /// report of the system activity including the number of memory
 /// transactions ... and the execution time".
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Kernel name.
     pub kernel: String,

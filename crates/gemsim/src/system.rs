@@ -17,7 +17,7 @@
 //! - dirty evictions from L1 write the L2 array too, mostly hidden behind
 //!   buffers ([`WRITEBACK_EXPOSURE`]).
 
-use serde::{Deserialize, Serialize};
+use mss_exec::{par_map, ParallelConfig};
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::core::CoreModel;
@@ -32,7 +32,7 @@ pub const FILL_WRITE_EXPOSURE: f64 = 0.35;
 pub const WRITEBACK_EXPOSURE: f64 = 0.15;
 
 /// One cluster: homogeneous cores + private L1Ds + a shared L2.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Cluster display name ("big", "LITTLE").
     pub name: String,
@@ -47,7 +47,7 @@ pub struct ClusterConfig {
 }
 
 /// The platform configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Clusters (the default platform has big + LITTLE).
     pub clusters: Vec<ClusterConfig>,
@@ -171,7 +171,7 @@ impl SystemConfig {
 }
 
 /// Where a kernel's threads are allowed to run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Placement {
     /// Threads spread over every core of every cluster (default).
     AllClusters,
@@ -207,8 +207,29 @@ impl System {
     /// # Errors
     ///
     /// [`GemsimError::InvalidWorkload`] for malformed kernels.
-    pub fn run(&mut self, kernel: &Kernel, seed: u64) -> Result<SimReport, GemsimError> {
+    pub fn run(&self, kernel: &Kernel, seed: u64) -> Result<SimReport, GemsimError> {
         self.run_placed(kernel, seed, &Placement::AllClusters)
+    }
+
+    /// Runs a batch of kernels in parallel (one task per kernel), returning
+    /// reports **in kernel order**.
+    ///
+    /// Every kernel replays its own deterministic access streams from
+    /// `seed`, so the batch is bit-identical to running the kernels one by
+    /// one — threads only change the wall time.
+    ///
+    /// # Errors
+    ///
+    /// The first kernel error in kernel order.
+    pub fn run_many(
+        &self,
+        kernels: &[Kernel],
+        seed: u64,
+        exec: &ParallelConfig,
+    ) -> Result<Vec<SimReport>, GemsimError> {
+        par_map(exec, kernels, |_, kernel| self.run(kernel, seed))
+            .into_iter()
+            .collect()
     }
 
     /// Runs one kernel with an explicit thread placement and reports system
@@ -220,7 +241,7 @@ impl System {
     /// [`GemsimError::InvalidSystem`] when a pinned cluster name does not
     /// exist.
     pub fn run_placed(
-        &mut self,
+        &self,
         kernel: &Kernel,
         seed: u64,
         placement: &Placement,
@@ -302,8 +323,7 @@ impl System {
                 continue;
             }
             let weight = cluster.core.frequency / cluster.core.base_cpi;
-            let instr_per_thread =
-                (kernel.instructions as f64 * weight / total_weight) as u64;
+            let instr_per_thread = (kernel.instructions as f64 * weight / total_weight) as u64;
             let mem_per_thread = (instr_per_thread as f64 * kernel.memory_ratio) as u64;
             let sim_per_thread = mem_per_thread.min(self.config.sample_accesses_per_thread);
             let scale = if sim_per_thread == 0 {
@@ -318,8 +338,9 @@ impl System {
             for local_core in 0..cluster.cores {
                 let core_id = global_core_index + local_core;
                 // Threads owned by this core.
-                let owned: Vec<u64> =
-                    (0..threads).filter(|t| t % total_cores == core_id as u64).collect();
+                let owned: Vec<u64> = (0..threads)
+                    .filter(|t| t % total_cores == core_id as u64)
+                    .collect();
                 let mut l1 = Cache::new(cluster.l1d.clone())?;
                 let mut stall_seconds_sim = 0.0;
                 for &t in &owned {
@@ -357,8 +378,8 @@ impl System {
                             } else {
                                 self.config.dram_latency
                             };
-                            stall_seconds_sim += dram_latency
-                                + FILL_WRITE_EXPOSURE * cluster.l2.write_latency;
+                            stall_seconds_sim +=
+                                dram_latency + FILL_WRITE_EXPOSURE * cluster.l2.write_latency;
                         }
                         if l2_out.writeback {
                             dram_writes_sim += 1;
@@ -366,8 +387,7 @@ impl System {
                         if l1_out.writeback {
                             // Dirty L1 line written into the L2 array.
                             let wb = l2.access(acc.address ^ 0x8000_0000, true);
-                            stall_seconds_sim +=
-                                WRITEBACK_EXPOSURE * cluster.l2.write_latency;
+                            stall_seconds_sim += WRITEBACK_EXPOSURE * cluster.l2.write_latency;
                             if wb.writeback {
                                 dram_writes_sim += 1;
                             }
@@ -375,8 +395,7 @@ impl System {
                     }
                 }
                 let instructions = instr_per_thread * owned.len() as u64;
-                let stall_cycles =
-                    cluster.core.cycles(stall_seconds_sim * scale);
+                let stall_cycles = cluster.core.cycles(stall_seconds_sim * scale);
                 let busy = cluster.core.execution_seconds(instructions, stall_cycles);
                 let ipc = if busy > 0.0 {
                     instructions as f64 / (busy * cluster.core.frequency)
@@ -485,7 +504,7 @@ mod tests {
 
     #[test]
     fn run_produces_consistent_counters() {
-        let mut sys = System::new(quick_config()).unwrap();
+        let sys = System::new(quick_config()).unwrap();
         let report = sys.run(&Kernel::bodytrack(), 1).unwrap();
         assert!(report.runtime_seconds > 0.0);
         assert_eq!(report.cores.len(), 8);
@@ -502,8 +521,25 @@ mod tests {
     }
 
     #[test]
+    fn run_many_matches_sequential_runs() {
+        let sys = System::new(quick_config()).unwrap();
+        let kernels = [
+            Kernel::bodytrack(),
+            Kernel::swaptions(),
+            Kernel::streamcluster(),
+        ];
+        let batch = sys
+            .run_many(&kernels, 9, &ParallelConfig::serial().with_threads(4))
+            .unwrap();
+        assert_eq!(batch.len(), kernels.len());
+        for (kernel, report) in kernels.iter().zip(&batch) {
+            assert_eq!(report, &sys.run(kernel, 9).unwrap());
+        }
+    }
+
+    #[test]
     fn deterministic_per_seed() {
-        let mut sys = System::new(quick_config()).unwrap();
+        let sys = System::new(quick_config()).unwrap();
         let a = sys.run(&Kernel::bodytrack(), 7).unwrap();
         let b = sys.run(&Kernel::bodytrack(), 7).unwrap();
         assert_eq!(a, b);
@@ -561,15 +597,23 @@ mod tests {
             cl.l2.write_latency = 15e-9;
         }
         let k = Kernel::swaptions(); // tiny working set
-        let t_base = System::new(base).unwrap().run(&k, 5).unwrap().runtime_seconds;
-        let t_slow = System::new(slow).unwrap().run(&k, 5).unwrap().runtime_seconds;
+        let t_base = System::new(base)
+            .unwrap()
+            .run(&k, 5)
+            .unwrap()
+            .runtime_seconds;
+        let t_slow = System::new(slow)
+            .unwrap()
+            .run(&k, 5)
+            .unwrap()
+            .runtime_seconds;
         let slowdown = t_slow / t_base;
         assert!(slowdown < 1.10, "slowdown = {slowdown}");
     }
 
     #[test]
     fn pinning_isolates_a_cluster() {
-        let mut sys = System::new(quick_config()).unwrap();
+        let sys = System::new(quick_config()).unwrap();
         let k = Kernel::bodytrack();
         let little = sys
             .run_placed(&k, 3, &Placement::Cluster("LITTLE".into()))
@@ -591,7 +635,7 @@ mod tests {
 
     #[test]
     fn pinning_to_unknown_cluster_errors() {
-        let mut sys = System::new(quick_config()).unwrap();
+        let sys = System::new(quick_config()).unwrap();
         assert!(sys
             .run_placed(&Kernel::bodytrack(), 1, &Placement::Cluster("mid".into()))
             .is_err());
@@ -635,7 +679,7 @@ mod tests {
 
     #[test]
     fn sampling_fraction_reported() {
-        let mut sys = System::new(quick_config()).unwrap();
+        let sys = System::new(quick_config()).unwrap();
         let r = sys.run(&Kernel::bodytrack(), 1).unwrap();
         assert!(r.simulated_fraction > 0.0 && r.simulated_fraction <= 1.0);
     }

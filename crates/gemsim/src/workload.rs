@@ -8,14 +8,12 @@
 //! class of the original (compute-bound vs memory-bound, streaming vs
 //! reuse-heavy).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use mss_units::rng::{Rng, Xoshiro256PlusPlus};
 
 use crate::GemsimError;
 
 /// A statistical workload kernel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Kernel {
     /// Kernel name (Parsec 3.0 counterpart).
     pub name: String,
@@ -253,7 +251,7 @@ impl Kernel {
 /// Seeded generator of one thread's memory-access stream.
 #[derive(Debug, Clone)]
 pub struct AccessStream {
-    rng: StdRng,
+    rng: Xoshiro256PlusPlus,
     history: Vec<u64>,
     cursor: u64,
     line: u64,
@@ -283,7 +281,9 @@ impl AccessStream {
     pub fn new(kernel: &Kernel, tid: u32, seed: u64) -> Self {
         let per_thread = (kernel.working_set / kernel.threads as u64).max(4 * LINE);
         Self {
-            rng: StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tid as u64 + 1))),
+            rng: Xoshiro256PlusPlus::seed_from_u64(
+                seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tid as u64 + 1),
+            ),
             history: Vec::with_capacity(HISTORY),
             cursor: 0,
             line: 0,
@@ -305,10 +305,10 @@ impl AccessStream {
             // set], i.e. 4 KiB up to the full per-thread partition. Whether
             // it hits depends entirely on how much cache sits below.
             let max_d = self.working_lines.max(128) as f64;
-            let u: f64 = self.rng.gen();
+            let u: f64 = self.rng.next_f64();
             let d = (64.0 * (max_d / 64.0).powf(u)) as u64;
-            let line = (self.line + self.working_lines - d % self.working_lines)
-                % self.working_lines;
+            let line =
+                (self.line + self.working_lines - d % self.working_lines) % self.working_lines;
             self.cursor += 1;
             return MemoryAccess {
                 address: self.base + line * LINE,
@@ -319,7 +319,7 @@ impl AccessStream {
         let line = if reuse {
             // Geometric stack distance over the recent-history buffer.
             let mut d = 0usize;
-            while self.rng.gen::<f64>() > self.reuse_p_geom && d + 1 < self.history.len() {
+            while self.rng.next_f64() > self.reuse_p_geom && d + 1 < self.history.len() {
                 d += 1;
             }
             self.history[self.history.len() - 1 - d]
@@ -329,7 +329,7 @@ impl AccessStream {
             self.line
         } else {
             // Random jump within the working set.
-            self.line = self.rng.gen_range(0..self.working_lines);
+            self.line = self.rng.gen_range_u64(0, self.working_lines);
             self.line
         };
         if self.history.len() == HISTORY {
@@ -338,7 +338,7 @@ impl AccessStream {
         self.history.push(line);
         self.cursor += 1;
         MemoryAccess {
-            address: self.base + line * LINE + self.rng.gen_range(0..LINE / 8) * 8,
+            address: self.base + line * LINE + self.rng.gen_range_u64(0, LINE / 8) * 8,
             write,
         }
     }

@@ -18,10 +18,9 @@
 
 use mss_gemsim::core::CoreKind;
 use mss_gemsim::stats::SimReport;
-use serde::{Deserialize, Serialize};
 
 /// Per-core power parameters (McPAT-style, 45 nm defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CorePowerParams {
     /// Dynamic energy per retired instruction, joules.
     pub energy_per_instruction: f64,
@@ -52,7 +51,7 @@ impl CorePowerParams {
 }
 
 /// System-level power-model configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct McpatConfig {
     /// Big-core parameters.
     pub big: CorePowerParams,
@@ -85,7 +84,7 @@ impl Default for McpatConfig {
 }
 
 /// Energy of one system component over a run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComponentEnergy {
     /// Component name ("big cores", "LITTLE.L2", "DRAM", ...).
     pub name: String,
@@ -103,7 +102,7 @@ impl ComponentEnergy {
 }
 
 /// The full power/energy report (one bar of the paper's Fig. 11).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerReport {
     /// Scenario / kernel label.
     pub label: String,
@@ -245,18 +244,32 @@ mod tests {
     fn sim_report() -> SimReport {
         let mut cfg = SystemConfig::big_little_default();
         cfg.sample_accesses_per_thread = 5000;
-        System::new(cfg).unwrap().run(&Kernel::bodytrack(), 1).unwrap()
+        System::new(cfg)
+            .unwrap()
+            .run(&Kernel::bodytrack(), 1)
+            .unwrap()
     }
 
     #[test]
     fn breakdown_has_all_components() {
         let report = evaluate(&McpatConfig::default(), &sim_report());
-        for name in ["big cores", "LITTLE cores", "big.L2", "LITTLE.L2", "bus", "memctrl", "DRAM"]
-        {
+        for name in [
+            "big cores",
+            "LITTLE cores",
+            "big.L2",
+            "LITTLE.L2",
+            "bus",
+            "memctrl",
+            "DRAM",
+        ] {
             assert!(
                 report.component(name).is_some(),
                 "missing component {name}: {:?}",
-                report.components.iter().map(|c| &c.name).collect::<Vec<_>>()
+                report
+                    .components
+                    .iter()
+                    .map(|c| &c.name)
+                    .collect::<Vec<_>>()
             );
         }
         assert!(report.total_energy() > 0.0);

@@ -17,13 +17,12 @@
 //! budgeting.
 
 use mss_units::consts::TAU0;
-use serde::{Deserialize, Serialize};
 
 use crate::stack::MssStack;
 use crate::MtjError;
 
 /// Stray-field assessment of a memory-mode pillar.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StrayFieldAssessment {
     /// In-plane (hard-axis) stray field, A/m.
     pub h_inplane: f64,
@@ -78,7 +77,11 @@ pub fn assess(stack: &MssStack, h_inplane: f64, h_easy: f64) -> StrayFieldAssess
         h_easy,
         switches,
         effective_delta: delta_eff,
-        retention_seconds: if switches { 0.0 } else { TAU0 * delta_eff.exp() },
+        retention_seconds: if switches {
+            0.0
+        } else {
+            TAU0 * delta_eff.exp()
+        },
     }
 }
 
@@ -89,10 +92,7 @@ pub fn assess(stack: &MssStack, h_inplane: f64, h_easy: f64) -> StrayFieldAssess
 ///
 /// [`MtjError::NoOperatingPoint`] when even a zero stray field cannot reach
 /// the target (the pillar is too small for the spec).
-pub fn max_tolerable_stray_field(
-    stack: &MssStack,
-    retention_target: f64,
-) -> Result<f64, MtjError> {
+pub fn max_tolerable_stray_field(stack: &MssStack, retention_target: f64) -> Result<f64, MtjError> {
     if retention_target <= 0.0 || !retention_target.is_finite() {
         return Err(MtjError::NoOperatingPoint {
             reason: format!("retention target {retention_target} s must be positive"),

@@ -23,17 +23,16 @@
 //! `D = α·k_B·T / ((1+α²)·γ̃·μ₀·M_s·V)`, integrated with the stochastic Heun
 //! scheme (Stratonovich). Deterministic runs use classic RK4.
 
+use mss_exec::{par_map, ParallelConfig};
 use mss_units::consts::{GAMMA, HBAR, KB, MU0, QE};
-use mss_units::rng::standard_normal;
+use mss_units::rng::{standard_normal, Rng, Xoshiro256PlusPlus};
+use mss_units::stats::{DistributionSummary, OnlineStats};
 use mss_units::Vec3;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::modes::MssDevice;
 
 /// Integration options for an LLG run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LlgOptions {
     /// Time step in seconds. 1 ps resolves GHz precession comfortably.
     pub dt: f64,
@@ -164,13 +163,26 @@ impl LlgSimulator {
     /// `m0` is normalised on entry; the trajectory stays on the unit sphere
     /// (renormalised every step, drift is checked in tests).
     pub fn run(&self, m0: Vec3, duration: f64, opts: &LlgOptions) -> Trajectory {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(opts.seed);
+        self.run_with_rng(m0, duration, opts, &mut rng)
+    }
+
+    /// [`run`](Self::run) drawing the thermal field from a caller-supplied
+    /// RNG instead of seeding from `opts.seed` — the hook the parallel
+    /// ensembles use to give every member its own deterministic stream.
+    pub fn run_with_rng<R: Rng + ?Sized>(
+        &self,
+        m0: Vec3,
+        duration: f64,
+        opts: &LlgOptions,
+        rng: &mut R,
+    ) -> Trajectory {
         assert!(opts.dt > 0.0, "dt must be positive");
         assert!(opts.record_every >= 1, "record_every must be >= 1");
         let steps = (duration / opts.dt).ceil() as usize;
         let mut m = m0.normalized();
         let mut traj = Trajectory::with_capacity(steps / opts.record_every + 2);
         traj.push(0.0, m);
-        let mut rng = StdRng::seed_from_u64(opts.seed);
         let sigma_h = if opts.thermal {
             (2.0 * self.thermal_diffusion() / opts.dt).sqrt()
         } else {
@@ -181,9 +193,9 @@ impl LlgSimulator {
                 // Stochastic Heun: one thermal-field draw per step, shared
                 // between predictor and corrector (Stratonovich).
                 let h_th = Vec3::new(
-                    sigma_h * standard_normal(&mut rng),
-                    sigma_h * standard_normal(&mut rng),
-                    sigma_h * standard_normal(&mut rng),
+                    sigma_h * standard_normal(&mut *rng),
+                    sigma_h * standard_normal(&mut *rng),
+                    sigma_h * standard_normal(&mut *rng),
                 );
                 let f1 = self.rhs(m, h_th);
                 let m_pred = (m + f1 * opts.dt).normalized();
@@ -203,10 +215,114 @@ impl LlgSimulator {
         }
         traj
     }
+
+    /// Parallel sweep over write currents: one LLG run per current, fanned
+    /// out with `mss-exec`.
+    ///
+    /// Thermal runs give point `i` RNG stream `(opts.seed, i)`, so the sweep
+    /// is bit-identical at any thread count. `threshold` is the `m_z` level
+    /// that counts as switched (e.g. `0.0` for crossing the equator).
+    pub fn current_sweep(
+        &self,
+        currents: &[f64],
+        m0: Vec3,
+        duration: f64,
+        threshold: f64,
+        opts: &LlgOptions,
+        cfg: &ParallelConfig,
+    ) -> Vec<SweepPoint> {
+        par_map(cfg, currents, |idx, &current| {
+            let sim = self.clone().with_current(current);
+            let mut rng = Xoshiro256PlusPlus::stream(opts.seed, idx as u64);
+            let traj = sim.run_with_rng(m0, duration, opts, &mut rng);
+            SweepPoint {
+                current,
+                switching_time: traj.switching_time(threshold),
+                final_mz: traj.final_m().z,
+            }
+        })
+    }
+
+    /// Parallel stochastic ensemble: `runs` independent thermal LLG runs of
+    /// this simulator, each on RNG stream `(opts.seed, run_index)`.
+    ///
+    /// Returns switching statistics against `threshold`. Results are merged
+    /// in run order and are therefore independent of the thread count.
+    pub fn thermal_ensemble(
+        &self,
+        runs: usize,
+        m0: Vec3,
+        duration: f64,
+        threshold: f64,
+        opts: &LlgOptions,
+        cfg: &ParallelConfig,
+    ) -> ThermalEnsemble {
+        let thermal_opts = LlgOptions {
+            thermal: true,
+            ..opts.clone()
+        };
+        let indices: Vec<u64> = (0..runs as u64).collect();
+        let members = par_map(cfg, &indices, |_, &run| {
+            let mut rng = Xoshiro256PlusPlus::stream(opts.seed, run);
+            let traj = self.run_with_rng(m0, duration, &thermal_opts, &mut rng);
+            (traj.switching_time(threshold), traj.final_m().z)
+        });
+        let mut switched = 0u64;
+        let mut t_switch = OnlineStats::new();
+        let mut mz = OnlineStats::new();
+        for (t, final_mz) in members {
+            if let Some(t) = t {
+                switched += 1;
+                t_switch.push(t);
+            }
+            mz.push(final_mz);
+        }
+        ThermalEnsemble {
+            runs: runs as u64,
+            switched,
+            switching_time: DistributionSummary::from(&t_switch),
+            final_mz: DistributionSummary::from(&mz),
+        }
+    }
+}
+
+/// One point of a [`LlgSimulator::current_sweep`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Write current at this point, amperes.
+    pub current: f64,
+    /// First crossing of the switching threshold, if any.
+    pub switching_time: Option<f64>,
+    /// Final `m_z` at the end of the run.
+    pub final_mz: f64,
+}
+
+/// Aggregate result of a [`LlgSimulator::thermal_ensemble`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalEnsemble {
+    /// Ensemble size.
+    pub runs: u64,
+    /// Members that crossed the switching threshold.
+    pub switched: u64,
+    /// Switching-time distribution over the switched members.
+    pub switching_time: DistributionSummary,
+    /// Distribution of the final `m_z` over all members.
+    pub final_mz: DistributionSummary,
+}
+
+impl ThermalEnsemble {
+    /// Fraction of members that switched (write success rate).
+    pub fn switching_probability(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.switched as f64 / self.runs as f64
+        }
+    }
 }
 
 /// A recorded magnetization trajectory.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trajectory {
     times: Vec<f64>,
     magnetization: Vec<Vec3>,
@@ -315,8 +431,7 @@ impl Trajectory {
         assert!(!self.is_empty(), "empty trajectory");
         let start = ((1.0 - fraction) * self.magnetization.len() as f64) as usize;
         let tail = &self.magnetization[start..];
-        let mean_sq =
-            tail.iter().map(|m| m.polar_angle().powi(2)).sum::<f64>() / tail.len() as f64;
+        let mean_sq = tail.iter().map(|m| m.polar_angle().powi(2)).sum::<f64>() / tail.len() as f64;
         mean_sq.sqrt()
     }
 }
@@ -334,7 +449,11 @@ mod tests {
     #[test]
     fn relaxation_to_easy_axis() {
         let sim = LlgSimulator::new(&memory_device());
-        let traj = sim.run(Vec3::from_spherical(0.3, 0.5), 10e-9, &LlgOptions::default());
+        let traj = sim.run(
+            Vec3::from_spherical(0.3, 0.5),
+            10e-9,
+            &LlgOptions::default(),
+        );
         assert!(traj.final_m().z > 0.999);
     }
 
@@ -380,10 +499,7 @@ mod tests {
         let dev = memory_device();
         let sw = SwitchingModel::new(dev.stack());
         let sim = LlgSimulator::new(&dev).with_current(0.5 * sw.critical_current());
-        let m0 = Vec3::from_spherical(
-            std::f64::consts::PI - dev.stack().thermal_angle(),
-            0.0,
-        );
+        let m0 = Vec3::from_spherical(std::f64::consts::PI - dev.stack().thermal_angle(), 0.0);
         let traj = sim.run(m0, 30e-9, &LlgOptions::default());
         assert!(traj.final_m().z < -0.9);
     }
@@ -486,15 +602,63 @@ mod tests {
         let a = sim.run(Vec3::unit_z(), 1e-9, &opts);
         let b = sim.run(Vec3::unit_z(), 1e-9, &opts);
         assert_eq!(a.final_m(), b.final_m());
-        let other = sim.run(
-            Vec3::unit_z(),
-            1e-9,
-            &LlgOptions {
-                seed: 8,
-                ..opts
-            },
-        );
+        let other = sim.run(Vec3::unit_z(), 1e-9, &LlgOptions { seed: 8, ..opts });
         assert_ne!(a.final_m(), other.final_m());
+    }
+
+    #[test]
+    fn current_sweep_speeds_up_with_overdrive() {
+        let dev = memory_device();
+        let sw = SwitchingModel::new(dev.stack());
+        let ic = sw.critical_current();
+        let sim = LlgSimulator::new(&dev);
+        let theta0 = std::f64::consts::PI - dev.stack().thermal_angle();
+        let m0 = Vec3::from_spherical(theta0, 0.0);
+        let points = sim.current_sweep(
+            &[2.0 * ic, 4.0 * ic],
+            m0,
+            60e-9,
+            0.0,
+            &LlgOptions::default(),
+            &ParallelConfig::serial().with_threads(2),
+        );
+        let t_low = points[0].switching_time.expect("2*Ic should switch");
+        let t_high = points[1].switching_time.expect("4*Ic should switch");
+        assert!(
+            t_high < t_low,
+            "overdrive should switch faster: {t_high} vs {t_low}"
+        );
+    }
+
+    #[test]
+    fn thermal_ensemble_is_thread_count_invariant() {
+        let dev = memory_device();
+        let sw = SwitchingModel::new(dev.stack());
+        let sim = LlgSimulator::new(&dev).with_current(2.5 * sw.critical_current());
+        let theta0 = std::f64::consts::PI - dev.stack().thermal_angle();
+        let m0 = Vec3::from_spherical(theta0, 0.0);
+        let opts = LlgOptions {
+            seed: 42,
+            ..LlgOptions::default()
+        };
+        let run = |threads| {
+            sim.thermal_ensemble(
+                6,
+                m0,
+                30e-9,
+                0.0,
+                &opts,
+                &ParallelConfig::serial().with_threads(threads),
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4));
+        assert_eq!(serial.runs, 6);
+        assert!(
+            serial.switching_probability() > 0.5,
+            "overdriven writes should mostly switch"
+        );
+        assert!(serial.switching_probability() <= 1.0);
     }
 
     #[test]

@@ -18,7 +18,6 @@
 
 use mss_units::consts::{am_to_oe, oe_to_am};
 use mss_units::math::brent;
-use serde::{Deserialize, Serialize};
 
 use crate::reliability;
 use crate::resistance::ResistanceModel;
@@ -26,7 +25,7 @@ use crate::stack::MssStack;
 use crate::MtjError;
 
 /// The patterned permanent-magnet bias structure surrounding an MSS pillar.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BiasMagnet {
     /// In-plane bias field produced at the free layer, in A/m (along +x).
     pub field: f64,
@@ -57,7 +56,7 @@ impl BiasMagnet {
 }
 
 /// The three functions one MSS technology provides.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MssMode {
     /// Bistable storage element (STT-MRAM bit cell).
     Memory,
@@ -94,7 +93,7 @@ impl std::fmt::Display for MssMode {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MssDevice {
     stack: MssStack,
     bias: BiasMagnet,
@@ -242,16 +241,9 @@ impl MssDevice {
         if flo.signum() == fhi.signum() {
             return Ok(if h_z >= 0.0 { 1.0 } else { -1.0 });
         }
-        brent(f, lo, hi, 1e-12, 200)
-            .map_err(|_| MtjError::Convergence {
-                context: "equilibrium_mz",
-            })
-            .map(|mz| {
-                // In oscillator bias range (hb < hk) the in-plane-branch
-                // stationary point near mz=0 can be a saddle; restrict to the
-                // stable branch by energy comparison with the tilted wells.
-                mz
-            })
+        brent(f, lo, hi, 1e-12, 200).map_err(|_| MtjError::Convergence {
+            context: "equilibrium_mz",
+        })
     }
 
     /// Equilibrium tilt angle from +z in degrees, at zero applied field.

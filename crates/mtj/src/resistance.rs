@@ -6,12 +6,10 @@
 //! `G(θ) = (G_P+G_AP)/2 + (G_P−G_AP)/2·cosθ`, and the antiparallel
 //! resistance decays with bias as `TMR(V) = TMR₀/(1+(V/V_h)²)`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::stack::MssStack;
 
 /// The two stable memory states of an MTJ.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MtjState {
     /// Free layer parallel to the reference layer (low resistance, logic 0).
     Parallel,
@@ -38,7 +36,7 @@ impl MtjState {
 }
 
 /// Resistance evaluator bound to a stack.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResistanceModel {
     r_p: f64,
     tmr0: f64,
@@ -149,10 +147,12 @@ mod tests {
     #[test]
     fn parallel_resistance_is_bias_independent() {
         let m = model();
-        assert!((m.state_resistance(MtjState::Parallel, 0.0)
-            - m.state_resistance(MtjState::Parallel, 0.4))
-        .abs()
-            < 1e-9);
+        assert!(
+            (m.state_resistance(MtjState::Parallel, 0.0)
+                - m.state_resistance(MtjState::Parallel, 0.4))
+            .abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! parameters and get self-consistent derived behaviour for free.
 
 use mss_units::consts::{GAMMA, HBAR, KB, MU0, QE};
-use serde::{Deserialize, Serialize};
 
 use crate::MtjError;
 
@@ -29,7 +28,7 @@ use crate::MtjError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MssStack {
     diameter: f64,
     free_layer_thickness: f64,
@@ -143,8 +142,7 @@ impl MssStack {
     /// τ_D = (1+α²)/(α·γ·μ₀·H_k,eff) in seconds — sets the precessional
     /// switching speed.
     pub fn tau_d(&self) -> f64 {
-        (1.0 + self.damping * self.damping)
-            / (self.damping * GAMMA * MU0 * self.hk_eff())
+        (1.0 + self.damping * self.damping) / (self.damping * GAMMA * MU0 * self.hk_eff())
     }
 
     /// Parallel-state resistance R_P = RA/A in ohms.
@@ -184,7 +182,7 @@ impl MssStack {
 ///
 /// All setters take SI units. [`MssStackBuilder::build`] validates ranges and
 /// the perpendicular-anisotropy condition (H_k,eff > 0).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MssStackBuilder {
     diameter: f64,
     free_layer_thickness: f64,
@@ -459,7 +457,10 @@ mod tests {
         let err = MssStack::builder().diameter(-40e-9).build().unwrap_err();
         assert!(matches!(
             err,
-            MtjError::InvalidParameter { name: "diameter", .. }
+            MtjError::InvalidParameter {
+                name: "diameter",
+                ..
+            }
         ));
     }
 

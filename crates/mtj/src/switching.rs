@@ -14,8 +14,6 @@
 //! For `i < 1` (thermal-activation regime) the Néel–Brown rate applies with
 //! the current-lowered barrier `Δ·(1−i)²`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::stack::MssStack;
 use crate::MtjError;
 
@@ -36,7 +34,7 @@ use crate::MtjError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SwitchingModel {
     delta: f64,
     ic0: f64,
@@ -118,8 +116,7 @@ impl SwitchingModel {
         if i > 1.0 {
             // 1 - exp(-x) with x = Δ(π/2)² exp(-2(i-1)t/τD); evaluate the
             // log-domain to keep 1e-18 resolvable.
-            let ln_x = self.delta.ln()
-                + 2.0 * std::f64::consts::FRAC_PI_2.ln()
+            let ln_x = self.delta.ln() + 2.0 * std::f64::consts::FRAC_PI_2.ln()
                 - 2.0 * (i - 1.0) * t_pulse / self.tau_d;
             if ln_x < -700.0 {
                 // x underflows: WER ≈ x.

@@ -9,7 +9,6 @@
 //! about.
 
 use mss_units::Vec3;
-use serde::{Deserialize, Serialize};
 
 use crate::llg::{LlgOptions, LlgSimulator};
 use crate::modes::MssDevice;
@@ -17,7 +16,7 @@ use crate::switching::SwitchingModel;
 use crate::MtjError;
 
 /// Result of a Monte Carlo write-ensemble run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WerValidation {
     /// Write current, amperes.
     pub current: f64,

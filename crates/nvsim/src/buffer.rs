@@ -12,12 +12,10 @@
 //! entries. The stationary occupancy distribution gives the stall (full)
 //! probability; the area cost is `N` SRAM-word equivalents.
 
-use serde::{Deserialize, Serialize};
-
 use crate::NvsimError;
 
 /// A candidate write-buffer design point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WriteBufferDesign {
     /// Buffer depth in entries.
     pub depth: u32,

@@ -1,11 +1,9 @@
 //! Memory-array organisation.
 
-use serde::{Deserialize, Serialize};
-
 use crate::NvsimError;
 
 /// What the array is used as (affects tag overhead and access pattern).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemoryKind {
     /// A flat random-access memory.
     Ram,
@@ -19,7 +17,7 @@ pub enum MemoryKind {
 }
 
 /// The organisation of one memory macro.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryConfig {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,
@@ -96,12 +94,12 @@ impl MemoryConfig {
             ));
         }
         let total_bits = capacity_bytes * 8;
-        if total_bits % word_bits as u64 != 0 {
+        if !total_bits.is_multiple_of(word_bits as u64) {
             return fail(format!(
                 "capacity {total_bits} bits is not divisible by the {word_bits}-bit word"
             ));
         }
-        if total_bits % banks as u64 != 0 {
+        if !total_bits.is_multiple_of(banks as u64) {
             return fail(format!("capacity not divisible across {banks} banks"));
         }
         let bank_bits = total_bits / banks as u64;
@@ -117,12 +115,14 @@ impl MemoryConfig {
         } = kind
         {
             if associativity == 0 || !associativity.is_power_of_two() {
-                return fail(format!("associativity {associativity} must be a power of two"));
+                return fail(format!(
+                    "associativity {associativity} must be a power of two"
+                ));
             }
             if line_bytes == 0 {
                 return fail("line size must be non-zero".into());
             }
-            if capacity_bytes % (associativity as u64 * line_bytes as u64) != 0 {
+            if !capacity_bytes.is_multiple_of(associativity as u64 * line_bytes as u64) {
                 return fail("capacity not divisible by associativity x line size".into());
             }
         }

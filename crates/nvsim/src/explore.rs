@@ -7,8 +7,7 @@
 //! subarray tiling and pick the organisation minimising a target metric,
 //! optionally under constraints.
 
-use serde::{Deserialize, Serialize};
-
+use mss_exec::{par_map, ParallelConfig};
 use mss_pdk::tech::TechParams;
 
 use crate::config::MemoryConfig;
@@ -16,7 +15,7 @@ use crate::model::{estimate, ArrayMetrics, MemoryTechnology};
 use crate::NvsimError;
 
 /// What the exploration minimises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OptimizationTarget {
     /// Read latency.
     ReadLatency,
@@ -50,7 +49,7 @@ impl OptimizationTarget {
 }
 
 /// Optional constraints a candidate must satisfy.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DesignConstraints {
     /// Maximum read latency, seconds.
     pub max_read_latency: Option<f64>,
@@ -65,15 +64,15 @@ pub struct DesignConstraints {
 impl DesignConstraints {
     /// True when the metrics satisfy every set constraint.
     pub fn accepts(&self, m: &ArrayMetrics) -> bool {
-        self.max_read_latency.map_or(true, |v| m.read_latency <= v)
-            && self.max_write_latency.map_or(true, |v| m.write_latency <= v)
-            && self.max_area.map_or(true, |v| m.area <= v)
-            && self.max_leakage.map_or(true, |v| m.leakage_power <= v)
+        self.max_read_latency.is_none_or(|v| m.read_latency <= v)
+            && self.max_write_latency.is_none_or(|v| m.write_latency <= v)
+            && self.max_area.is_none_or(|v| m.area <= v)
+            && self.max_leakage.is_none_or(|v| m.leakage_power <= v)
     }
 }
 
 /// One explored candidate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Candidate {
     /// The organisation evaluated.
     pub config: MemoryConfig,
@@ -84,7 +83,7 @@ pub struct Candidate {
 }
 
 /// Result of a design-space exploration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Exploration {
     /// The winning candidate.
     pub best: Candidate,
@@ -106,25 +105,52 @@ pub fn explore(
     target: OptimizationTarget,
     constraints: &DesignConstraints,
 ) -> Result<Exploration, NvsimError> {
-    let mut candidates = Vec::new();
+    explore_with(
+        tech,
+        base,
+        technology,
+        target,
+        constraints,
+        &ParallelConfig::from_env(),
+    )
+}
+
+/// [`explore`] with an explicit thread policy: candidate tilings are
+/// estimated in parallel and reduced in grid order, so the result is
+/// identical at any thread count.
+///
+/// # Errors
+///
+/// Same as [`explore`].
+pub fn explore_with(
+    tech: &TechParams,
+    base: &MemoryConfig,
+    technology: &MemoryTechnology,
+    target: OptimizationTarget,
+    constraints: &DesignConstraints,
+    exec: &ParallelConfig,
+) -> Result<Exploration, NvsimError> {
     let sizes = [64u32, 128, 256, 512, 1024, 2048];
-    for &rows in &sizes {
-        for &cols in &sizes {
-            let cfg = match base.with_subarray(rows, cols) {
-                Ok(c) => c,
-                Err(_) => continue, // tiling larger than the bank: skip
-            };
-            let metrics = estimate(tech, &cfg, technology)?;
-            if !constraints.accepts(&metrics) {
-                continue;
-            }
-            let score = target.score(&metrics);
-            candidates.push(Candidate {
-                config: cfg,
-                metrics,
-                score,
-            });
+    // Tilings larger than the bank are skipped up front; the survivors are
+    // the parallel work list.
+    let grid: Vec<MemoryConfig> = sizes
+        .iter()
+        .flat_map(|&rows| sizes.iter().map(move |&cols| (rows, cols)))
+        .filter_map(|(rows, cols)| base.with_subarray(rows, cols).ok())
+        .collect();
+    let estimated = par_map(exec, &grid, |_, cfg| estimate(tech, cfg, technology));
+    let mut candidates = Vec::new();
+    for (cfg, metrics) in grid.into_iter().zip(estimated) {
+        let metrics = metrics?;
+        if !constraints.accepts(&metrics) {
+            continue;
         }
+        let score = target.score(&metrics);
+        candidates.push(Candidate {
+            config: cfg,
+            metrics,
+            score,
+        });
     }
     candidates.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"));
     match candidates.first().cloned() {
@@ -220,6 +246,24 @@ mod tests {
     }
 
     #[test]
+    fn exploration_is_thread_count_invariant() {
+        let (tech, cfg, technology) = setup();
+        let run = |threads| {
+            explore_with(
+                &tech,
+                &cfg,
+                &technology,
+                OptimizationTarget::ReadEdp,
+                &DesignConstraints::default(),
+                &ParallelConfig::serial().with_threads(threads),
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4));
+    }
+
+    #[test]
     fn impossible_constraints_error() {
         let (tech, cfg, technology) = setup();
         let absurd = DesignConstraints {
@@ -227,14 +271,7 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(
-            explore(
-                &tech,
-                &cfg,
-                &technology,
-                OptimizationTarget::Area,
-                &absurd
-            )
-            .unwrap_err(),
+            explore(&tech, &cfg, &technology, OptimizationTarget::Area, &absurd).unwrap_err(),
             NvsimError::NoFeasibleDesign
         );
     }

@@ -15,14 +15,13 @@
 
 use mss_pdk::charlib::CellLibrary;
 use mss_pdk::tech::TechParams;
-use serde::{Deserialize, Serialize};
 
 use crate::config::{MemoryConfig, MemoryKind};
 use crate::sram::SramCell;
 use crate::NvsimError;
 
 /// Which cell technology populates the array.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MemoryTechnology {
     /// 6T SRAM derived from the CMOS card.
     Sram,
@@ -41,7 +40,7 @@ impl MemoryTechnology {
 }
 
 /// Latency contributions of one access path.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LatencyBreakdown {
     /// Row-decoder chain.
     pub decoder: f64,
@@ -65,7 +64,7 @@ impl LatencyBreakdown {
 }
 
 /// Estimated array metrics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArrayMetrics {
     /// Read access latency, seconds.
     pub read_latency: f64,
@@ -134,17 +133,11 @@ pub fn estimate(
         while (rows as u64) * (cols as u64) > tag_bits_total && cols > 8 {
             cols /= 2;
         }
-        let tag_cfg = MemoryConfig::new(
-            tag_bits_total / 8,
-            tag_word,
-            1,
-            rows,
-            cols,
-            MemoryKind::Ram,
-        )
-        .map_err(|e| NvsimError::InvalidOrganization {
-            reason: format!("tag array organisation failed: {e}"),
-        })?;
+        let tag_cfg =
+            MemoryConfig::new(tag_bits_total / 8, tag_word, 1, rows, cols, MemoryKind::Ram)
+                .map_err(|e| NvsimError::InvalidOrganization {
+                    reason: format!("tag array organisation failed: {e}"),
+                })?;
         let tag = estimate_flat(tech, &tag_cfg, &MemoryTechnology::Sram)?;
         let compare = 2.0 * tech.fo4_delay;
         // Parallel tag+data lookup; way-select after the slower of the two.
@@ -255,8 +248,8 @@ fn estimate_with_cell(
 
     // --- Bit line ---
     let r_bl = tech.wire_res_per_len * geo.bl_len;
-    let c_bl = tech.wire_cap_per_len * geo.bl_len
-        + rows * tech.junction_cap(cell.access_gate_width) * 0.5;
+    let c_bl =
+        tech.wire_cap_per_len * geo.bl_len + rows * tech.junction_cap(cell.access_gate_width) * 0.5;
     let bl_delay = 0.69 * 0.5 * r_bl * c_bl;
     // Reads swing the bit line by ~0.2 V; writes swing it rail to rail.
     let bl_read_energy = c_bl * vdd * 0.2;
@@ -343,7 +336,11 @@ mod tests {
     fn sram_reads_and_writes_fast() {
         let cfg = MemoryConfig::ram(1 << 20, 64).unwrap();
         let m = estimate(&tech(), &cfg, &MemoryTechnology::Sram).unwrap();
-        assert!(m.read_latency > 0.0 && m.read_latency < 3e-9, "{}", m.read_latency);
+        assert!(
+            m.read_latency > 0.0 && m.read_latency < 3e-9,
+            "{}",
+            m.read_latency
+        );
         assert!(m.write_latency < 3e-9);
         assert!(m.leakage_power > 0.0);
     }
@@ -361,7 +358,12 @@ mod tests {
         let cfg = MemoryConfig::ram(1 << 20, 64).unwrap();
         let sram = estimate(&tech(), &cfg, &MemoryTechnology::Sram).unwrap();
         let stt = estimate(&tech(), &cfg, &MemoryTechnology::SttMram(stt_lib())).unwrap();
-        assert!(stt.area < sram.area, "stt {} vs sram {}", stt.area, sram.area);
+        assert!(
+            stt.area < sram.area,
+            "stt {} vs sram {}",
+            stt.area,
+            sram.area
+        );
         assert!(
             stt.leakage_power < 0.3 * sram.leakage_power,
             "stt {} vs sram {}",
@@ -386,15 +388,8 @@ mod tests {
     fn wider_word_costs_more_energy() {
         let lib = stt_lib();
         let narrow = MemoryConfig::ram(1 << 20, 64).unwrap();
-        let wide = MemoryConfig::new(
-            1 << 20,
-            512,
-            1,
-            512,
-            512,
-            crate::config::MemoryKind::Ram,
-        )
-        .unwrap();
+        let wide =
+            MemoryConfig::new(1 << 20, 512, 1, 512, 512, crate::config::MemoryKind::Ram).unwrap();
         let mn = estimate(&tech(), &narrow, &MemoryTechnology::SttMram(lib.clone())).unwrap();
         let mw = estimate(&tech(), &wide, &MemoryTechnology::SttMram(lib)).unwrap();
         assert!(mw.write_energy > 4.0 * mn.write_energy);
@@ -404,15 +399,8 @@ mod tests {
     #[test]
     fn cache_adds_tag_overhead() {
         let lib = stt_lib();
-        let ram = MemoryConfig::new(
-            512 << 10,
-            512,
-            1,
-            512,
-            512,
-            crate::config::MemoryKind::Ram,
-        )
-        .unwrap();
+        let ram =
+            MemoryConfig::new(512 << 10, 512, 1, 512, 512, crate::config::MemoryKind::Ram).unwrap();
         let cache = MemoryConfig::cache(512 << 10, 8, 64).unwrap();
         let mr = estimate(&tech(), &ram, &MemoryTechnology::SttMram(lib.clone())).unwrap();
         let mc = estimate(&tech(), &cache, &MemoryTechnology::SttMram(lib)).unwrap();

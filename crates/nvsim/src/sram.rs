@@ -5,10 +5,9 @@
 //! the same CMOS card the STT-MRAM periphery uses.
 
 use mss_pdk::tech::TechParams;
-use serde::{Deserialize, Serialize};
 
 /// Cell-level parameters of a 6T SRAM bit cell.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SramCell {
     /// Cell area in m².
     pub area: f64,

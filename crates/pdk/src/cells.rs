@@ -213,9 +213,7 @@ pub fn pcsa_read_deck(
 ///
 /// Template or parse failures surface as [`PdkError::Circuit`].
 pub fn write_driver_deck(tech: &TechParams, c_bl: f64, t_pulse: f64) -> Result<Deck, PdkError> {
-    let stack = MssStack::builder()
-        .build()
-        .expect("default stack is valid");
+    let stack = MssStack::builder().build().expect("default stack is valid");
     let mut b = base_bindings(tech, &stack);
     let f = tech.feature;
     b.set_f64("wn1", 2.0 * f)

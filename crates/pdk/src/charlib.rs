@@ -14,7 +14,6 @@ use mss_spice::analysis::{dc_operating_point, Transient, TransientOptions, Trans
 use mss_spice::mdl::{Edge, Measurement, Probe, Report};
 use mss_spice::netlist::Netlist;
 use mss_spice::waveform::Waveform;
-use serde::{Deserialize, Serialize};
 
 use crate::cells::{
     bitcell_write_deck, nvff_backup_deck, nvff_restore_deck, pcsa_read_deck, WriteDirection,
@@ -24,7 +23,7 @@ use crate::variation::{ProcessCorner, VariationCard};
 use crate::PdkError;
 
 /// Latency/energy/current triple for one memory operation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpMetrics {
     /// Operation latency in seconds.
     pub latency: f64,
@@ -35,7 +34,7 @@ pub struct OpMetrics {
 }
 
 /// The characterised cell configuration consumed by VAET-STT.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellLibrary {
     /// Technology node the library was characterised at.
     pub node: TechNode,
@@ -60,7 +59,7 @@ pub struct CellLibrary {
 }
 
 /// Characterised metrics of the non-volatile flip-flop (backup + restore).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NvffMetrics {
     /// Two-phase backup time (both junctions written), seconds.
     pub backup_latency: f64,

@@ -7,10 +7,9 @@
 //! memory-level results land in the paper's range (see `EXPERIMENTS.md`).
 
 use mss_spice::mosfet::{MosModel, MosPolarity};
-use serde::{Deserialize, Serialize};
 
 /// The two technology nodes of the paper's Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TechNode {
     /// 45 nm bulk CMOS.
     N45,
@@ -33,7 +32,7 @@ impl TechNode {
 }
 
 /// A complete CMOS technology card.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TechParams {
     /// Node identity.
     pub node: TechNode,

@@ -8,14 +8,12 @@
 //! 1/√(W·L) ∝ 1/F for fixed relative geometry).
 
 use mss_mtj::{MssStack, MssStackBuilder, MtjError};
-use mss_units::rng::Variation;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use mss_units::rng::{Rng, Variation};
 
 use crate::tech::{TechNode, TechParams};
 
 /// Dispersion of the CMOS process parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CmosVariation {
     /// Threshold-voltage mismatch (absolute, volts).
     pub vth: Variation,
@@ -28,7 +26,7 @@ pub struct CmosVariation {
 }
 
 /// Dispersion of the magnetic (MTJ) process parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MtjVariation {
     /// Pillar-diameter dispersion (relative).
     pub diameter: Variation,
@@ -43,7 +41,7 @@ pub struct MtjVariation {
 }
 
 /// Classic five process corners for corner-based (non-statistical) signoff.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProcessCorner {
     /// Typical-typical.
     Tt,
@@ -92,7 +90,7 @@ impl std::fmt::Display for ProcessCorner {
 }
 
 /// The complete variation card for one node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationCard {
     /// CMOS-side dispersion.
     pub cmos: CmosVariation,
@@ -197,9 +195,8 @@ impl VariationCard {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mss_units::rng::Xoshiro256PlusPlus;
     use mss_units::stats::OnlineStats;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn smaller_node_has_more_dispersion() {
@@ -214,7 +211,7 @@ mod tests {
     fn sampled_stack_statistics_match_card() {
         let card = VariationCard::node(TechNode::N45);
         let nominal = MssStack::builder().build().unwrap();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
         let stats: OnlineStats = (0..3000)
             .map(|_| card.sample_stack(&mut rng, &nominal).unwrap().diameter())
             .collect();
@@ -230,7 +227,7 @@ mod tests {
     fn sampled_stack_varies_derived_quantities() {
         let card = VariationCard::node(TechNode::N45);
         let nominal = MssStack::builder().build().unwrap();
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
         let deltas: OnlineStats = (0..500)
             .map(|_| {
                 card.sample_stack(&mut rng, &nominal)
@@ -246,7 +243,7 @@ mod tests {
     fn sampled_tech_keeps_structure() {
         let card = VariationCard::node(TechNode::N65);
         let nominal = TechParams::node(TechNode::N65);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
         let t = card.sample_tech(&mut rng, &nominal);
         assert_eq!(t.node, nominal.node);
         assert_eq!(t.feature, nominal.feature);
@@ -281,10 +278,10 @@ mod tests {
         let card = VariationCard::node(TechNode::N45);
         let nominal = MssStack::builder().build().unwrap();
         let a = card
-            .sample_stack(&mut StdRng::seed_from_u64(9), &nominal)
+            .sample_stack(&mut Xoshiro256PlusPlus::seed_from_u64(9), &nominal)
             .unwrap();
         let b = card
-            .sample_stack(&mut StdRng::seed_from_u64(9), &nominal)
+            .sample_stack(&mut Xoshiro256PlusPlus::seed_from_u64(9), &nominal)
             .unwrap();
         assert_eq!(a, b);
     }

@@ -5,10 +5,10 @@
 //!
 //! 1. solves the DC operating point (nonlinear devices linearised there),
 //! 2. for each frequency assembles the complex MNA system — resistors and
-//!   MTJs as real conductances, capacitors as `jωC`, MOSFETs as their
-//!   small-signal `(g_m, g_ds)` at the operating point,
+//!    MTJs as real conductances, capacitors as `jωC`, MOSFETs as their
+//!    small-signal `(g_m, g_ds)` at the operating point,
 //! 3. applies a unit AC excitation to one chosen source (every other source
-//!   is AC-grounded) and solves for the complex node voltages.
+//!    is AC-grounded) and solves for the complex node voltages.
 //!
 //! Inductors are not modelled (none of the paper's cells need them; the
 //! spin-torque oscillator itself is handled by the LLG model in `mss-mtj`).
@@ -100,7 +100,10 @@ impl AcResult {
 ///
 /// Panics if the bounds are non-positive or inverted, or `n < 2`.
 pub fn log_sweep(f_start: f64, f_stop: f64, n: usize) -> Vec<f64> {
-    assert!(f_start > 0.0 && f_stop > f_start && n >= 2, "bad sweep spec");
+    assert!(
+        f_start > 0.0 && f_stop > f_start && n >= 2,
+        "bad sweep spec"
+    );
     let ratio = (f_stop / f_start).ln();
     (0..n)
         .map(|k| f_start * (ratio * k as f64 / (n - 1) as f64).exp())
@@ -163,8 +166,8 @@ pub fn ac_analysis(
             }
         };
         // gmin keeps floating nets solvable, as in the time domain.
-        for i in 0..n_nodes {
-            m[i][i] += Complex::real(1e-12);
+        for (i, row) in m.iter_mut().enumerate().take(n_nodes) {
+            row[i] += Complex::real(1e-12);
         }
         let mut vk = 0usize;
         for e in netlist.elements() {
@@ -175,7 +178,9 @@ pub fn ac_analysis(
                 Element::Capacitor { a, b, farads, .. } => {
                     stamp_admittance(&mut m, *a, *b, Complex::new(0.0, omega * farads));
                 }
-                Element::VSource { name, plus, minus, .. } => {
+                Element::VSource {
+                    name, plus, minus, ..
+                } => {
                     let row = n_nodes + vk;
                     vk += 1;
                     if let Some(ip) = idx(*plus) {
@@ -196,7 +201,12 @@ pub fn ac_analysis(
                     // Independent current sources are AC-open.
                 }
                 Element::Mosfet {
-                    d, g, s, model, geom, ..
+                    d,
+                    g,
+                    s,
+                    model,
+                    geom,
+                    ..
                 } => {
                     let op = model.evaluate(geom, vdc(*g) - vdc(*s), vdc(*d) - vdc(*s));
                     stamp_admittance(&mut m, *d, *s, Complex::real(op.gds));
@@ -218,10 +228,18 @@ pub fn ac_analysis(
                     }
                 }
                 Element::Mtj {
-                    plus, minus, device, ..
+                    plus,
+                    minus,
+                    device,
+                    ..
                 } => {
                     let v = vdc(*plus) - vdc(*minus);
-                    stamp_admittance(&mut m, *plus, *minus, Complex::real(1.0 / device.resistance(v)));
+                    stamp_admittance(
+                        &mut m,
+                        *plus,
+                        *minus,
+                        Complex::real(1.0 / device.resistance(v)),
+                    );
                 }
             }
         }
@@ -240,6 +258,7 @@ pub fn ac_analysis(
 }
 
 /// Complex LU solve with partial pivoting (dense; AC systems here are tiny).
+#[allow(clippy::needless_range_loop)]
 fn csolve(mut a: Vec<Vec<Complex>>, mut b: Vec<Complex>) -> Result<Vec<Complex>, SpiceError> {
     let n = b.len();
     for k in 0..n {
@@ -305,10 +324,7 @@ mod tests {
         let freqs = log_sweep(1e6, 10e9, 200);
         let ac = ac_analysis(&nl, "vin", &freqs).unwrap();
         let fc = ac.corner_frequency("out").unwrap().expect("corner exists");
-        assert!(
-            (fc / 159.15e6 - 1.0).abs() < 0.05,
-            "corner = {fc:.3e} Hz"
-        );
+        assert!((fc / 159.15e6 - 1.0).abs() < 0.05, "corner = {fc:.3e} Hz");
         // DC gain is unity, high-frequency response rolls off.
         let mag = ac.magnitude("out").unwrap();
         assert!((mag[0] - 1.0).abs() < 1e-3);
@@ -349,7 +365,8 @@ mod tests {
     fn common_source_amplifier_gain_and_inversion() {
         // NMOS with drain resistor: |H| ~ gm*(RL || ro), 180 deg phase.
         let mut nl = Netlist::new();
-        nl.add_vsource("vdd", "vdd", "0", Waveform::dc(1.0)).unwrap();
+        nl.add_vsource("vdd", "vdd", "0", Waveform::dc(1.0))
+            .unwrap();
         nl.add_vsource("vin", "in", "0", Waveform::dc(0.7)).unwrap();
         nl.add_resistor("rl", "vdd", "out", 10e3).unwrap();
         let model = MosModel::generic_nmos();
@@ -380,8 +397,10 @@ mod tests {
         let stack = MssStack::builder().build().unwrap();
         let mut nl = Netlist::new();
         nl.add_vsource("vin", "in", "0", Waveform::dc(0.0)).unwrap();
-        nl.add_resistor("r1", "in", "out", stack.resistance_parallel()).unwrap();
-        nl.add_mtj("x1", "out", "0", &stack, MtjState::Parallel).unwrap();
+        nl.add_resistor("r1", "in", "out", stack.resistance_parallel())
+            .unwrap();
+        nl.add_mtj("x1", "out", "0", &stack, MtjState::Parallel)
+            .unwrap();
         let ac = ac_analysis(&nl, "vin", &[1e6]).unwrap();
         let m = ac.magnitude("out").unwrap()[0];
         // Equal-resistance divider: exactly one half.

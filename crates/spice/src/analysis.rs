@@ -177,7 +177,9 @@ impl Mna {
                     }
                     // DC: open circuit (gmin keeps nodes grounded).
                 }
-                Element::VSource { plus, minus, wave, .. } => {
+                Element::VSource {
+                    plus, minus, wave, ..
+                } => {
                     let row = self.vsource_rows[vk].1;
                     vk += 1;
                     if let Some(ip) = self.node_idx(*plus) {
@@ -190,13 +192,20 @@ impl Mna {
                     }
                     rhs[row] = wave.eval(t);
                 }
-                Element::ISource { plus, minus, wave, .. } => {
+                Element::ISource {
+                    plus, minus, wave, ..
+                } => {
                     let i = wave.eval(t);
                     self.inject(&mut rhs, *plus, -i);
                     self.inject(&mut rhs, *minus, i);
                 }
                 Element::Mosfet {
-                    d, g, s, model, geom, ..
+                    d,
+                    g,
+                    s,
+                    model,
+                    geom,
+                    ..
                 } => {
                     let vg = self.voltage(x0, *g);
                     let vd = self.voltage(x0, *d);
@@ -225,7 +234,10 @@ impl Mna {
                     self.inject(&mut rhs, *s, i0);
                 }
                 Element::Mtj {
-                    plus, minus, device, ..
+                    plus,
+                    minus,
+                    device,
+                    ..
                 } => {
                     let v = self.voltage(x0, *plus) - self.voltage(x0, *minus);
                     let (g, _) = device.linearize(v);
@@ -324,7 +336,10 @@ impl TransientOptions {
     ///
     /// Panics if either value is non-positive or `t_stop < dt`.
     pub fn new(dt: f64, t_stop: f64) -> Self {
-        assert!(dt > 0.0 && t_stop > 0.0 && t_stop >= dt, "bad transient window");
+        assert!(
+            dt > 0.0 && t_stop > 0.0 && t_stop >= dt,
+            "bad transient window"
+        );
         Self { dt, t_stop }
     }
 }
@@ -597,8 +612,13 @@ mod tests {
         let mut nl = Netlist::new();
         nl.add_vsource("v1", "n1", "0", Waveform::dc(1.0)).unwrap();
         for i in 1..5 {
-            nl.add_resistor(&format!("r{i}"), &format!("n{i}"), &format!("n{}", i + 1), 1e3)
-                .unwrap();
+            nl.add_resistor(
+                &format!("r{i}"),
+                &format!("n{i}"),
+                &format!("n{}", i + 1),
+                1e3,
+            )
+            .unwrap();
         }
         nl.add_resistor("rend", "n5", "0", 1e3).unwrap();
         let dc = dc_operating_point(&nl).unwrap();
@@ -650,7 +670,8 @@ mod tests {
         // NMOS with resistive pull-up: in=0 -> out high; in=Vdd -> out low.
         let build = |vin: f64| {
             let mut nl = Netlist::new();
-            nl.add_vsource("vdd", "vdd", "0", Waveform::dc(1.0)).unwrap();
+            nl.add_vsource("vdd", "vdd", "0", Waveform::dc(1.0))
+                .unwrap();
             nl.add_vsource("vin", "in", "0", Waveform::dc(vin)).unwrap();
             nl.add_resistor("rl", "vdd", "out", 10e3).unwrap();
             nl.add_mosfet(
@@ -717,7 +738,8 @@ mod tests {
         let stack = MssStack::builder().build().unwrap();
         let v_read = 0.1; // well below write voltages
         let mut nl = Netlist::new();
-        nl.add_vsource("vr", "top", "0", Waveform::dc(v_read)).unwrap();
+        nl.add_vsource("vr", "top", "0", Waveform::dc(v_read))
+            .unwrap();
         nl.add_mtj("x1", "top", "0", &stack, MtjState::Antiparallel)
             .unwrap();
         let res = Transient::new(&nl)

@@ -77,7 +77,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(SpiceError::UnknownNode("x".into()).to_string().contains("x"));
+        assert!(SpiceError::UnknownNode("x".into())
+            .to_string()
+            .contains("x"));
         assert!(SpiceError::SingularMatrix.to_string().contains("singular"));
         let e = SpiceError::NoConvergence {
             analysis: "transient",

@@ -11,13 +11,11 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::analysis::TransientResult;
 use crate::SpiceError;
 
 /// What signal a measurement probes.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Probe {
     /// Voltage of a named node.
     NodeVoltage(String),
@@ -43,7 +41,7 @@ impl Probe {
 }
 
 /// Crossing direction for threshold-based measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Edge {
     /// Low-to-high crossing.
     Rise,
@@ -54,7 +52,7 @@ pub enum Edge {
 }
 
 /// One measurement specification.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Measurement {
     /// Time from a trigger crossing to a target crossing (propagation delay).
     Delay {
@@ -204,26 +202,48 @@ impl Measurement {
                 integrate_window(times, &v, i, *from, *to)
                     .ok_or_else(|| measurement_err(name, "empty integration window"))
             }
-            Measurement::Average { name, probe, from, to } => {
-                window_reduce(times, probe.signal(result)?, *from, *to, name, |acc, dtv| {
-                    (acc.0 + dtv.0 * dtv.1, acc.1 + dtv.1)
-                })
-                .map(|(sum, dur)| sum / dur)
-            }
-            Measurement::Minimum { name, probe, from, to } => {
-                window_values(times, probe.signal(result)?, *from, *to, name)
-                    .map(|vals| vals.iter().copied().fold(f64::INFINITY, f64::min))
-            }
-            Measurement::Maximum { name, probe, from, to } => {
-                window_values(times, probe.signal(result)?, *from, *to, name)
-                    .map(|vals| vals.iter().copied().fold(f64::NEG_INFINITY, f64::max))
-            }
-            Measurement::Rms { name, probe, from, to } => {
-                window_reduce(times, probe.signal(result)?, *from, *to, name, |acc, dtv| {
-                    (acc.0 + dtv.0 * dtv.0 * dtv.1, acc.1 + dtv.1)
-                })
-                .map(|(sum, dur)| (sum / dur).sqrt())
-            }
+            Measurement::Average {
+                name,
+                probe,
+                from,
+                to,
+            } => window_reduce(
+                times,
+                probe.signal(result)?,
+                *from,
+                *to,
+                name,
+                |acc, dtv| (acc.0 + dtv.0 * dtv.1, acc.1 + dtv.1),
+            )
+            .map(|(sum, dur)| sum / dur),
+            Measurement::Minimum {
+                name,
+                probe,
+                from,
+                to,
+            } => window_values(times, probe.signal(result)?, *from, *to, name)
+                .map(|vals| vals.iter().copied().fold(f64::INFINITY, f64::min)),
+            Measurement::Maximum {
+                name,
+                probe,
+                from,
+                to,
+            } => window_values(times, probe.signal(result)?, *from, *to, name)
+                .map(|vals| vals.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+            Measurement::Rms {
+                name,
+                probe,
+                from,
+                to,
+            } => window_reduce(
+                times,
+                probe.signal(result)?,
+                *from,
+                *to,
+                name,
+                |acc, dtv| (acc.0 + dtv.0 * dtv.0 * dtv.1, acc.1 + dtv.1),
+            )
+            .map(|(sum, dur)| (sum / dur).sqrt()),
             Measurement::FinalValue { name, probe } => probe
                 .signal(result)?
                 .last()
@@ -302,9 +322,9 @@ fn integrate_window(times: &[f64], v: &[f64], i: &[f64], from: f64, to: f64) -> 
     any.then_some(acc)
 }
 
-fn window_values<'a>(
+fn window_values(
     times: &[f64],
-    signal: &'a [f64],
+    signal: &[f64],
     from: f64,
     to: f64,
     name: &str,
@@ -348,7 +368,7 @@ fn window_reduce(
 }
 
 /// A batch of measurements evaluated together.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MeasurementSet {
     measurements: Vec<Measurement>,
 }
@@ -400,7 +420,7 @@ impl FromIterator<Measurement> for MeasurementSet {
 }
 
 /// The measurement output "file": name → value pairs.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Report {
     values: BTreeMap<String, f64>,
 }

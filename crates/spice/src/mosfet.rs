@@ -4,10 +4,8 @@
 //! right fidelity for relative delay/energy extraction of small MRAM
 //! peripheral cells. Model cards come from `mss-pdk` technology nodes.
 
-use serde::{Deserialize, Serialize};
-
 /// Transistor polarity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MosPolarity {
     /// N-channel.
     Nmos,
@@ -16,7 +14,7 @@ pub enum MosPolarity {
 }
 
 /// A level-1 MOSFET model card.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MosModel {
     /// Polarity.
     pub polarity: MosPolarity,
@@ -51,7 +49,7 @@ impl MosModel {
 }
 
 /// Geometry of one transistor instance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MosGeometry {
     /// Gate width in metres.
     pub width: f64,
@@ -86,15 +84,23 @@ fn eval_nmos(beta: f64, vth: f64, lambda: f64, vgs: f64, vds: f64) -> MosOperati
         // Triode.
         let id = beta * (vov * vds - 0.5 * vds * vds) * (1.0 + lambda * vds);
         let gm = beta * vds * (1.0 + lambda * vds);
-        let gds = beta * ((vov - vds) * (1.0 + lambda * vds)
-            + lambda * (vov * vds - 0.5 * vds * vds));
-        MosOperatingPoint { id, gm, gds: gds.max(1e-12) }
+        let gds =
+            beta * ((vov - vds) * (1.0 + lambda * vds) + lambda * (vov * vds - 0.5 * vds * vds));
+        MosOperatingPoint {
+            id,
+            gm,
+            gds: gds.max(1e-12),
+        }
     } else {
         // Saturation.
         let id = 0.5 * beta * vov * vov * (1.0 + lambda * vds);
         let gm = beta * vov * (1.0 + lambda * vds);
         let gds = 0.5 * beta * vov * vov * lambda;
-        MosOperatingPoint { id, gm, gds: gds.max(1e-12) }
+        MosOperatingPoint {
+            id,
+            gm,
+            gds: gds.max(1e-12),
+        }
     }
 }
 

@@ -13,10 +13,9 @@
 use mss_mtj::resistance::{MtjState, ResistanceModel};
 use mss_mtj::switching::SwitchingModel;
 use mss_mtj::MssStack;
-use serde::{Deserialize, Serialize};
 
 /// MTJ circuit element state and models.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MtjElement {
     resistance: ResistanceModel,
     switching: SwitchingModel,
@@ -156,7 +155,10 @@ mod tests {
             }
         }
         let t = flipped_at.expect("never switched");
-        assert!((t / t_sw - 1.0).abs() < 0.05, "switched at {t}, expected {t_sw}");
+        assert!(
+            (t / t_sw - 1.0).abs() < 0.05,
+            "switched at {t}, expected {t_sw}"
+        );
         assert_eq!(e.state(), MtjState::Parallel);
     }
 

@@ -217,7 +217,13 @@ impl Netlist {
     /// # Errors
     ///
     /// Rejects non-positive or non-finite resistance and duplicate names.
-    pub fn add_resistor(&mut self, name: &str, a: &str, b: &str, ohms: f64) -> Result<(), SpiceError> {
+    pub fn add_resistor(
+        &mut self,
+        name: &str,
+        a: &str,
+        b: &str,
+        ohms: f64,
+    ) -> Result<(), SpiceError> {
         self.check_name(name)?;
         if !(ohms.is_finite() && ohms > 0.0) {
             return Err(SpiceError::InvalidElement {
@@ -240,7 +246,13 @@ impl Netlist {
     /// # Errors
     ///
     /// Rejects non-positive capacitance and duplicate names.
-    pub fn add_capacitor(&mut self, name: &str, a: &str, b: &str, farads: f64) -> Result<(), SpiceError> {
+    pub fn add_capacitor(
+        &mut self,
+        name: &str,
+        a: &str,
+        b: &str,
+        farads: f64,
+    ) -> Result<(), SpiceError> {
         self.check_name(name)?;
         if !(farads.is_finite() && farads > 0.0) {
             return Err(SpiceError::InvalidElement {

@@ -358,7 +358,7 @@ impl<'a> Parser<'a> {
                 if model_pos < 4 {
                     return err(lineno, "mosfet needs d g s terminals before the model");
                 }
-                let model = if tokens[model_pos].to_ascii_lowercase() == "nmos" {
+                let model = if tokens[model_pos].eq_ignore_ascii_case("nmos") {
                     self.nmos
                 } else {
                     self.pmos
@@ -425,12 +425,16 @@ impl<'a> Parser<'a> {
                         ports: HashMap::new(),
                     };
                     for (formal, actual) in def.ports.iter().zip(actuals) {
-                        inner
-                            .ports
-                            .insert(formal.clone(), scope.node(actual));
+                        inner.ports.insert(formal.clone(), scope.node(actual));
                     }
                     for (body_lineno, body_line) in &def.body {
-                        self.element_statement(netlist, *body_lineno, body_line, &inner, depth + 1)?;
+                        self.element_statement(
+                            netlist,
+                            *body_lineno,
+                            body_line,
+                            &inner,
+                            depth + 1,
+                        )?;
                     }
                 }
             }
@@ -568,7 +572,12 @@ fn parse_waveform(lineno: usize, line: &str, tokens: &[&str]) -> Result<Waveform
         if v.len() < 3 {
             return err(lineno, "SIN needs at least 3 arguments");
         }
-        Ok(Waveform::sin(v[0], v[1], v[2], v.get(3).copied().unwrap_or(0.0)))
+        Ok(Waveform::sin(
+            v[0],
+            v[1],
+            v[2],
+            v.get(3).copied().unwrap_or(0.0),
+        ))
     } else if let Some(args) = paren_args(&rest, "pwl") {
         let v = parse_args(lineno, &args)?;
         if v.len() % 2 != 0 || v.is_empty() {
@@ -613,7 +622,10 @@ fn parse_probe(lineno: usize, token: &str) -> Result<Probe, SpiceError> {
     } else if lower.starts_with("i(") && lower.ends_with(')') {
         Ok(Probe::SourceCurrent(t[2..t.len() - 1].to_string()))
     } else {
-        err(lineno, &format!("bad probe '{token}', expected v(x) or i(x)"))
+        err(
+            lineno,
+            &format!("bad probe '{token}', expected v(x) or i(x)"),
+        )
     }
 }
 
@@ -730,10 +742,30 @@ fn parse_measurement(lineno: usize, tokens: &[&str]) -> Result<Measurement, Spic
             }
             let probe = probe.ok_or_else(|| parse_err(lineno, "missing probe"))?;
             Ok(match kind.as_str() {
-                "avg" => Measurement::Average { name, probe, from, to },
-                "min" => Measurement::Minimum { name, probe, from, to },
-                "max" => Measurement::Maximum { name, probe, from, to },
-                _ => Measurement::Rms { name, probe, from, to },
+                "avg" => Measurement::Average {
+                    name,
+                    probe,
+                    from,
+                    to,
+                },
+                "min" => Measurement::Minimum {
+                    name,
+                    probe,
+                    from,
+                    to,
+                },
+                "max" => Measurement::Maximum {
+                    name,
+                    probe,
+                    from,
+                    to,
+                },
+                _ => Measurement::Rms {
+                    name,
+                    probe,
+                    from,
+                    to,
+                },
             })
         }
         "final" => {

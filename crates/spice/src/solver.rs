@@ -65,9 +65,8 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n_cols);
         let mut y = vec![0.0; self.n_rows];
-        for r in 0..self.n_rows {
-            let row = &self.data[r * self.n_cols..(r + 1) * self.n_cols];
-            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        for (y_r, row) in y.iter_mut().zip(self.data.chunks_exact(self.n_cols)) {
+            *y_r = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -84,6 +83,7 @@ impl Matrix {
 /// # Panics
 ///
 /// Panics if `a` is not square or `b` has the wrong length.
+#[allow(clippy::needless_range_loop)]
 pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>, SpiceError> {
     let n = a.n_rows();
     assert_eq!(a.n_cols(), n, "matrix must be square");
@@ -190,18 +190,18 @@ mod tests {
 
     #[test]
     fn residual_is_small_on_random_system() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        use mss_units::rng::{Rng, Xoshiro256PlusPlus};
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
         for n in [3usize, 8, 20] {
             let mut a = Matrix::zeros(n, n);
             for r in 0..n {
                 for c in 0..n {
-                    a.set(r, c, rng.gen_range(-1.0..1.0));
+                    a.set(r, c, rng.gen_range_f64(-1.0, 1.0));
                 }
                 // Diagonal dominance keeps it well-conditioned.
                 a.add(r, r, n as f64);
             }
-            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(-1.0, 1.0)).collect();
             let x = solve(a.clone(), b.clone()).unwrap();
             let ax = a.mul_vec(&x);
             for i in 0..n {

@@ -1,7 +1,5 @@
 //! Source waveforms: DC, pulse, piecewise-linear and sine stimuli.
 
-use serde::{Deserialize, Serialize};
-
 /// A time-dependent source value.
 ///
 /// # Examples
@@ -13,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(w.eval(0.0), 0.0);
 /// assert_eq!(w.eval(2e-9), 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Waveform {
     /// Constant value.
     Dc(f64),
@@ -56,7 +54,15 @@ impl Waveform {
     }
 
     /// SPICE `PULSE(v1 v2 delay rise fall width period)`.
-    pub fn pulse(v1: f64, v2: f64, delay: f64, rise: f64, fall: f64, width: f64, period: f64) -> Self {
+    pub fn pulse(
+        v1: f64,
+        v2: f64,
+        delay: f64,
+        rise: f64,
+        fall: f64,
+        width: f64,
+        period: f64,
+    ) -> Self {
         Waveform::Pulse {
             v1,
             v2,
@@ -149,7 +155,12 @@ impl Waveform {
             Waveform::Dc(v) => *v,
             Waveform::Pulse { v1, .. } => *v1,
             Waveform::Pwl(points) => points.first().map(|p| p.1).unwrap_or(0.0),
-            Waveform::Sin { offset, ampl, phase, .. } => offset + ampl * phase.sin(),
+            Waveform::Sin {
+                offset,
+                ampl,
+                phase,
+                ..
+            } => offset + ampl * phase.sin(),
         }
     }
 }

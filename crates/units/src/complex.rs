@@ -2,8 +2,6 @@
 
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A complex number `re + j·im` of `f64` parts.
 ///
 /// # Examples
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// let w = z * z.conj();
 /// assert!((w.re - 25.0).abs() < 1e-12 && w.im.abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Complex {
     /// Real part.
     pub re: f64,
@@ -127,7 +125,10 @@ impl Mul<f64> for Complex {
 impl Div for Complex {
     type Output = Self;
     fn div(self, rhs: Self) -> Self {
-        self * rhs.recip()
+        #[allow(clippy::suspicious_arithmetic_impl)]
+        {
+            self * rhs.recip()
+        }
     }
 }
 

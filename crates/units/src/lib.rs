@@ -8,8 +8,9 @@
 //! - [`math`] — special functions (erf/erfc, Gaussian tail `Q`, its inverse),
 //!   root finding and quadrature,
 //! - [`stats`] — streaming statistics (Welford) and percentile helpers,
-//! - [`rng`] — reproducible Gaussian / lognormal / truncated sampling on top
-//!   of any [`rand::Rng`] (Box–Muller, so no extra dependency is needed),
+//! - [`rng`] — an in-tree PRNG stack (SplitMix64 seeding, xoshiro256++
+//!   core, deterministic stream splitting) plus reproducible Gaussian /
+//!   lognormal / truncated sampling on top of any [`rng::Rng`],
 //! - [`fmt`] — engineering-notation formatting for report tables.
 //!
 //! # Examples

@@ -24,16 +24,16 @@ pub fn erf(x: f64) -> f64 {
 pub fn erfc(x: f64) -> f64 {
     let z = x.abs();
     let t = 1.0 / (1.0 + 0.5 * z);
-    let ans = t * (-z * z - 1.26551223
-        + t * (1.00002368
-            + t * (0.37409196
-                + t * (0.09678418
-                    + t * (-0.18628806
-                        + t * (0.27886807
-                            + t * (-1.13520398
-                                + t * (1.48851587
-                                    + t * (-0.82215223 + t * 0.17087277)))))))))
-    .exp();
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -126,7 +126,7 @@ fn acklam_inv_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -266,10 +266,9 @@ pub enum RootError {
 impl std::fmt::Display for RootError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RootError::NotBracketed { a, b, fa, fb } => write!(
-                f,
-                "root not bracketed on [{a}, {b}]: f(a)={fa}, f(b)={fb}"
-            ),
+            RootError::NotBracketed { a, b, fa, fb } => {
+                write!(f, "root not bracketed on [{a}, {b}]: f(a)={fa}, f(b)={fb}")
+            }
             RootError::MaxIterations => write!(f, "root finder exceeded iteration budget"),
         }
     }
@@ -280,7 +279,7 @@ impl std::error::Error for RootError {}
 /// Composite Simpson quadrature of `f` over `[a, b]` with `n` panels
 /// (`n` is rounded up to the next even integer).
 pub fn simpson<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, n: usize) -> f64 {
-    let n = if n % 2 == 0 { n.max(2) } else { n + 1 };
+    let n = if n.is_multiple_of(2) { n.max(2) } else { n + 1 };
     let h = (b - a) / n as f64;
     let mut sum = f(a) + f(b);
     for i in 1..n {

@@ -3,8 +3,6 @@
 //! VAET-STT reports distributions (μ, σ) rather than nominal scalars; this
 //! module provides the numerically stable accumulation those reports use.
 
-use serde::{Deserialize, Serialize};
-
 /// Welford online accumulator for mean / variance / extrema.
 ///
 /// # Examples
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((s.mean() - 5.0).abs() < 1e-12);
 /// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -137,7 +135,7 @@ impl FromIterator<f64> for OnlineStats {
 }
 
 /// Summary of a distribution, as reported in the paper's Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DistributionSummary {
     /// Mean (μ).
     pub mean: f64,
@@ -192,11 +190,12 @@ mod tests {
 
     #[test]
     fn welford_matches_two_pass() {
-        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0).collect();
+        let data: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0)
+            .collect();
         let s: OnlineStats = data.iter().copied().collect();
         let mean = data.iter().sum::<f64>() / data.len() as f64;
-        let var =
-            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
         assert!((s.mean() - mean).abs() < 1e-12);
         assert!((s.sample_variance() - var).abs() < 1e-12);
     }

@@ -6,8 +6,6 @@
 
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A 3-component vector of `f64`.
 ///
 /// # Examples
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(x.cross(z), -Vec3::unit_y());
 /// assert!((z.norm() - 1.0).abs() < 1e-15);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec3 {
     /// x component.
     pub x: f64,

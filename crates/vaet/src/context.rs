@@ -7,7 +7,6 @@ use mss_nvsim::model::{estimate, ArrayMetrics, MemoryTechnology};
 use mss_pdk::charlib::{characterize, CellLibrary};
 use mss_pdk::tech::{TechNode, TechParams};
 use mss_pdk::variation::VariationCard;
-use serde::{Deserialize, Serialize};
 
 use crate::VaetError;
 
@@ -16,7 +15,7 @@ use crate::VaetError;
 pub const SENSE_OFFSET_SIGMA: f64 = 0.02;
 
 /// Bundled nominal flow + variation card.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VaetContext {
     /// CMOS technology card.
     pub tech: TechParams,
@@ -40,9 +39,7 @@ impl VaetContext {
     ///
     /// Propagates characterisation and estimation failures.
     pub fn standard(node: TechNode) -> Result<Self, VaetError> {
-        let stack = MssStack::builder()
-            .build()
-            .map_err(VaetError::Device)?;
+        let stack = MssStack::builder().build().map_err(VaetError::Device)?;
         let config = MemoryConfig::new(
             1024 * 1024 / 8,
             1024,
@@ -59,11 +56,7 @@ impl VaetContext {
     /// # Errors
     ///
     /// Propagates characterisation and estimation failures.
-    pub fn build(
-        node: TechNode,
-        stack: MssStack,
-        config: MemoryConfig,
-    ) -> Result<Self, VaetError> {
+    pub fn build(node: TechNode, stack: MssStack, config: MemoryConfig) -> Result<Self, VaetError> {
         let tech = TechParams::node(node);
         let cell = characterize(node, &stack)?;
         let nominal = estimate(&tech, &config, &MemoryTechnology::SttMram(cell.clone()))?;

@@ -11,8 +11,6 @@
 //! correction. However, the improvement for higher bit error correction is
 //! comparatively less."*
 
-use serde::{Deserialize, Serialize};
-
 use mss_units::math::brent;
 
 use crate::context::VaetContext;
@@ -20,7 +18,7 @@ use crate::margins::WriteMarginSolver;
 use crate::VaetError;
 
 /// A `t`-error-correcting block code over a data word.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EccScheme {
     /// Number of correctable bits per block (0 = no ECC).
     pub correctable: u32,
@@ -145,14 +143,14 @@ fn ln_binomial(n: f64, k: f64) -> f64 {
 /// Lanczos log-gamma (sufficient accuracy for binomial coefficients here).
 fn ln_gamma(x: f64) -> f64 {
     const G: [f64; 9] = [
-        0.99999999999980993,
+        0.999_999_999_999_809_9,
         676.5203681218851,
         -1259.1392167224028,
-        771.32342877765313,
-        -176.61502916214059,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
         12.507343278686905,
         -0.13857109526572012,
-        9.9843695780195716e-6,
+        9.984_369_578_019_572e-6,
         1.5056327351493116e-7,
     ];
     if x < 0.5 {
@@ -170,7 +168,7 @@ fn ln_gamma(x: f64) -> f64 {
 }
 
 /// One point of the Fig. 8 sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EccPoint {
     /// The scheme evaluated.
     pub scheme: EccScheme,
@@ -232,8 +230,8 @@ mod tests {
 
     #[test]
     fn ln_gamma_matches_factorials() {
-        for (n, f) in [(1.0, 1.0), (5.0, 24.0), (10.0, 362880.0)] {
-            assert!((ln_gamma(n) - (f as f64).ln()).abs() < 1e-9, "gamma({n})");
+        for (n, f) in [(1.0_f64, 1.0_f64), (5.0, 24.0), (10.0, 362880.0)] {
+            assert!((ln_gamma(n) - f.ln()).abs() < 1e-9, "gamma({n})");
         }
     }
 
@@ -284,7 +282,10 @@ mod tests {
         let gain1 = l[0] - l[1];
         let gain2 = (l[1] - l[2]).max(0.0);
         let gain3 = (l[2] - l[3]).max(0.0);
-        assert!(gain1 > gain2 && gain2 >= gain3 * 0.5, "gains: {gain1} {gain2} {gain3}");
+        assert!(
+            gain1 > gain2 && gain2 >= gain3 * 0.5,
+            "gains: {gain1} {gain2} {gain3}"
+        );
     }
 
     #[test]

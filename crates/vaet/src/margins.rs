@@ -14,9 +14,7 @@
 //!   inverts the Gaussian tail.
 
 use mss_mtj::switching::SwitchingModel;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use mss_units::rng::Xoshiro256PlusPlus;
 
 use mss_units::math::{brent, inv_q};
 
@@ -28,7 +26,7 @@ const CORNERS: usize = 200;
 
 /// A solved margin point: the overall access latency delivering a target
 /// error rate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MarginPoint {
     /// The target error rate (word-level).
     pub target: f64,
@@ -53,7 +51,7 @@ impl WriteMarginSolver {
     ///
     /// Device sampling failures propagate.
     pub fn new(ctx: &VaetContext) -> Result<Self, VaetError> {
-        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xC0FFEE);
         let mut corners = Vec::with_capacity(CORNERS);
         for _ in 0..CORNERS {
             let stack = ctx
@@ -137,7 +135,7 @@ impl WriteMarginSolver {
 }
 
 /// Read-margin model: signal development vs Gaussian offset + mismatch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReadMarginSolver {
     /// Full developed sense signal, volts.
     pub signal_max: f64,

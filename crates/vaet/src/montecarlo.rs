@@ -15,12 +15,10 @@
 //! value in the paper's Table 1: the max over a 1024-bit word sits deep in
 //! the exponential tail of the per-bit switching-time distribution.
 
+use mss_exec::{par_chunks_stats, ParallelConfig, RunStats};
 use mss_mtj::switching::SwitchingModel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
-use mss_units::rng::normal;
+use mss_units::rng::{normal, Rng, Xoshiro256PlusPlus};
 use mss_units::stats::{DistributionSummary, OnlineStats};
 
 use crate::context::{VaetContext, SENSE_OFFSET_SIGMA};
@@ -28,7 +26,7 @@ use crate::report::VaetReport;
 use crate::VaetError;
 
 /// Options for a Monte Carlo run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MonteCarloOptions {
     /// Number of word accesses to simulate.
     pub samples: usize,
@@ -51,9 +49,9 @@ impl Default for MonteCarloOptions {
 /// Draws a thermal initial angle from the Rayleigh-like distribution.
 fn thermal_angle<R: Rng + ?Sized>(rng: &mut R, delta: f64) -> f64 {
     // θ₀² ~ Exp(Δ): invert the CDF with a guarded uniform.
-    let mut u: f64 = rng.gen();
+    let mut u: f64 = rng.next_f64();
     while u <= f64::MIN_POSITIVE {
-        u = rng.gen();
+        u = rng.next_f64();
     }
     (-u.ln() / delta).sqrt().min(std::f64::consts::FRAC_PI_2)
 }
@@ -70,13 +68,146 @@ fn switching_time(sw: &SwitchingModel, i_write: f64, theta0: f64) -> f64 {
     sw.tau_d() / (i - 1.0) * (std::f64::consts::FRAC_PI_2 / theta0.max(1e-9)).ln()
 }
 
+/// Word-independent quantities shared by every sample.
+#[derive(Debug, Clone, Copy)]
+struct SampleConsts {
+    periph_wl: f64,
+    periph_rl: f64,
+    periph_we: f64,
+    periph_re: f64,
+    i_write_nom: f64,
+    sense_nom: f64,
+    signal_nom: f64,
+}
+
+/// Per-batch accumulators, merged in batch order after the fan-out.
+#[derive(Debug, Clone, Default)]
+struct BatchAcc {
+    wl: OnlineStats,
+    we: OnlineStats,
+    rl: OnlineStats,
+    re: OnlineStats,
+}
+
+impl BatchAcc {
+    fn merge(&mut self, other: &BatchAcc) {
+        self.wl.merge(&other.wl);
+        self.we.merge(&other.we);
+        self.rl.merge(&other.rl);
+        self.re.merge(&other.re);
+    }
+}
+
+/// Simulates one word access (one write + one read) and records it.
+fn sample_access<R: Rng + ?Sized>(
+    ctx: &VaetContext,
+    word: usize,
+    consts: &SampleConsts,
+    rng: &mut R,
+    acc: &mut BatchAcc,
+) -> Result<(), VaetError> {
+    // Global CMOS sample: peripheral speed/energy factor.
+    let t_sample = ctx.variation.sample_tech(rng, &ctx.tech);
+    let drive = |t: &mss_pdk::tech::TechParams| t.nmos.kp * (t.vdd - t.nmos.vth).powi(2);
+    let speed_factor = (drive(&ctx.tech) / drive(&t_sample)).clamp(0.5, 2.0);
+
+    // --- Write access ---
+    // Power drawn by one nominal cell during its write (the measured
+    // cell energy spread over the measured cell latency); the pulse is
+    // held for the slowest bit, so every bit burns this power for the
+    // whole completion time — the paper's mu >> nominal energy effect.
+    let cell_power_nom = ctx.cell.write.energy / ctx.cell.write.latency.max(1e-12);
+    let mut t_cell_max: f64 = 0.0;
+    let mut power_sum = 0.0;
+    for _ in 0..word {
+        let stack = ctx
+            .variation
+            .sample_stack(rng, &ctx.stack)
+            .map_err(VaetError::Device)?;
+        let sw = SwitchingModel::new(&stack);
+        // Local access-device mismatch perturbs the write current.
+        let i_rel = normal(rng, 1.0, 0.04).clamp(0.7, 1.3) / speed_factor;
+        let i_bit = consts.i_write_nom * i_rel;
+        let theta0 = thermal_angle(rng, sw.delta());
+        let t_bit = switching_time(&sw, i_bit, theta0);
+        t_cell_max = t_cell_max.max(t_bit);
+        // Dissipation scales as I^2 R relative to the nominal cell.
+        let r_rel = stack.resistance_parallel() / ctx.cell.r_parallel;
+        power_sum += cell_power_nom * i_rel * i_rel * r_rel;
+    }
+    let t_write = consts.periph_wl * speed_factor + t_cell_max;
+    let e_write = consts.periph_we + power_sum * t_cell_max;
+    acc.wl.push(t_write);
+    acc.we.push(e_write);
+
+    // --- Read access ---
+    let mut t_sense_max: f64 = 0.0;
+    let mut e_read_cells = 0.0;
+    for _ in 0..word {
+        let stack = ctx
+            .variation
+            .sample_stack(rng, &ctx.stack)
+            .map_err(VaetError::Device)?;
+        // Signal scales with this bit's resistance window.
+        let window = stack.resistance_antiparallel() - stack.resistance_parallel();
+        let window_nom = ctx.cell.r_antiparallel - ctx.cell.r_parallel;
+        let offset = normal(rng, 0.0, SENSE_OFFSET_SIGMA);
+        let signal =
+            (consts.signal_nom * window / window_nom - offset.abs()).max(0.05 * consts.signal_nom);
+        // Regeneration time grows as the effective signal shrinks.
+        let t_bit = consts.sense_nom * (consts.signal_nom / signal).min(8.0);
+        t_sense_max = t_sense_max.max(t_bit);
+        e_read_cells += ctx.cell.read.energy * (window_nom / window).clamp(0.5, 2.0);
+    }
+    let t_read = consts.periph_rl * speed_factor + t_sense_max;
+    let e_read = consts.periph_re + e_read_cells;
+    acc.rl.push(t_read);
+    acc.re.push(e_read);
+    Ok(())
+}
+
 /// Runs the Monte Carlo and returns the Table-1-shaped report.
+///
+/// Parallelism policy comes from the environment
+/// ([`ParallelConfig::from_env`], i.e. `MSS_THREADS` or all cores); use
+/// [`run_with`] for explicit control. The result is a pure function of
+/// `(ctx, opts)` — thread count never changes the report.
 ///
 /// # Errors
 ///
 /// [`VaetError::InvalidOptions`] on zero samples; device sampling errors
 /// propagate.
 pub fn run(ctx: &VaetContext, opts: &MonteCarloOptions) -> Result<VaetReport, VaetError> {
+    run_with(ctx, opts, &ParallelConfig::from_env())
+}
+
+/// [`run`] with an explicit thread/chunk policy.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_with(
+    ctx: &VaetContext,
+    opts: &MonteCarloOptions,
+    cfg: &ParallelConfig,
+) -> Result<VaetReport, VaetError> {
+    run_with_stats(ctx, opts, cfg).map(|(report, _)| report)
+}
+
+/// [`run_with`] plus the runtime's [`RunStats`] (throughput, utilization).
+///
+/// Samples are fanned out in fixed-size batches; batch `i` draws from RNG
+/// stream `(opts.seed, i)` and the per-batch accumulators are merged in
+/// batch order, so the report is bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_with_stats(
+    ctx: &VaetContext,
+    opts: &MonteCarloOptions,
+    cfg: &ParallelConfig,
+) -> Result<(VaetReport, RunStats), VaetError> {
     if opts.samples == 0 {
         return Err(VaetError::InvalidOptions {
             reason: "samples must be non-zero".into(),
@@ -88,97 +219,49 @@ pub fn run(ctx: &VaetContext, opts: &MonteCarloOptions) -> Result<VaetReport, Va
             reason: "word width must be non-zero".into(),
         });
     }
-    let mut rng = StdRng::seed_from_u64(opts.seed);
 
-    let mut wl = OnlineStats::new();
-    let mut we = OnlineStats::new();
-    let mut rl = OnlineStats::new();
-    let mut re = OnlineStats::new();
-
-    let periph_wl = ctx.write_periphery_latency();
-    let periph_rl = ctx.read_periphery_latency();
     // Peripheral energy share = array energy minus the word's cell energy,
     // rescaled when the word width is overridden (narrower accesses fire
     // proportionally less periphery).
     let word_fraction = word as f64 / ctx.config.word_bits as f64;
-    let periph_we = (ctx.nominal.write_energy
-        - ctx.config.word_bits as f64 * ctx.cell.write.energy)
-        .max(0.0)
-        * word_fraction;
-    let periph_re = (ctx.nominal.read_energy
-        - ctx.config.word_bits as f64 * ctx.cell.read.energy)
+    let periph_we =
+        (ctx.nominal.write_energy - ctx.config.word_bits as f64 * ctx.cell.write.energy).max(0.0)
+            * word_fraction;
+    let periph_re = (ctx.nominal.read_energy - ctx.config.word_bits as f64 * ctx.cell.read.energy)
         .max(0.0)
         * word_fraction;
     // Nominal energies consistent with the effective word width.
     let nominal_we = periph_we + word as f64 * ctx.cell.write.energy;
     let nominal_re = periph_re + word as f64 * ctx.cell.read.energy;
 
-    let i_write_nom = ctx.cell.write.current;
-    let sense_nom = ctx.cell.read.latency;
-    let signal_nom = ctx.sense_signal();
+    let consts = SampleConsts {
+        periph_wl: ctx.write_periphery_latency(),
+        periph_rl: ctx.read_periphery_latency(),
+        periph_we,
+        periph_re,
+        i_write_nom: ctx.cell.write.current,
+        sense_nom: ctx.cell.read.latency,
+        signal_nom: ctx.sense_signal(),
+    };
 
-    for _ in 0..opts.samples {
-        // Global CMOS sample: peripheral speed/energy factor.
-        let t_sample = ctx.variation.sample_tech(&mut rng, &ctx.tech);
-        let drive = |t: &mss_pdk::tech::TechParams| {
-            t.nmos.kp * (t.vdd - t.nmos.vth).powi(2)
-        };
-        let speed_factor = (drive(&ctx.tech) / drive(&t_sample)).clamp(0.5, 2.0);
-
-        // --- Write access ---
-        // Power drawn by one nominal cell during its write (the measured
-        // cell energy spread over the measured cell latency); the pulse is
-        // held for the slowest bit, so every bit burns this power for the
-        // whole completion time — the paper's mu >> nominal energy effect.
-        let cell_power_nom = ctx.cell.write.energy / ctx.cell.write.latency.max(1e-12);
-        let mut t_cell_max: f64 = 0.0;
-        let mut power_sum = 0.0;
-        for _ in 0..word {
-            let stack = ctx
-                .variation
-                .sample_stack(&mut rng, &ctx.stack)
-                .map_err(VaetError::Device)?;
-            let sw = SwitchingModel::new(&stack);
-            // Local access-device mismatch perturbs the write current.
-            let i_rel = normal(&mut rng, 1.0, 0.04).clamp(0.7, 1.3) / speed_factor;
-            let i_bit = i_write_nom * i_rel;
-            let theta0 = thermal_angle(&mut rng, sw.delta());
-            let t_bit = switching_time(&sw, i_bit, theta0);
-            t_cell_max = t_cell_max.max(t_bit);
-            // Dissipation scales as I^2 R relative to the nominal cell.
-            let r_rel = stack.resistance_parallel() / ctx.cell.r_parallel;
-            power_sum += cell_power_nom * i_rel * i_rel * r_rel;
-        }
-        let t_write = periph_wl * speed_factor + t_cell_max;
-        let e_write = periph_we + power_sum * t_cell_max;
-        wl.push(t_write);
-        we.push(e_write);
-
-        // --- Read access ---
-        let mut t_sense_max: f64 = 0.0;
-        let mut e_read_cells = 0.0;
-        for _ in 0..word {
-            let stack = ctx
-                .variation
-                .sample_stack(&mut rng, &ctx.stack)
-                .map_err(VaetError::Device)?;
-            // Signal scales with this bit's resistance window.
-            let window = stack.resistance_antiparallel() - stack.resistance_parallel();
-            let window_nom = ctx.cell.r_antiparallel - ctx.cell.r_parallel;
-            let offset = normal(&mut rng, 0.0, SENSE_OFFSET_SIGMA);
-            let signal = (signal_nom * window / window_nom - offset.abs()).max(0.05 * signal_nom);
-            // Regeneration time grows as the effective signal shrinks.
-            let t_bit = sense_nom * (signal_nom / signal).min(8.0);
-            t_sense_max = t_sense_max.max(t_bit);
-            e_read_cells += ctx.cell.read.energy * (window_nom / window).clamp(0.5, 2.0);
-        }
-        let t_read = periph_rl * speed_factor + t_sense_max;
-        let e_read = periph_re + e_read_cells;
-        rl.push(t_read);
-        re.push(e_read);
+    let (batches, stats) = par_chunks_stats(
+        cfg,
+        opts.samples,
+        |batch, range| -> Result<BatchAcc, VaetError> {
+            let mut rng = Xoshiro256PlusPlus::stream(opts.seed, batch as u64);
+            let mut acc = BatchAcc::default();
+            for _ in range {
+                sample_access(ctx, word, &consts, &mut rng, &mut acc)?;
+            }
+            Ok(acc)
+        },
+    );
+    let mut total = BatchAcc::default();
+    for batch in batches {
+        total.merge(&batch?);
     }
 
-    Ok(VaetReport {
+    let report = VaetReport {
         node: ctx.tech.node,
         samples: opts.samples as u64,
         word_bits: word as u32,
@@ -186,11 +269,12 @@ pub fn run(ctx: &VaetContext, opts: &MonteCarloOptions) -> Result<VaetReport, Va
         nominal_write_energy: nominal_we,
         nominal_read_latency: ctx.nominal.read_latency,
         nominal_read_energy: nominal_re,
-        write_latency: DistributionSummary::from(&wl),
-        write_energy: DistributionSummary::from(&we),
-        read_latency: DistributionSummary::from(&rl),
-        read_energy: DistributionSummary::from(&re),
-    })
+        write_latency: DistributionSummary::from(&total.wl),
+        write_energy: DistributionSummary::from(&total.we),
+        read_latency: DistributionSummary::from(&total.rl),
+        read_energy: DistributionSummary::from(&total.re),
+    };
+    Ok((report, stats))
 }
 
 #[cfg(test)]
@@ -233,6 +317,38 @@ mod tests {
         assert!(report.write_energy.std_dev > 0.0);
         // Read is much tighter than write (Table 1 shape).
         assert!(report.read_latency.std_dev < report.write_latency.std_dev);
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        // The determinism contract: a fixed seed gives the exact same
+        // report at 1, 2 and 8 threads (batch streams + ordered merge).
+        let opts = MonteCarloOptions {
+            samples: 700, // several chunks at the default granularity
+            seed: 0xD15EA5E,
+            word_bits: Some(32),
+        };
+        let serial = run_with(ctx45(), &opts, &ParallelConfig::serial()).unwrap();
+        for threads in [2, 8] {
+            let parallel = run_with(
+                ctx45(),
+                &opts,
+                &ParallelConfig::serial().with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "report diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn run_with_stats_reports_throughput() {
+        let opts = small_opts(4);
+        let (report, stats) =
+            run_with_stats(ctx45(), &opts, &ParallelConfig::serial().with_threads(2)).unwrap();
+        assert_eq!(report.samples, opts.samples as u64);
+        assert_eq!(stats.samples, opts.samples as u64);
+        assert!(stats.tasks >= 1);
+        assert!(stats.wall_seconds >= 0.0);
     }
 
     #[test]
@@ -283,11 +399,17 @@ mod tests {
 
     #[test]
     fn thermal_angle_statistics() {
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(10);
         let delta = 45.0;
-        let mean_sq: f64 =
-            (0..20_000).map(|_| thermal_angle(&mut rng, delta).powi(2)).sum::<f64>() / 20_000.0;
+        let mean_sq: f64 = (0..20_000)
+            .map(|_| thermal_angle(&mut rng, delta).powi(2))
+            .sum::<f64>()
+            / 20_000.0;
         // E[theta^2] = 1/Delta.
-        assert!((mean_sq * delta - 1.0).abs() < 0.05, "mean_sq*delta = {}", mean_sq * delta);
+        assert!(
+            (mean_sq * delta - 1.0).abs() < 0.05,
+            "mean_sq*delta = {}",
+            mean_sq * delta
+        );
     }
 }

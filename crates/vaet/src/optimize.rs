@@ -8,8 +8,7 @@
 //! actually meet the target error rates under variation — which can pick a
 //! different design than the nominal optimum.
 
-use serde::{Deserialize, Serialize};
-
+use mss_exec::{par_map, ParallelConfig};
 use mss_nvsim::config::MemoryConfig;
 use mss_nvsim::model::ArrayMetrics;
 
@@ -18,7 +17,7 @@ use crate::margins::{ReadMarginSolver, WriteMarginSolver};
 use crate::VaetError;
 
 /// Word-level reliability requirements a candidate must meet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReliabilityRequirements {
     /// Target word-level write-error rate.
     pub wer: f64,
@@ -36,7 +35,7 @@ impl Default for ReliabilityRequirements {
 }
 
 /// What the variation-aware exploration minimises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VariationAwareTarget {
     /// Margined write latency.
     WriteLatency,
@@ -47,7 +46,7 @@ pub enum VariationAwareTarget {
 }
 
 /// One evaluated organisation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VariationAwareCandidate {
     /// The organisation.
     pub config: MemoryConfig,
@@ -62,7 +61,7 @@ pub struct VariationAwareCandidate {
 }
 
 /// Exploration outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VariationAwareExploration {
     /// Winning candidate.
     pub best: VariationAwareCandidate,
@@ -112,21 +111,39 @@ pub fn explore_variation_aware(
     target: VariationAwareTarget,
     requirements: &ReliabilityRequirements,
 ) -> Result<VariationAwareExploration, VaetError> {
+    explore_variation_aware_with(base, target, requirements, &ParallelConfig::from_env())
+}
+
+/// [`explore_variation_aware`] with an explicit thread policy: the margin
+/// solvers for each organisation run in parallel and results are reduced in
+/// grid order, so the ranking is identical at any thread count.
+///
+/// # Errors
+///
+/// Same as [`explore_variation_aware`].
+pub fn explore_variation_aware_with(
+    base: &VaetContext,
+    target: VariationAwareTarget,
+    requirements: &ReliabilityRequirements,
+    exec: &ParallelConfig,
+) -> Result<VariationAwareExploration, VaetError> {
     let sizes = [128u32, 256, 512, 1024];
+    let grid: Vec<MemoryConfig> = sizes
+        .iter()
+        .flat_map(|&rows| sizes.iter().map(move |&cols| (rows, cols)))
+        .filter_map(|(rows, cols)| base.config.with_subarray(rows, cols).ok())
+        .collect();
+    let evaluated = par_map(exec, &grid, |_, &cfg| {
+        let ctx = base.with_config(cfg)?;
+        evaluate_candidate(&ctx, requirements, target)
+    });
     let mut candidates = Vec::new();
     let mut last_err = None;
-    for &rows in &sizes {
-        for &cols in &sizes {
-            let cfg = match base.config.with_subarray(rows, cols) {
-                Ok(c) => c,
-                Err(_) => continue,
-            };
-            let ctx = base.with_config(cfg)?;
-            match evaluate_candidate(&ctx, requirements, target) {
-                Ok(c) => candidates.push(c),
-                Err(e @ VaetError::UnreachableTarget { .. }) => last_err = Some(e),
-                Err(e) => return Err(e),
-            }
+    for result in evaluated {
+        match result {
+            Ok(c) => candidates.push(c),
+            Err(e @ VaetError::UnreachableTarget { .. }) => last_err = Some(e),
+            Err(e) => return Err(e),
         }
     }
     candidates.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"));
@@ -176,16 +193,38 @@ mod tests {
     }
 
     #[test]
+    fn exploration_is_thread_count_invariant() {
+        let reqs = ReliabilityRequirements::default();
+        let run = |threads| {
+            explore_variation_aware_with(
+                ctx(),
+                VariationAwareTarget::WriteEdp,
+                &reqs,
+                &ParallelConfig::serial().with_threads(threads),
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4));
+    }
+
+    #[test]
     fn tighter_requirements_cost_latency() {
         let loose = evaluate_candidate(
             ctx(),
-            &ReliabilityRequirements { wer: 1e-6, rer: 1e-6 },
+            &ReliabilityRequirements {
+                wer: 1e-6,
+                rer: 1e-6,
+            },
             VariationAwareTarget::WriteLatency,
         )
         .unwrap();
         let tight = evaluate_candidate(
             ctx(),
-            &ReliabilityRequirements { wer: 1e-15, rer: 1e-15 },
+            &ReliabilityRequirements {
+                wer: 1e-15,
+                rer: 1e-15,
+            },
             VariationAwareTarget::WriteLatency,
         )
         .unwrap();
@@ -196,17 +235,11 @@ mod tests {
     #[test]
     fn different_targets_rank_differently_or_equal() {
         let reqs = ReliabilityRequirements::default();
-        let wl = explore_variation_aware(ctx(), VariationAwareTarget::WriteLatency, &reqs)
-            .unwrap();
-        let rl = explore_variation_aware(ctx(), VariationAwareTarget::ReadLatency, &reqs)
-            .unwrap();
+        let wl = explore_variation_aware(ctx(), VariationAwareTarget::WriteLatency, &reqs).unwrap();
+        let rl = explore_variation_aware(ctx(), VariationAwareTarget::ReadLatency, &reqs).unwrap();
         // The read-latency optimum cannot beat the write-latency optimum at
         // its own game.
-        assert!(
-            rl.best.margined_write_latency + 1e-18 >= wl.best.margined_write_latency
-        );
-        assert!(
-            wl.best.margined_read_latency + 1e-18 >= rl.best.margined_read_latency
-        );
+        assert!(rl.best.margined_write_latency + 1e-18 >= wl.best.margined_write_latency);
+        assert!(wl.best.margined_read_latency + 1e-18 >= rl.best.margined_read_latency);
     }
 }

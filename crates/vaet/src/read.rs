@@ -7,14 +7,13 @@
 //! read disturb."*
 
 use mss_mtj::reliability;
-use serde::{Deserialize, Serialize};
 
 use crate::context::VaetContext;
 use crate::margins::ReadMarginSolver;
 use crate::VaetError;
 
 /// One point of the read-period trade-off sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReadPoint {
     /// Read period (current pulse width through the cell), seconds.
     pub period: f64,

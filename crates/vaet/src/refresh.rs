@@ -10,12 +10,11 @@
 //! write intensity — computed here.
 
 use mss_mtj::{reliability, MssStack};
-use serde::{Deserialize, Serialize};
 
 use crate::VaetError;
 
 /// One point of the retention/energy trade-off sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RefreshPoint {
     /// Retention specification, seconds.
     pub retention: f64,
@@ -39,7 +38,7 @@ impl RefreshPoint {
 }
 
 /// Sweep inputs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RefreshAnalysis {
     /// Array capacity in bits.
     pub capacity_bits: u64,
@@ -73,8 +72,8 @@ impl RefreshAnalysis {
                 reason: format!("scrub fraction {} outside (0, 1]", self.scrub_fraction),
             });
         }
-        let sized = reliability::diameter_for_retention(reference, retention)
-            .map_err(VaetError::Device)?;
+        let sized =
+            reliability::diameter_for_retention(reference, retention).map_err(VaetError::Device)?;
         // E_write ∝ Ic0² · R: both derive from the stack.
         let scale = (sized.critical_current() / reference.critical_current()).powi(2)
             * (sized.resistance_parallel() / reference.resistance_parallel());
@@ -178,7 +177,10 @@ mod tests {
             busy_idx <= idle_idx,
             "busy optimum {busy_idx} vs idle optimum {idle_idx}"
         );
-        assert!(idle_idx > 0, "idle arrays should not pick the shortest retention");
+        assert!(
+            idle_idx > 0,
+            "idle arrays should not pick the shortest retention"
+        );
     }
 
     #[test]

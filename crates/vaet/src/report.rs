@@ -3,11 +3,10 @@
 use mss_pdk::tech::TechNode;
 use mss_units::fmt::Eng;
 use mss_units::stats::DistributionSummary;
-use serde::{Deserialize, Serialize};
 
 /// Variation-aware latency/energy report for one node (one column pair of
 /// the paper's Table 1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VaetReport {
     /// Technology node.
     pub node: TechNode,

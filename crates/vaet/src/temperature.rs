@@ -9,7 +9,6 @@
 //! temperature.
 
 use mss_mtj::reliability;
-use serde::{Deserialize, Serialize};
 
 use mss_units::consts::celsius_to_kelvin;
 
@@ -18,7 +17,7 @@ use crate::margins::WriteMarginSolver;
 use crate::VaetError;
 
 /// The flow's reliability picture at one operating temperature.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TemperaturePoint {
     /// Die temperature, kelvin.
     pub temperature: f64,
@@ -87,7 +86,11 @@ mod tests {
     #[test]
     fn hotter_means_less_stable() {
         let base = VaetContext::standard(TechNode::N45).unwrap();
-        let temps = [celsius_to_kelvin(-40.0), celsius_to_kelvin(25.0), celsius_to_kelvin(85.0)];
+        let temps = [
+            celsius_to_kelvin(-40.0),
+            celsius_to_kelvin(25.0),
+            celsius_to_kelvin(85.0),
+        ];
         let pts = temperature_sweep(&base, &temps, 1e-9).unwrap();
         assert_eq!(pts.len(), 3);
         for w in pts.windows(2) {

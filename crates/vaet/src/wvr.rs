@@ -12,14 +12,12 @@
 //! `P(max attempts > k) = 1 − (1−pᵏ)^word` and the expected completion
 //! count follows by summing the survival function.
 
-use serde::{Deserialize, Serialize};
-
 use crate::context::VaetContext;
 use crate::margins::WriteMarginSolver;
 use crate::VaetError;
 
 /// A write-verify-retry configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WriteVerifyScheme {
     /// Write pulse per attempt, seconds.
     pub pulse: f64,
@@ -28,7 +26,7 @@ pub struct WriteVerifyScheme {
 }
 
 /// Evaluation outcome of one scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WvrOutcome {
     /// The evaluated scheme.
     pub scheme: WriteVerifyScheme,
@@ -56,9 +54,7 @@ pub struct WvrOutcome {
 pub fn evaluate(ctx: &VaetContext, scheme: WriteVerifyScheme) -> Result<WvrOutcome, VaetError> {
     if scheme.pulse <= 0.0 || scheme.max_attempts == 0 {
         return Err(VaetError::InvalidOptions {
-            reason: format!(
-                "scheme needs a positive pulse and at least one attempt: {scheme:?}"
-            ),
+            reason: format!("scheme needs a positive pulse and at least one attempt: {scheme:?}"),
         });
     }
     let solver = WriteMarginSolver::new(ctx)?;
@@ -215,7 +211,11 @@ mod tests {
         // The common case stays near one round: the per-attempt WER at a
         // 1.5x pulse is far below 1 per word... but the word max can need a
         // retry; it must still be well below the attempt cap.
-        assert!(out.expected_rounds < 4.0, "rounds = {}", out.expected_rounds);
+        assert!(
+            out.expected_rounds < 4.0,
+            "rounds = {}",
+            out.expected_rounds
+        );
     }
 
     #[test]

@@ -20,10 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  access device width: {:.0} nm ({:.1} F)",
             lib.access_width * 1e9,
-            lib.access_width / match node {
-                TechNode::N45 => 45e-9,
-                TechNode::N65 => 65e-9,
-            }
+            lib.access_width
+                / match node {
+                    TechNode::N45 => 45e-9,
+                    TechNode::N65 => 65e-9,
+                }
         );
         println!(
             "  write: {} / {} @ {}",

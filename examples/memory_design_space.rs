@@ -31,7 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         OptimizationTarget::Area,
         OptimizationTarget::ReadEdp,
     ] {
-        let exp = explore(&tech, &base, &technology, target, &DesignConstraints::default())?;
+        let exp = explore(
+            &tech,
+            &base,
+            &technology,
+            target,
+            &DesignConstraints::default(),
+        )?;
         let b = &exp.best;
         println!(
             "{target:?}: subarray {}x{} -> read {} | write {} | area {:.3} mm2 ({} candidates)",

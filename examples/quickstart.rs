@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Sensor mode: permanent magnets pull the free layer in-plane ---
     let sensor = MssDevice::sensor(stack.clone())?;
-    println!("\n[sensor mode]  (bias magnet {:.0} Oe)", sensor.bias().field_oe());
+    println!(
+        "\n[sensor mode]  (bias magnet {:.0} Oe)",
+        sensor.bias().field_oe()
+    );
     println!(
         "  sensitivity          = {:.2} ohm/Oe over ±{:.0} Oe",
         sensor.sensor_sensitivity()? * great_mss::units::consts::oe_to_am(1.0),
@@ -51,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Oscillator mode: half-anisotropy bias tilts the layer ~30° ---
     let osc = MssDevice::oscillator(stack);
-    println!("\n[oscillator mode] (bias magnet {:.0} Oe)", osc.bias().field_oe());
+    println!(
+        "\n[oscillator mode] (bias magnet {:.0} Oe)",
+        osc.bias().field_oe()
+    );
     println!(
         "  equilibrium tilt     = {:.1} deg (paper: ~30 deg)",
         osc.equilibrium_tilt_degrees()

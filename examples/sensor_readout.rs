@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Transfer curve: Stoner–Wohlfarth analytic vs LLG relaxation.
-    println!("\n{:>10} | {:>10} | {:>10} | {:>12}", "H_z (Oe)", "m_z (SW)", "m_z (LLG)", "R (ohm)");
+    println!(
+        "\n{:>10} | {:>10} | {:>10} | {:>12}",
+        "H_z (Oe)", "m_z (SW)", "m_z (LLG)", "R (ohm)"
+    );
     for oe in [-150.0, -75.0, 0.0, 75.0, 150.0] {
         let h = oe_to_am(oe);
         let mz_sw = sensor.equilibrium_mz(h)?;
@@ -50,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (dt, stop) = deck.tran.expect("deck has .tran");
         let res = Transient::new(&deck.netlist)?.run(&TransientOptions::new(dt, stop))?;
         let i_out = res.source_current("VOUT")?.last().copied().unwrap_or(0.0);
-        println!("  programmed {state:?}: output current {:.2} uA", i_out.abs() * 1e6);
+        println!(
+            "  programmed {state:?}: output current {:.2} uA",
+            i_out.abs() * 1e6
+        );
     }
 
     // Readout bandwidth: the sensor MTJ driving the interface RC — an AC

@@ -4,6 +4,7 @@
 //!
 //! Re-exports every layer of the cross-layer flow under one roof:
 //!
+//! - [`exec`] — the deterministic scoped-thread parallel runtime,
 //! - [`mtj`] — the MSS compact model (memory / sensor / oscillator modes),
 //! - [`spice`] — netlist-level MNA circuit simulation with MDL measurements,
 //! - [`pdk`] — CMOS + MTJ process design kit, standard cells, characterisation,
@@ -17,6 +18,7 @@
 //! experiment index.
 
 pub use mss_core as core;
+pub use mss_exec as exec;
 pub use mss_gemsim as gemsim;
 pub use mss_mcpat as mcpat;
 pub use mss_mtj as mtj;

@@ -24,8 +24,8 @@ fn bitcell_write_switches_in_both_directions() {
     let tech = TechParams::node(TechNode::N45);
     let stack = MssStack::builder().build().expect("stack");
     for dir in [WriteDirection::ToParallel, WriteDirection::ToAntiparallel] {
-        let deck = bitcell_write_deck(&tech, &stack, dir, 8.0 * tech.feature, 12e-9, 5e-15)
-            .expect("deck");
+        let deck =
+            bitcell_write_deck(&tech, &stack, dir, 8.0 * tech.feature, 12e-9, 5e-15).expect("deck");
         let res = run(&deck);
         assert_eq!(res.events().len(), 1, "{dir:?} must flip exactly once");
     }
@@ -55,8 +55,7 @@ fn nvff_two_phase_backup_flips_both_junctions() {
     let tech = TechParams::node(TechNode::N45);
     let stack = MssStack::builder().build().expect("stack");
     for q in [true, false] {
-        let deck =
-            nvff_backup_deck(&tech, &stack, q, 24.0 * tech.feature, 15e-9).expect("deck");
+        let deck = nvff_backup_deck(&tech, &stack, q, 24.0 * tech.feature, 15e-9).expect("deck");
         let res = run(&deck);
         assert_eq!(res.events().len(), 2, "q={q}: both junctions must flip");
     }

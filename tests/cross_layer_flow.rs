@@ -71,7 +71,11 @@ fn fig11_shape_stt_l2_cuts_l2_energy() {
 fn fig12_shape_energy_improves_in_every_stt_scenario() {
     let r = report();
     for kernel in r.kernels() {
-        for s in [Scenario::LittleL2Stt, Scenario::BigL2Stt, Scenario::FullL2Stt] {
+        for s in [
+            Scenario::LittleL2Stt,
+            Scenario::BigL2Stt,
+            Scenario::FullL2Stt,
+        ] {
             let (_, e, _) = r.normalized(&kernel, s).expect("result");
             assert!(e < 1.0, "{kernel}/{s}: energy ratio {e}");
         }
@@ -99,7 +103,11 @@ fn fig12_shape_edp_compensates_slowdowns() {
     // enabled energy savings": EDP <= 1.0 in every STT scenario.
     let r = report();
     for kernel in r.kernels() {
-        for s in [Scenario::LittleL2Stt, Scenario::BigL2Stt, Scenario::FullL2Stt] {
+        for s in [
+            Scenario::LittleL2Stt,
+            Scenario::BigL2Stt,
+            Scenario::FullL2Stt,
+        ] {
             let (_, _, edp) = r.normalized(&kernel, s).expect("result");
             assert!(edp < 1.02, "{kernel}/{s}: EDP ratio {edp}");
         }

@@ -1,103 +1,141 @@
-//! Property-based tests on cross-crate invariants (proptest).
+//! Property-style tests on cross-crate invariants.
+//!
+//! Each property is exercised over a deterministic cloud of random inputs
+//! drawn from the in-tree PRNG ([`great_mss::units::rng`]) — same spirit as
+//! proptest, but with zero external dependencies and perfectly reproducible
+//! cases (fixed seed, no shrinking needed: the failing case prints its
+//! inputs).
 
 use great_mss::mtj::llg::{LlgOptions, LlgSimulator};
 use great_mss::mtj::switching::SwitchingModel;
 use great_mss::mtj::{MssDevice, MssStack};
+use great_mss::nvsim::buffer::evaluate_buffer;
 use great_mss::spice::analysis::dc_operating_point;
 use great_mss::spice::netlist::Netlist;
 use great_mss::spice::waveform::Waveform;
-use great_mss::units::Vec3;
-use great_mss::nvsim::buffer::evaluate_buffer;
 use great_mss::units::complex::Complex;
+use great_mss::units::rng::{Rng, Xoshiro256PlusPlus};
+use great_mss::units::Vec3;
 use great_mss::vaet::ecc::EccScheme;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Cases per property (proptest used 48; cheap enough to keep).
+const CASES: usize = 48;
 
-    /// WER is a probability, monotone non-increasing in pulse width and
-    /// current, for any physical stack geometry.
-    #[test]
-    fn wer_is_monotone_probability(
-        diameter_nm in 25.0f64..70.0,
-        i_rel in 1.2f64..4.0,
-        t_ns in 0.5f64..40.0,
-    ) {
-        let stack = MssStack::builder().diameter(diameter_nm * 1e-9).build().unwrap();
+/// Runs `body` over `CASES` deterministic cases, seeding each property with
+/// its own stream so adding a property never reshuffles the others.
+fn for_cases(stream: u64, mut body: impl FnMut(&mut Xoshiro256PlusPlus)) {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256PlusPlus::stream(0x0009_E77C_A5E5 + stream, case as u64);
+        body(&mut rng);
+    }
+}
+
+/// WER is a probability, monotone non-increasing in pulse width and
+/// current, for any physical stack geometry.
+#[test]
+fn wer_is_monotone_probability() {
+    for_cases(1, |rng| {
+        let diameter_nm = rng.gen_range_f64(25.0, 70.0);
+        let i_rel = rng.gen_range_f64(1.2, 4.0);
+        let t_ns = rng.gen_range_f64(0.5, 40.0);
+        let stack = MssStack::builder()
+            .diameter(diameter_nm * 1e-9)
+            .build()
+            .unwrap();
         let sw = SwitchingModel::new(&stack);
         let i = i_rel * sw.critical_current();
         let t = t_ns * 1e-9;
         let wer = sw.write_error_rate(t, i);
-        prop_assert!((0.0..=1.0).contains(&wer));
-        prop_assert!(sw.write_error_rate(1.5 * t, i) <= wer + 1e-15);
-        prop_assert!(sw.write_error_rate(t, 1.2 * i) <= wer + 1e-15);
-    }
+        assert!(
+            (0.0..=1.0).contains(&wer),
+            "wer {wer} for d={diameter_nm}nm"
+        );
+        assert!(sw.write_error_rate(1.5 * t, i) <= wer + 1e-15);
+        assert!(sw.write_error_rate(t, 1.2 * i) <= wer + 1e-15);
+    });
+}
 
-    /// Inverting the WER for a pulse width round-trips.
-    #[test]
-    fn pulse_for_wer_round_trips(
-        diameter_nm in 30.0f64..60.0,
-        i_rel in 1.5f64..3.5,
-        log_wer in -18.0f64..-3.0,
-    ) {
-        let stack = MssStack::builder().diameter(diameter_nm * 1e-9).build().unwrap();
+/// Inverting the WER for a pulse width round-trips.
+#[test]
+fn pulse_for_wer_round_trips() {
+    for_cases(2, |rng| {
+        let diameter_nm = rng.gen_range_f64(30.0, 60.0);
+        let i_rel = rng.gen_range_f64(1.5, 3.5);
+        let log_wer = rng.gen_range_f64(-18.0, -3.0);
+        let stack = MssStack::builder()
+            .diameter(diameter_nm * 1e-9)
+            .build()
+            .unwrap();
         let sw = SwitchingModel::new(&stack);
         let i = i_rel * sw.critical_current();
         let wer = 10f64.powf(log_wer);
         let t = sw.pulse_for_wer(wer, i).unwrap();
         let back = sw.write_error_rate(t, i);
-        prop_assert!((back.ln() - wer.ln()).abs() < 1e-6 * wer.ln().abs());
-    }
+        assert!(
+            (back.ln() - wer.ln()).abs() < 1e-6 * wer.ln().abs(),
+            "wer {wer:e} -> t {t:e} -> {back:e}"
+        );
+    });
+}
 
-    /// The LLG integrator preserves |m| = 1 from any starting orientation,
-    /// with or without spin torque.
-    #[test]
-    fn llg_preserves_unit_norm(
-        theta in 0.05f64..3.0,
-        phi in -3.1f64..3.1,
-        i_rel in -3.0f64..3.0,
-    ) {
-        let stack = MssStack::builder().build().unwrap();
-        let device = MssDevice::memory(stack.clone());
-        let sim = LlgSimulator::new(&device)
-            .with_current(i_rel * stack.critical_current());
+/// The LLG integrator preserves |m| = 1 from any starting orientation,
+/// with or without spin torque.
+#[test]
+fn llg_preserves_unit_norm() {
+    // The LLG runs are ~ms each; a smaller cloud keeps the test quick.
+    let stack = MssStack::builder().build().unwrap();
+    let device = MssDevice::memory(stack.clone());
+    for case in 0..12 {
+        let mut rng = Xoshiro256PlusPlus::stream(0x0009_E77C_A5E5 + 3, case);
+        let theta = rng.gen_range_f64(0.05, 3.0);
+        let phi = rng.gen_range_f64(-3.1, 3.1);
+        let i_rel = rng.gen_range_f64(-3.0, 3.0);
+        let sim = LlgSimulator::new(&device).with_current(i_rel * stack.critical_current());
         let traj = sim.run(
             Vec3::from_spherical(theta, phi),
             2e-9,
-            &LlgOptions { record_every: 20, ..LlgOptions::default() },
+            &LlgOptions {
+                record_every: 20,
+                ..LlgOptions::default()
+            },
         );
         for m in traj.magnetization() {
-            prop_assert!((m.norm() - 1.0).abs() < 1e-9);
-            prop_assert!(m.is_finite());
+            assert!(
+                (m.norm() - 1.0).abs() < 1e-9,
+                "|m| drifted at i_rel={i_rel}"
+            );
+            assert!(m.is_finite());
         }
     }
+}
 
-    /// ECC uncorrectable probability is a probability, monotone in p and
-    /// anti-monotone in correction strength.
-    #[test]
-    fn ecc_uncorrectable_is_monotone(
-        log_p in -15.0f64..-2.0,
-        data_bits in 64u32..2048,
-        t in 1u32..5,
-    ) {
+/// ECC uncorrectable probability is a probability, monotone in p and
+/// anti-monotone in correction strength.
+#[test]
+fn ecc_uncorrectable_is_monotone() {
+    for_cases(4, |rng| {
+        let log_p = rng.gen_range_f64(-15.0, -2.0);
+        let data_bits = rng.gen_range_u64(64, 2048) as u32;
+        let t = rng.gen_range_u64(1, 5) as u32;
         let p = 10f64.powf(log_p);
         let weak = EccScheme::bch(t, data_bits);
         let strong = EccScheme::bch(t + 1, data_bits);
         let up = weak.uncorrectable_probability(p);
-        prop_assert!((0.0..=1.0).contains(&up));
-        prop_assert!(strong.uncorrectable_probability(p) <= up + 1e-300);
-        prop_assert!(weak.uncorrectable_probability(2.0 * p) >= up);
-    }
+        assert!((0.0..=1.0).contains(&up), "up {up} for p={p:e} t={t}");
+        assert!(strong.uncorrectable_probability(p) <= up + 1e-300);
+        assert!(weak.uncorrectable_probability(2.0 * p) >= up);
+    });
+}
 
-    /// DC solutions of random resistor ladders satisfy KCL: the source
-    /// current equals the current into the ladder, and every node voltage
-    /// lies between the rails.
-    #[test]
-    fn dc_ladder_satisfies_kcl(
-        stages in 2usize..10,
-        r_base in 100.0f64..10_000.0,
-        vdd in 0.5f64..3.0,
-    ) {
+/// DC solutions of random resistor ladders satisfy KCL: the source
+/// current equals the current into the ladder, and every node voltage
+/// lies between the rails.
+#[test]
+fn dc_ladder_satisfies_kcl() {
+    for_cases(5, |rng| {
+        let stages = rng.gen_range_u64(2, 10) as usize;
+        let r_base = rng.gen_range_f64(100.0, 10_000.0);
+        let vdd = rng.gen_range_f64(0.5, 3.0);
         let mut nl = Netlist::new();
         nl.add_vsource("v1", "n0", "0", Waveform::dc(vdd)).unwrap();
         for k in 0..stages {
@@ -108,86 +146,94 @@ proptest! {
                 r_base * (1.0 + k as f64 * 0.3),
             )
             .unwrap();
-            nl.add_resistor(
-                &format!("rg{k}"),
-                &format!("n{}", k + 1),
-                "0",
-                2.0 * r_base,
-            )
-            .unwrap();
+            nl.add_resistor(&format!("rg{k}"), &format!("n{}", k + 1), "0", 2.0 * r_base)
+                .unwrap();
         }
         let dc = dc_operating_point(&nl).unwrap();
         let mut last = vdd;
         for k in 1..=stages {
             let v = dc.node_voltage(&format!("n{k}")).unwrap();
-            prop_assert!(v >= -1e-9 && v <= last + 1e-9, "node n{k} = {v}");
+            assert!(v >= -1e-9 && v <= last + 1e-9, "node n{k} = {v}");
             last = v;
         }
         // Source current equals the ladder input current.
         let i_src = -dc.source_current("v1").unwrap();
         let v1 = dc.node_voltage("n1").unwrap();
         let i_ladder = (vdd - v1) / r_base;
-        prop_assert!((i_src - i_ladder).abs() < 1e-9 + 1e-6 * i_src.abs());
-    }
+        assert!((i_src - i_ladder).abs() < 1e-9 + 1e-6 * i_src.abs());
+    });
+}
 
-    /// Complex arithmetic satisfies field axioms numerically.
-    #[test]
-    fn complex_field_axioms(
-        ar in -10.0f64..10.0, ai in -10.0f64..10.0,
-        br in -10.0f64..10.0, bi in -10.0f64..10.0,
-    ) {
-        let a = Complex::new(ar, ai);
-        let b = Complex::new(br, bi);
+/// Complex arithmetic satisfies field axioms numerically.
+#[test]
+fn complex_field_axioms() {
+    for_cases(6, |rng| {
+        let a = Complex::new(
+            rng.gen_range_f64(-10.0, 10.0),
+            rng.gen_range_f64(-10.0, 10.0),
+        );
+        let b = Complex::new(
+            rng.gen_range_f64(-10.0, 10.0),
+            rng.gen_range_f64(-10.0, 10.0),
+        );
         // Commutativity and |ab| = |a||b|.
         let ab = a * b;
         let ba = b * a;
-        prop_assert!((ab - ba).abs() < 1e-9);
-        prop_assert!((ab.abs() - a.abs() * b.abs()).abs() < 1e-9 * (1.0 + ab.abs()));
+        assert!((ab - ba).abs() < 1e-9);
+        assert!((ab.abs() - a.abs() * b.abs()).abs() < 1e-9 * (1.0 + ab.abs()));
         // Division inverts multiplication away from zero.
         if b.abs() > 1e-6 {
             let q = ab / b;
-            prop_assert!((q - a).abs() < 1e-6 * (1.0 + a.abs()));
+            assert!((q - a).abs() < 1e-6 * (1.0 + a.abs()));
         }
-    }
+    });
+}
 
-    /// The write-buffer queue behaves like a probability model: stall and
-    /// occupancy stay in range, and deeper buffers never stall more.
-    #[test]
-    fn write_buffer_is_well_behaved(
-        arrival in 0.001f64..0.3,
-        drain in 1.5f64..20.0,
-        depth in 1u32..24,
-    ) {
+/// The write-buffer queue behaves like a probability model: stall and
+/// occupancy stay in range, and deeper buffers never stall more.
+#[test]
+fn write_buffer_is_well_behaved() {
+    for_cases(7, |rng| {
+        let arrival = rng.gen_range_f64(0.001, 0.3);
+        let drain = rng.gen_range_f64(1.5, 20.0);
+        let depth = rng.gen_range_u64(1, 24) as u32;
         let d = evaluate_buffer(arrival, drain, depth).unwrap();
-        prop_assert!((0.0..=1.0).contains(&d.stall_probability));
-        prop_assert!(d.mean_occupancy >= 0.0 && d.mean_occupancy <= depth as f64);
-        prop_assert!(d.effective_write_cycles >= 1.0);
+        assert!((0.0..=1.0).contains(&d.stall_probability));
+        assert!(d.mean_occupancy >= 0.0 && d.mean_occupancy <= depth as f64);
+        assert!(d.effective_write_cycles >= 1.0);
         let deeper = evaluate_buffer(arrival, drain, depth + 1).unwrap();
-        prop_assert!(deeper.stall_probability <= d.stall_probability + 1e-12);
-    }
+        assert!(deeper.stall_probability <= d.stall_probability + 1e-12);
+    });
+}
 
-    /// Every point strictly inside the Stoner–Wohlfarth astroid is stable;
-    /// scaling it past the boundary switches.
-    #[test]
-    fn astroid_boundary_separates_regions(
-        hx in 0.01f64..0.95,
-        frac in 0.05f64..0.9,
-    ) {
-        use great_mss::mtj::astroid::{crosses_astroid, easy_axis_boundary};
+/// Every point strictly inside the Stoner–Wohlfarth astroid is stable;
+/// scaling it past the boundary switches.
+#[test]
+fn astroid_boundary_separates_regions() {
+    use great_mss::mtj::astroid::{crosses_astroid, easy_axis_boundary};
+    for_cases(8, |rng| {
+        let hx = rng.gen_range_f64(0.01, 0.95);
+        let frac = rng.gen_range_f64(0.05, 0.9);
         let hz_boundary = easy_axis_boundary(hx);
         if hz_boundary > 1e-6 {
-            prop_assert!(!crosses_astroid(hx, frac * hz_boundary * 0.999));
-            prop_assert!(crosses_astroid(hx, hz_boundary * 1.001 + 1e-9));
+            assert!(!crosses_astroid(hx, frac * hz_boundary * 0.999));
+            assert!(crosses_astroid(hx, hz_boundary * 1.001 + 1e-9));
         }
-    }
+    });
+}
 
-    /// Retention sizing hits its target for any target within range.
-    #[test]
-    fn retention_sizing_round_trips(log_years in -1.0f64..2.5) {
-        let base = MssStack::builder().build().unwrap();
+/// Retention sizing hits its target for any target within range.
+#[test]
+fn retention_sizing_round_trips() {
+    let base = MssStack::builder().build().unwrap();
+    for_cases(9, |rng| {
+        let log_years = rng.gen_range_f64(-1.0, 2.5);
         let target = 10f64.powf(log_years) * 365.25 * 86400.0;
         let sized = great_mss::mtj::reliability::diameter_for_retention(&base, target).unwrap();
         let achieved = great_mss::mtj::reliability::retention_seconds(&sized);
-        prop_assert!((achieved.ln() - target.ln()).abs() < 1e-6);
-    }
+        assert!(
+            (achieved.ln() - target.ln()).abs() < 1e-6,
+            "target {target:e}s achieved {achieved:e}s"
+        );
+    });
 }

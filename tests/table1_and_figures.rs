@@ -120,8 +120,14 @@ fn fig9_disturb_grows_while_rer_falls() {
 #[test]
 fn table1_renders_paper_layout() {
     let table = mc(TechNode::N45).to_table();
-    for needle in ["write latency", "write energy", "read latency", "read energy", "mu", "sigma"]
-    {
+    for needle in [
+        "write latency",
+        "write energy",
+        "read latency",
+        "read energy",
+        "mu",
+        "sigma",
+    ] {
         assert!(table.contains(needle), "missing '{needle}' in:\n{table}");
     }
 }
