@@ -1,24 +1,35 @@
-//! CI smoke benchmark: a small Monte Carlo through the `mss-exec` runtime,
-//! printing sample throughput at one thread and at the environment's thread
-//! count. Designed to finish well under 30 s.
+//! CI smoke benchmark: small workloads through every instrumented layer of
+//! the flow (vaet Monte Carlo, mtj LLG, spice transient, gemsim kernel),
+//! printing sample throughput and — when `MSS_METRICS=1` or `MSS_TRACE=1` —
+//! writing the observability registry as an NDJSON run report CI archives.
 //!
 //! ```text
 //! cargo run --release -p mss-bench --bin mc_smoke
-//! MSS_THREADS=8 cargo run --release -p mss-bench --bin mc_smoke -- 20000
+//! MSS_METRICS=1 MSS_THREADS=8 cargo run --release -p mss-bench --bin mc_smoke -- 20000
 //! ```
 //!
-//! The optional argument overrides the sample count (default 4000).
+//! The optional argument overrides the Monte Carlo sample count (default
+//! 4000). `MSS_OBS_OUT` overrides the report path (default
+//! `target/mc_smoke.ndjson`).
 
 use mss_bench::standard_context;
 use mss_exec::ParallelConfig;
+use mss_gemsim::system::{System, SystemConfig};
+use mss_gemsim::workload::Kernel;
+use mss_mtj::llg::{LlgOptions, LlgSimulator};
+use mss_mtj::resistance::MtjState;
+use mss_mtj::switching::SwitchingModel;
+use mss_mtj::{MssDevice, MssStack};
 use mss_pdk::tech::TechNode;
+use mss_spice::analysis::{Transient, TransientOptions};
+use mss_spice::netlist::Netlist;
+use mss_spice::waveform::Waveform;
+use mss_units::Vec3;
 use mss_vaet::montecarlo::{run_with_stats, MonteCarloOptions};
 
-fn main() {
-    let samples: usize = std::env::args()
-        .nth(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4000);
+/// The vaet Monte Carlo leg: serial vs parallel, asserting bit-identity.
+fn vaet_smoke(samples: usize) {
+    let _span = mss_obs::span("mc_smoke.vaet");
     let ctx = standard_context(TechNode::N45);
     let opts = MonteCarloOptions {
         samples,
@@ -26,7 +37,6 @@ fn main() {
         word_bits: Some(64),
     };
 
-    println!("== mc_smoke: {samples} samples x 64-bit words, N45 ==");
     let serial_cfg = ParallelConfig::serial();
     let (serial_report, serial_stats) =
         run_with_stats(&ctx, &opts, &serial_cfg).expect("serial Monte Carlo");
@@ -49,4 +59,95 @@ fn main() {
         "speedup {speedup:.2}x at {} threads | reports bit-identical: yes",
         par_stats.threads
     );
+}
+
+/// A tiny LLG current sweep (device layer).
+fn llg_smoke() {
+    let _span = mss_obs::span("mc_smoke.llg");
+    let device = MssDevice::memory(MssStack::builder().build().expect("reference stack"));
+    let ic = SwitchingModel::new(device.stack()).critical_current();
+    let sim = LlgSimulator::new(&device);
+    let theta0 = std::f64::consts::PI - device.stack().thermal_angle();
+    let m0 = Vec3::from_spherical(theta0, 0.0);
+    let points = sim.current_sweep(
+        &[2.0 * ic, 3.0 * ic],
+        m0,
+        40e-9,
+        0.0,
+        &LlgOptions::default(),
+        &ParallelConfig::from_env(),
+    );
+    let switched = points.iter().filter(|p| p.switching_time.is_some()).count();
+    println!(
+        "llg      : {switched}/{} sweep points switched",
+        points.len()
+    );
+}
+
+/// An MTJ write pulse through the MNA transient engine (circuit layer).
+fn spice_smoke() {
+    let _span = mss_obs::span("mc_smoke.spice");
+    let stack = MssStack::builder().build().expect("reference stack");
+    let v_write = 2.5 * stack.critical_current() * stack.resistance_antiparallel();
+    let mut nl = Netlist::new();
+    nl.add_vsource(
+        "vw",
+        "top",
+        "0",
+        Waveform::pulse(0.0, v_write, 1e-9, 0.05e-9, 0.05e-9, 40e-9, 0.0),
+    )
+    .expect("vsource");
+    nl.add_mtj("x1", "top", "0", &stack, MtjState::Antiparallel)
+        .expect("mtj element");
+    let res = Transient::new(&nl)
+        .expect("transient setup")
+        .run(&TransientOptions::new(0.05e-9, 45e-9))
+        .expect("transient run");
+    println!(
+        "spice    : {} time points, {} switch event(s)",
+        res.times().len(),
+        res.events().len()
+    );
+}
+
+/// One Parsec-like kernel on the big.LITTLE platform (system layer).
+fn gemsim_smoke() {
+    let _span = mss_obs::span("mc_smoke.gemsim");
+    let mut cfg = SystemConfig::big_little_default();
+    cfg.sample_accesses_per_thread = 8_000;
+    let sys = System::new(cfg).expect("system");
+    let report = sys.run(&Kernel::bodytrack(), 1).expect("kernel run");
+    println!(
+        "gemsim   : {} in {:.3} ms simulated, {} DRAM reads",
+        report.kernel,
+        report.runtime_seconds * 1e3,
+        report.dram_reads
+    );
+}
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4000);
+    println!("== mc_smoke: {samples} samples x 64-bit words, N45 ==");
+    vaet_smoke(samples);
+    llg_smoke();
+    spice_smoke();
+    gemsim_smoke();
+
+    if mss_obs::enabled() {
+        let path = std::env::var("MSS_OBS_OUT").unwrap_or_else(|_| "target/mc_smoke.ndjson".into());
+        let report = mss_obs::report_ndjson();
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, &report).expect("write NDJSON run report");
+        println!(
+            "obs      : {} NDJSON lines -> {path}",
+            report.lines().count()
+        );
+    } else {
+        println!("obs      : disabled (set MSS_METRICS=1 for an NDJSON run report)");
+    }
 }

@@ -1,0 +1,90 @@
+//! Cross-layer observability integration: drives one small workload through
+//! each instrumented crate and asserts the global NDJSON run report carries
+//! spans/counters from every layer.
+//!
+//! Runs in its own test binary so [`mss_obs::init_with_mode`] can pin the
+//! global registry to `Metrics` before anything else touches it — no
+//! environment variables involved, so the test is hermetic.
+
+use mss_bench::standard_context;
+use mss_exec::ParallelConfig;
+use mss_gemsim::system::{System, SystemConfig};
+use mss_gemsim::workload::Kernel;
+use mss_mtj::llg::{LlgOptions, LlgSimulator};
+use mss_mtj::switching::SwitchingModel;
+use mss_mtj::{MssDevice, MssStack};
+use mss_obs::Mode;
+use mss_pdk::tech::TechNode;
+use mss_units::Vec3;
+use mss_vaet::montecarlo::{run_with, MonteCarloOptions};
+
+#[test]
+fn ndjson_report_covers_mtj_spice_vaet_and_gemsim() {
+    assert!(
+        mss_obs::init_with_mode(Mode::Metrics),
+        "another test initialised the global registry first; keep this \
+         test binary single-test"
+    );
+
+    // vaet Monte Carlo (drives spice.dc/transient internally via the
+    // characterised context too).
+    let ctx = standard_context(TechNode::N45);
+    run_with(
+        &ctx,
+        &MonteCarloOptions {
+            samples: 64,
+            seed: 7,
+            word_bits: Some(16),
+        },
+        &ParallelConfig::serial(),
+    )
+    .expect("vaet Monte Carlo");
+
+    // mtj LLG: one short relaxation sweep.
+    let device = MssDevice::memory(MssStack::builder().build().expect("stack"));
+    let ic = SwitchingModel::new(device.stack()).critical_current();
+    let sim = LlgSimulator::new(&device);
+    sim.current_sweep(
+        &[2.0 * ic],
+        Vec3::from_spherical(3.0, 0.0),
+        5e-9,
+        0.0,
+        &LlgOptions::default(),
+        &ParallelConfig::serial(),
+    );
+
+    // gemsim: one tiny kernel.
+    let mut cfg = SystemConfig::big_little_default();
+    cfg.sample_accesses_per_thread = 2_000;
+    System::new(cfg)
+        .expect("system")
+        .run(&Kernel::swaptions(), 3)
+        .expect("kernel run");
+
+    let report = mss_obs::report_ndjson();
+    // Spans/counters from at least the four named crates.
+    for needle in [
+        "mtj.llg.", // device layer
+        "spice.",   // circuit layer (solver/newton counters, dc/transient spans)
+        "vaet.mc.", // variation-aware estimation
+        "gemsim.",  // system simulation
+    ] {
+        assert!(
+            report.contains(needle),
+            "report missing {needle:?} entries:\n{report}"
+        );
+    }
+    // Structural sanity: one meta line, every line a JSON object.
+    let mut lines = report.lines();
+    assert!(lines.next().unwrap_or("").contains("\"type\":\"meta\""));
+    for line in report.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object line: {line}"
+        );
+        assert!(line.contains("\"type\":"), "untyped line: {line}");
+    }
+    // The vaet run recorded its RunStats fold-in.
+    assert!(mss_obs::global().counter("vaet.mc.samples") >= 64);
+    assert!(mss_obs::global().counter("spice.solver.solves") > 0);
+}

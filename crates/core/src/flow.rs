@@ -113,7 +113,10 @@ impl MagpieFlow {
             });
         }
         let stack = MssStack::builder().build()?;
-        let stt_lib = characterize(inputs.node, &stack)?;
+        let stt_lib = {
+            let _span = mss_obs::span("flow.characterize");
+            characterize(inputs.node, &stack)?
+        };
         Ok(Self {
             tech: TechParams::node(inputs.node),
             stt_lib,
@@ -254,7 +257,9 @@ impl MagpieFlow {
     ///
     /// Same as [`run`](Self::run).
     pub fn run_with(&self, exec: &ParallelConfig) -> Result<MagpieReport, MagpieError> {
+        let _flow_span = mss_obs::span("flow.run");
         let mcpat_cfg = McpatConfig::default();
+        let prepare_span = mss_obs::span("flow.prepare");
         // Stage 1: per-scenario estimation (NVSim/McPAT) and platform build.
         let prepared = par_map(exec, &self.inputs.scenarios, |_, &scenario| {
             let area = self.scenario_area(scenario)?;
@@ -268,6 +273,8 @@ impl MagpieFlow {
             areas.push(area);
             systems.push(system);
         }
+        drop(prepare_span);
+        let simulate_span = mss_obs::span("flow.simulate");
 
         // Stage 2: one task per (scenario, kernel) pair, scenario-major so
         // the report order matches the sequential flow.
@@ -291,6 +298,7 @@ impl MagpieFlow {
             })
         });
         let results = evaluated.into_iter().collect::<Result<Vec<_>, _>>()?;
+        drop(simulate_span);
         Ok(MagpieReport { results, areas })
     }
 }

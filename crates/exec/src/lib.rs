@@ -73,12 +73,32 @@ impl ParallelConfig {
 
     /// Reads the policy from the environment: `MSS_THREADS` when set to a
     /// positive integer, otherwise the machine's available parallelism.
+    ///
+    /// A garbled override (`"eight"`, `"-2"`, `"0"`) is **not** silently
+    /// ignored: it logs one warning to stderr (first occurrence only) and
+    /// bumps the `exec.bad_threads_env` observability counter, then falls
+    /// back to available parallelism — a misconfigured run stays runnable
+    /// but diagnosable. An empty/whitespace value counts as unset.
     pub fn from_env() -> Self {
-        let threads = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let threads = match std::env::var(THREADS_ENV) {
+            Ok(raw) if !raw.trim().is_empty() => match parse_threads(&raw) {
+                Ok(n) => Some(n),
+                Err(why) => {
+                    mss_obs::counter_add("exec.bad_threads_env", 1);
+                    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                    WARN_ONCE.call_once(|| {
+                        eprintln!(
+                            "warning: ignoring {THREADS_ENV}={raw:?} ({why}); \
+                             using available parallelism"
+                        );
+                    });
+                    None
+                }
+            },
+            _ => None,
+        };
+        let threads =
+            threads.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         Self {
             threads,
             chunk: DEFAULT_CHUNK,
@@ -105,6 +125,27 @@ impl ParallelConfig {
 impl Default for ParallelConfig {
     fn default() -> Self {
         Self::from_env()
+    }
+}
+
+/// Parses an `MSS_THREADS`-style thread-count override.
+///
+/// Accepts a positive integer with surrounding whitespace; everything else
+/// (words, negatives, zero, fractions) is an error describing why, so
+/// callers can warn instead of silently ignoring a misconfiguration.
+///
+/// # Errors
+///
+/// A human-readable description of the rejected value.
+pub fn parse_threads(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err("empty value".to_string());
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err("thread count must be positive, got 0".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("not a positive integer: {trimmed:?}")),
     }
 }
 
@@ -153,6 +194,20 @@ impl RunStats {
         } else {
             self.samples as f64 / self.wall_seconds
         }
+    }
+
+    /// Records this run into the global observability registry under
+    /// `name` (see `mss_obs::record_run`): `{name}.tasks`/`{name}.samples`
+    /// counters plus wall-time and utilization histograms. No-op when
+    /// observability is disabled.
+    pub fn record(&self, name: &str) {
+        mss_obs::record_run(
+            name,
+            self.tasks,
+            self.samples,
+            self.wall_seconds,
+            &self.busy_seconds,
+        );
     }
 
     /// Renders a one-run report block.
@@ -398,6 +453,25 @@ mod tests {
         let cfg = ParallelConfig::from_env();
         assert!(cfg.threads >= 1);
         assert_eq!(cfg.chunk, DEFAULT_CHUNK);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads("8"), Ok(8));
+        assert_eq!(parse_threads(" 4 "), Ok(4));
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads("128"), Ok(128));
+    }
+
+    #[test]
+    fn parse_threads_rejects_garbled_values_with_reasons() {
+        for bad in ["eight", "-2", "0", "", "  ", "3.5", "4x", "+-1"] {
+            let err = parse_threads(bad).expect_err(&format!("{bad:?} should be rejected"));
+            assert!(!err.is_empty(), "{bad:?} error should explain itself");
+        }
+        // The zero case names the constraint, the word case echoes the value.
+        assert!(parse_threads("0").unwrap_err().contains("positive"));
+        assert!(parse_threads("eight").unwrap_err().contains("eight"));
     }
 
     #[test]

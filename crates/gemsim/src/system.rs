@@ -227,6 +227,7 @@ impl System {
         seed: u64,
         exec: &ParallelConfig,
     ) -> Result<Vec<SimReport>, GemsimError> {
+        let _span = mss_obs::span("gemsim.run_many");
         par_map(exec, kernels, |_, kernel| self.run(kernel, seed))
             .into_iter()
             .collect()
@@ -246,6 +247,7 @@ impl System {
         seed: u64,
         placement: &Placement,
     ) -> Result<SimReport, GemsimError> {
+        let _span = mss_obs::span("gemsim.run");
         kernel.validate()?;
         if let Placement::Cluster(name) = placement {
             if !self.config.clusters.iter().any(|c| &c.name == name) {
@@ -450,7 +452,7 @@ impl System {
                 sim as f64 / mem as f64
             }
         };
-        Ok(SimReport {
+        let report = SimReport {
             kernel: kernel.name.clone(),
             runtime_seconds: runtime,
             cores: cores_out,
@@ -459,7 +461,19 @@ impl System {
             dram_writes: dram_writes_scaled,
             dram_row_hits: dram_row_hits_scaled,
             simulated_fraction: sampled_fraction,
-        })
+        };
+        if mss_obs::enabled() {
+            mss_obs::counter_add("gemsim.runs", 1);
+            mss_obs::counter_add("gemsim.instructions", report.total_instructions());
+            mss_obs::counter_add("gemsim.dram.reads", report.dram_reads);
+            mss_obs::counter_add("gemsim.dram.writes", report.dram_writes);
+            for cache in &report.caches {
+                mss_obs::counter_add("gemsim.cache.hits", cache.stats.hits());
+                mss_obs::counter_add("gemsim.cache.misses", cache.stats.misses());
+            }
+            mss_obs::record_value("gemsim.runtime_seconds", report.runtime_seconds);
+        }
+        Ok(report)
     }
 }
 

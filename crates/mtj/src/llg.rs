@@ -213,6 +213,12 @@ impl LlgSimulator {
                 traj.push((k + 1) as f64 * opts.dt, m);
             }
         }
+        // One bump per run (never per step): integration volume is the
+        // denominator of every LLG throughput number.
+        if mss_obs::enabled() {
+            mss_obs::counter_add("mtj.llg.runs", 1);
+            mss_obs::counter_add("mtj.llg.steps", steps as u64);
+        }
         traj
     }
 
@@ -231,6 +237,8 @@ impl LlgSimulator {
         opts: &LlgOptions,
         cfg: &ParallelConfig,
     ) -> Vec<SweepPoint> {
+        let _span = mss_obs::span("mtj.llg.current_sweep");
+        mss_obs::counter_add("mtj.llg.sweep_points", currents.len() as u64);
         par_map(cfg, currents, |idx, &current| {
             let sim = self.clone().with_current(current);
             let mut rng = Xoshiro256PlusPlus::stream(opts.seed, idx as u64);
@@ -257,6 +265,7 @@ impl LlgSimulator {
         opts: &LlgOptions,
         cfg: &ParallelConfig,
     ) -> ThermalEnsemble {
+        let _span = mss_obs::span("mtj.llg.thermal_ensemble");
         let thermal_opts = LlgOptions {
             thermal: true,
             ..opts.clone()
@@ -277,6 +286,8 @@ impl LlgSimulator {
             }
             mz.push(final_mz);
         }
+        mss_obs::counter_add("mtj.llg.ensemble_runs", runs as u64);
+        mss_obs::counter_add("mtj.llg.ensemble_switched", switched);
         ThermalEnsemble {
             runs: runs as u64,
             switched,

@@ -138,7 +138,9 @@ pub fn explore_with(
         .flat_map(|&rows| sizes.iter().map(move |&cols| (rows, cols)))
         .filter_map(|(rows, cols)| base.with_subarray(rows, cols).ok())
         .collect();
+    let _span = mss_obs::span("nvsim.explore");
     let estimated = par_map(exec, &grid, |_, cfg| estimate(tech, cfg, technology));
+    mss_obs::counter_add("nvsim.explore.candidates", estimated.len() as u64);
     let mut candidates = Vec::new();
     for (cfg, metrics) in grid.into_iter().zip(estimated) {
         let metrics = metrics?;
@@ -146,13 +148,20 @@ pub fn explore_with(
             continue;
         }
         let score = target.score(&metrics);
+        // A non-finite score (overflowed or NaN metric product) cannot be
+        // ranked; treat it as infeasible rather than poisoning the sort.
+        if !score.is_finite() {
+            mss_obs::counter_add("nvsim.explore.nonfinite_scores", 1);
+            continue;
+        }
         candidates.push(Candidate {
             config: cfg,
             metrics,
             score,
         });
     }
-    candidates.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"));
+    mss_obs::counter_add("nvsim.explore.feasible", candidates.len() as u64);
+    candidates.sort_by(|a, b| a.score.total_cmp(&b.score));
     match candidates.first().cloned() {
         Some(best) => Ok(Exploration { best, candidates }),
         None => Err(NvsimError::NoFeasibleDesign),

@@ -1,0 +1,898 @@
+//! `mss-obs` — the zero-dependency observability layer of the GREAT MSS flow.
+//!
+//! Every layer of the device→PDK→memory→system flow (LLG sweeps, MNA solves,
+//! Monte Carlo batches, cache simulation, flow phases) reports into one
+//! process-wide [`Registry`] of
+//!
+//! - **counters** — monotonically increasing named `u64`s,
+//! - **histograms** — fixed-bucket (half-decade log₁₀) value distributions,
+//! - **spans** — hierarchical RAII timers aggregated by path
+//!   (`parent/child`), with optional per-event tracing,
+//! - **run records** — `mss-exec` `RunStats`-shaped entries (tasks, samples,
+//!   wall time, per-thread utilization) folded into counters + histograms.
+//!
+//! The registry emits a machine-readable **NDJSON run report** (one JSON
+//! object per line, see [`Registry::to_ndjson`]) that CI archives per run, so
+//! performance work has a measured baseline instead of a guess.
+//!
+//! # Gating and overhead
+//!
+//! The global registry is gated by two environment variables, read once:
+//!
+//! - `MSS_METRICS=1` — counters, histograms and span aggregates are live;
+//! - `MSS_TRACE=1` — additionally records individual span events (bounded
+//!   buffer) and implies `MSS_METRICS`.
+//!
+//! With neither set the global API is a no-op behind a single relaxed atomic
+//! load — instrumentation can stay in hot paths permanently. The disabled
+//! cost is asserted by this crate's overhead smoke test.
+//!
+//! # Examples
+//!
+//! ```
+//! use mss_obs::{Mode, Registry};
+//!
+//! let reg = Registry::new(Mode::Metrics);
+//! {
+//!     let _outer = reg.span("flow");
+//!     let _inner = reg.span("characterize");
+//!     reg.counter_add("cells.characterized", 42);
+//! }
+//! assert_eq!(reg.counter("cells.characterized"), 42);
+//! let report = reg.to_ndjson();
+//! assert!(report.lines().any(|l| l.contains("flow/characterize")));
+//! ```
+
+#![deny(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Environment variable enabling metrics (counters/histograms/spans).
+pub const METRICS_ENV: &str = "MSS_METRICS";
+/// Environment variable enabling per-event span tracing (implies metrics).
+pub const TRACE_ENV: &str = "MSS_TRACE";
+
+/// Cap on buffered trace events; recording stops (and a drop counter runs)
+/// once the buffer is full, bounding memory for long runs.
+pub const TRACE_EVENT_CAP: usize = 8192;
+
+/// Number of histogram buckets (half-decade log₁₀ spacing).
+pub const HIST_BUCKETS: usize = 64;
+
+/// NDJSON schema version emitted in the `meta` line.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// What the registry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Mode {
+    /// Record nothing; every call is a near-free early return.
+    Off,
+    /// Record counters, histograms and span aggregates.
+    Metrics,
+    /// [`Mode::Metrics`] plus individual span events (bounded buffer).
+    Trace,
+}
+
+impl Mode {
+    /// Reads the mode from `MSS_TRACE` / `MSS_METRICS`.
+    ///
+    /// A variable counts as set when it is non-empty and not `0`.
+    pub fn from_env() -> Self {
+        let on = |k: &str| {
+            std::env::var(k)
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false)
+        };
+        if on(TRACE_ENV) {
+            Mode::Trace
+        } else if on(METRICS_ENV) {
+            Mode::Metrics
+        } else {
+            Mode::Off
+        }
+    }
+}
+
+/// Fixed-bucket histogram: half-decade log₁₀ buckets spanning `1e-18 ..
+/// 1e14`, plus running count / sum / min / max.
+///
+/// Bucket `i` holds values in `[10^((i-36)/2), 10^((i-35)/2))`; values at or
+/// below zero land in bucket 0, values beyond the range clamp to the edge
+/// buckets. Consumers normally use the moments and treat buckets as shape.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a value.
+    fn bucket_of(v: f64) -> usize {
+        if v <= 0.0 || !v.is_finite() {
+            return 0;
+        }
+        let idx = (v.log10() * 2.0 + 36.0).floor();
+        idx.clamp(0.0, (HIST_BUCKETS - 1) as f64) as usize
+    }
+
+    /// Records one observation (non-finite values count into bucket 0 and
+    /// are excluded from the moments so a stray NaN cannot poison the sums).
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.buckets[Self::bucket_of(v)] += 1;
+        if v.is_finite() {
+            self.sum += v;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of the finite observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the finite observations; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Aggregate of one span path.
+#[derive(Debug, Clone, Default)]
+struct SpanAgg {
+    count: u64,
+    total_seconds: f64,
+    min_seconds: f64,
+    max_seconds: f64,
+}
+
+/// One recorded span event (trace mode only).
+#[derive(Debug, Clone)]
+struct TraceEvent {
+    path: String,
+    start_seconds: f64,
+    duration_seconds: f64,
+}
+
+thread_local! {
+    /// Active span names on this thread, innermost last. Shared by every
+    /// registry; span paths therefore reflect per-thread nesting.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A named-metric registry. One global instance backs the free functions;
+/// tests construct their own for deterministic, env-independent behaviour.
+#[derive(Debug)]
+pub struct Registry {
+    mode: Mode,
+    epoch: Instant,
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    spans: Mutex<BTreeMap<String, SpanAgg>>,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Registry {
+    /// Creates a registry in the given mode.
+    pub fn new(mode: Mode) -> Self {
+        Self {
+            mode,
+            epoch: Instant::now(),
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Creates a registry with the mode from the environment.
+    pub fn from_env() -> Self {
+        Self::new(Mode::from_env())
+    }
+
+    /// The recording mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// True when anything at all is recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.mode != Mode::Off
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut counters = self.counters.lock().expect("obs counters poisoned");
+        *counters.entry_or_insert(name) += n;
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .expect("obs counters poisoned")
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Records a value into the named histogram.
+    pub fn record_value(&self, name: &str, v: f64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut hists = self.histograms.lock().expect("obs histograms poisoned");
+        hists.entry_or_insert(name).record(v);
+    }
+
+    /// Snapshot of a histogram, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.histograms
+            .lock()
+            .expect("obs histograms poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Opens a hierarchical timed span; the returned guard records on drop.
+    ///
+    /// The span's path is the `/`-joined chain of spans currently open on
+    /// this thread (`flow/simulate/gemsim.run`). Disabled registries return
+    /// an inert guard without touching the clock.
+    #[must_use = "the span measures until the guard is dropped"]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        if !self.enabled() {
+            return SpanGuard {
+                registry: None,
+                path: String::new(),
+                start: None,
+            };
+        }
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name);
+            stack.join("/")
+        });
+        SpanGuard {
+            registry: Some(self),
+            path,
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// Folds one parallel-region run record (the shape of `mss-exec`'s
+    /// `RunStats`) into counters and histograms under `name`:
+    ///
+    /// - `{name}.tasks`, `{name}.samples` counters,
+    /// - `{name}.wall_seconds` histogram of the region wall time,
+    /// - `{name}.utilization` histogram of mean busy/wall across workers.
+    ///
+    /// Takes primitives rather than the struct so `mss-exec` can depend on
+    /// this crate without a cycle.
+    pub fn record_run(
+        &self,
+        name: &str,
+        tasks: u64,
+        samples: u64,
+        wall_seconds: f64,
+        busy_seconds: &[f64],
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.counter_add(&format!("{name}.tasks"), tasks);
+        self.counter_add(&format!("{name}.samples"), samples);
+        self.record_value(&format!("{name}.wall_seconds"), wall_seconds);
+        if wall_seconds > 0.0 && !busy_seconds.is_empty() {
+            let mean_busy = busy_seconds.iter().sum::<f64>() / busy_seconds.len() as f64;
+            self.record_value(&format!("{name}.utilization"), mean_busy / wall_seconds);
+        }
+    }
+
+    fn close_span(&self, path: &str, duration: f64) {
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        {
+            let mut spans = self.spans.lock().expect("obs spans poisoned");
+            let agg = spans.entry_or_insert(path);
+            if agg.count == 0 {
+                agg.min_seconds = duration;
+                agg.max_seconds = duration;
+            } else {
+                agg.min_seconds = agg.min_seconds.min(duration);
+                agg.max_seconds = agg.max_seconds.max(duration);
+            }
+            agg.count += 1;
+            agg.total_seconds += duration;
+        }
+        if self.mode == Mode::Trace {
+            let start = self.epoch.elapsed().as_secs_f64() - duration;
+            let mut events = self.events.lock().expect("obs events poisoned");
+            if events.len() < TRACE_EVENT_CAP {
+                events.push(TraceEvent {
+                    path: path.to_string(),
+                    start_seconds: start.max(0.0),
+                    duration_seconds: duration,
+                });
+            } else {
+                drop(events);
+                self.counter_add("obs.trace.dropped_events", 1);
+            }
+        }
+    }
+
+    /// Renders the whole registry as NDJSON — one self-describing JSON
+    /// object per line, deterministically ordered (`meta`, then counters,
+    /// histograms, spans and events, each alphabetical):
+    ///
+    /// ```text
+    /// {"type":"meta","schema":1,"mode":"metrics"}
+    /// {"type":"counter","name":"vaet.mc.samples","value":20000}
+    /// {"type":"histogram","name":"vaet.mc.wall_seconds","count":2,...}
+    /// {"type":"span","path":"mc_smoke/vaet.mc.run","count":2,...}
+    /// {"type":"event","path":"...","start_seconds":...,"duration_seconds":...}
+    /// ```
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        let mode = match self.mode {
+            Mode::Off => "off",
+            Mode::Metrics => "metrics",
+            Mode::Trace => "trace",
+        };
+        out.push_str(&format!(
+            "{{\"type\":\"meta\",\"schema\":{SCHEMA_VERSION},\"mode\":\"{mode}\"}}\n"
+        ));
+        for (name, value) in self.counters.lock().expect("obs counters poisoned").iter() {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":{},\"value\":{value}}}\n",
+                json_str(name)
+            ));
+        }
+        for (name, h) in self
+            .histograms
+            .lock()
+            .expect("obs histograms poisoned")
+            .iter()
+        {
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c > 0)
+                .map(|(i, c)| format!("[{i},{c}]"))
+                .collect();
+            out.push_str(&format!(
+                "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}\n",
+                json_str(name),
+                h.count,
+                json_num(h.sum),
+                json_num(if h.count == 0 { 0.0 } else { h.min }),
+                json_num(if h.count == 0 { 0.0 } else { h.max }),
+                buckets.join(",")
+            ));
+        }
+        for (path, s) in self.spans.lock().expect("obs spans poisoned").iter() {
+            out.push_str(&format!(
+                "{{\"type\":\"span\",\"path\":{},\"count\":{},\"total_seconds\":{},\"min_seconds\":{},\"max_seconds\":{}}}\n",
+                json_str(path),
+                s.count,
+                json_num(s.total_seconds),
+                json_num(s.min_seconds),
+                json_num(s.max_seconds)
+            ));
+        }
+        for e in self.events.lock().expect("obs events poisoned").iter() {
+            out.push_str(&format!(
+                "{{\"type\":\"event\",\"path\":{},\"start_seconds\":{},\"duration_seconds\":{}}}\n",
+                json_str(&e.path),
+                json_num(e.start_seconds),
+                json_num(e.duration_seconds)
+            ));
+        }
+        out
+    }
+}
+
+/// `BTreeMap::entry(..).or_insert_with(..)` without allocating the key when
+/// it already exists — counters/histograms are hit repeatedly with the same
+/// names.
+trait EntryOrInsert<V: Default> {
+    fn entry_or_insert(&mut self, name: &str) -> &mut V;
+}
+
+impl<V: Default> EntryOrInsert<V> for BTreeMap<String, V> {
+    fn entry_or_insert(&mut self, name: &str) -> &mut V {
+        if !self.contains_key(name) {
+            self.insert(name.to_string(), V::default());
+        }
+        self.get_mut(name).expect("just inserted")
+    }
+}
+
+/// RAII guard of one open span; records into the registry on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    registry: Option<&'a Registry>,
+    path: String,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let (Some(registry), Some(start)) = (self.registry, self.start) {
+            registry.close_span(&self.path, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Escapes a string as a JSON string literal (with quotes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global registry
+// ---------------------------------------------------------------------------
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// Initialises the global registry with an explicit mode, overriding the
+/// environment. Returns `false` (and changes nothing) when the global
+/// registry was already initialised — call it first thing in `main` or a
+/// test binary.
+pub fn init_with_mode(mode: Mode) -> bool {
+    let mut fresh = false;
+    GLOBAL.get_or_init(|| {
+        fresh = true;
+        Registry::new(mode)
+    });
+    fresh
+}
+
+/// The process-wide registry, lazily initialised from the environment.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::from_env)
+}
+
+/// True when the global registry records anything (one atomic load + flag
+/// check; instrument hot paths freely).
+#[inline]
+pub fn enabled() -> bool {
+    global().enabled()
+}
+
+/// Adds `n` to a global counter.
+#[inline]
+pub fn counter_add(name: &str, n: u64) {
+    global().counter_add(name, n);
+}
+
+/// Records a value into a global histogram.
+#[inline]
+pub fn record_value(name: &str, v: f64) {
+    global().record_value(name, v);
+}
+
+/// Opens a span on the global registry (see [`Registry::span`]).
+#[must_use = "the span measures until the guard is dropped"]
+pub fn span(name: &'static str) -> SpanGuard<'static> {
+    global().span(name)
+}
+
+/// Records a parallel-region run on the global registry (see
+/// [`Registry::record_run`]).
+pub fn record_run(name: &str, tasks: u64, samples: u64, wall_seconds: f64, busy_seconds: &[f64]) {
+    global().record_run(name, tasks, samples, wall_seconds, busy_seconds);
+}
+
+/// Renders the global registry's NDJSON report.
+pub fn report_ndjson() -> String {
+    global().to_ndjson()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal recursive-descent JSON validator — enough to prove every
+    /// emitted line is standalone valid JSON without external crates.
+    mod json {
+        pub fn validate(s: &str) -> Result<(), String> {
+            let b = s.as_bytes();
+            let mut i = 0usize;
+            value(b, &mut i)?;
+            skip_ws(b, &mut i);
+            if i != b.len() {
+                return Err(format!("trailing data at byte {i}"));
+            }
+            Ok(())
+        }
+
+        fn skip_ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+                *i += 1;
+            }
+        }
+
+        fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b'{') => object(b, i),
+                Some(b'[') => array(b, i),
+                Some(b'"') => string(b, i),
+                Some(b't') => literal(b, i, b"true"),
+                Some(b'f') => literal(b, i, b"false"),
+                Some(b'n') => literal(b, i, b"null"),
+                Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+                other => Err(format!("unexpected {other:?} at byte {i}")),
+            }
+        }
+
+        fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), String> {
+            if b[*i..].starts_with(lit) {
+                *i += lit.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at byte {i}"))
+            }
+        }
+
+        fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+            *i += 1; // {
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, i);
+                string(b, i)?;
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {i}"));
+                }
+                *i += 1;
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+
+        fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+            *i += 1; // [
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("expected ',' or ']', got {other:?}")),
+                }
+            }
+        }
+
+        fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+            if b.get(*i) != Some(&b'"') {
+                return Err(format!("expected string at byte {i}"));
+            }
+            *i += 1;
+            while let Some(&c) = b.get(*i) {
+                match c {
+                    b'"' => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    b'\\' => *i += 2,
+                    _ => *i += 1,
+                }
+            }
+            Err("unterminated string".into())
+        }
+
+        fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+            let start = *i;
+            if b.get(*i) == Some(&b'-') {
+                *i += 1;
+            }
+            let digits = |b: &[u8], i: &mut usize| {
+                let s = *i;
+                while *i < b.len() && b[*i].is_ascii_digit() {
+                    *i += 1;
+                }
+                *i > s
+            };
+            if !digits(b, i) {
+                return Err(format!("bad number at byte {start}"));
+            }
+            if b.get(*i) == Some(&b'.') {
+                *i += 1;
+                if !digits(b, i) {
+                    return Err(format!("bad fraction at byte {start}"));
+                }
+            }
+            if matches!(b.get(*i), Some(b'e') | Some(b'E')) {
+                *i += 1;
+                if matches!(b.get(*i), Some(b'+') | Some(b'-')) {
+                    *i += 1;
+                }
+                if !digits(b, i) {
+                    return Err(format!("bad exponent at byte {start}"));
+                }
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let reg = Registry::new(Mode::Metrics);
+        reg.counter_add("a.b", 3);
+        reg.counter_add("a.b", 4);
+        reg.counter_add("z", 1);
+        assert_eq!(reg.counter("a.b"), 7);
+        assert_eq!(reg.counter("z"), 1);
+        assert_eq!(reg.counter("missing"), 0);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = Registry::new(Mode::Off);
+        reg.counter_add("a", 5);
+        reg.record_value("h", 1.0);
+        {
+            let _g = reg.span("s");
+        }
+        reg.record_run("r", 1, 2, 0.5, &[0.4]);
+        assert_eq!(reg.counter("a"), 0);
+        assert!(reg.histogram("h").is_none());
+        let report = reg.to_ndjson();
+        assert_eq!(report.lines().count(), 1, "meta line only: {report}");
+    }
+
+    #[test]
+    fn histogram_moments_and_buckets() {
+        let reg = Registry::new(Mode::Metrics);
+        for v in [1e-9, 2e-9, 4e-9, 1.0] {
+            reg.record_value("lat", v);
+        }
+        let h = reg.histogram("lat").unwrap();
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - (7e-9 + 1.0)).abs() < 1e-12);
+        assert!(h.mean() > 0.0);
+        // NaN must not poison the moments.
+        reg.record_value("lat", f64::NAN);
+        let h = reg.histogram("lat").unwrap();
+        assert_eq!(h.count(), 5);
+        assert!(h.sum().is_finite());
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_clamped() {
+        assert_eq!(Histogram::bucket_of(0.0), 0);
+        assert_eq!(Histogram::bucket_of(-1.0), 0);
+        assert_eq!(Histogram::bucket_of(f64::NAN), 0);
+        assert_eq!(Histogram::bucket_of(1e-30), 0);
+        assert_eq!(Histogram::bucket_of(1e30), HIST_BUCKETS - 1);
+        let mut last = 0;
+        for exp in -17..13 {
+            let b = Histogram::bucket_of(10f64.powi(exp));
+            assert!(b >= last, "bucket not monotone at 1e{exp}");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let reg = Registry::new(Mode::Metrics);
+        {
+            let _a = reg.span("outer");
+            {
+                let _b = reg.span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        {
+            let _a = reg.span("outer");
+        }
+        let report = reg.to_ndjson();
+        assert!(report.contains("\"path\":\"outer\""), "{report}");
+        assert!(report.contains("\"path\":\"outer/inner\""), "{report}");
+        // Two "outer" closings aggregated under one path.
+        let outer_line = report
+            .lines()
+            .find(|l| l.contains("\"path\":\"outer\""))
+            .unwrap();
+        assert!(outer_line.contains("\"count\":2"), "{outer_line}");
+    }
+
+    #[test]
+    fn trace_mode_records_events() {
+        let reg = Registry::new(Mode::Trace);
+        {
+            let _g = reg.span("traced");
+        }
+        let report = reg.to_ndjson();
+        assert!(
+            report
+                .lines()
+                .any(|l| l.contains("\"type\":\"event\"") && l.contains("traced")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn run_records_become_counters_and_histograms() {
+        let reg = Registry::new(Mode::Metrics);
+        reg.record_run("mc", 10, 4000, 0.5, &[0.4, 0.45]);
+        reg.record_run("mc", 10, 4000, 0.5, &[0.5, 0.5]);
+        assert_eq!(reg.counter("mc.tasks"), 20);
+        assert_eq!(reg.counter("mc.samples"), 8000);
+        let wall = reg.histogram("mc.wall_seconds").unwrap();
+        assert_eq!(wall.count(), 2);
+        let util = reg.histogram("mc.utilization").unwrap();
+        assert!(util.mean() > 0.5 && util.mean() <= 1.1);
+    }
+
+    #[test]
+    fn every_ndjson_line_is_valid_json() {
+        let reg = Registry::new(Mode::Trace);
+        reg.counter_add("weird \"name\"\\path", 1);
+        reg.record_value("hist", 1.5e-9);
+        reg.record_value("hist", f64::INFINITY);
+        {
+            let _a = reg.span("a");
+            let _b = reg.span("b");
+        }
+        reg.record_run("run", 1, 100, 1e-3, &[0.9e-3]);
+        let report = reg.to_ndjson();
+        assert!(report.lines().count() >= 6, "{report}");
+        for line in report.lines() {
+            json::validate(line).unwrap_or_else(|e| panic!("invalid JSON: {e}\nline: {line}"));
+        }
+        // Types all present.
+        for ty in ["meta", "counter", "histogram", "span", "event"] {
+            assert!(
+                report.contains(&format!("\"type\":\"{ty}\"")),
+                "missing {ty}: {report}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_escaping_round_trips_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(f64::INFINITY), "null");
+        json::validate(&json_str("ctrl\u{1}char")).unwrap();
+    }
+
+    #[test]
+    fn trace_event_buffer_is_bounded() {
+        let reg = Registry::new(Mode::Trace);
+        for _ in 0..(TRACE_EVENT_CAP + 10) {
+            let _g = reg.span("spin");
+        }
+        let events = reg.events.lock().unwrap().len();
+        assert_eq!(events, TRACE_EVENT_CAP);
+        assert_eq!(reg.counter("obs.trace.dropped_events"), 10);
+    }
+
+    #[test]
+    fn mode_from_env_defaults_off() {
+        // The test environment does not set the variables; whatever the
+        // ambient state, the parse must produce a valid mode.
+        let m = Mode::from_env();
+        assert!(matches!(m, Mode::Off | Mode::Metrics | Mode::Trace));
+    }
+
+    #[test]
+    fn disabled_overhead_is_negligible() {
+        // The tentpole promise: with observability off, instrumentation in
+        // hot paths is a branch, not a cost. 10M disabled counter bumps and
+        // 1M disabled span opens must stay far under a second even on slow
+        // CI (the real cost is ~1-2 ns/op; the bound has ~100x headroom).
+        let reg = Registry::new(Mode::Off);
+        let t0 = Instant::now();
+        for i in 0..10_000_000u64 {
+            reg.counter_add("hot.counter", i & 1);
+        }
+        for _ in 0..1_000_000 {
+            let _g = reg.span("hot.span");
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert!(
+            elapsed < 1.0,
+            "disabled-mode overhead too high: {elapsed:.3} s for 11M ops"
+        );
+        assert_eq!(reg.counter("hot.counter"), 0);
+    }
+
+    #[test]
+    fn global_registry_is_usable() {
+        // Whatever mode the environment selected, the global API must be
+        // callable and the report must be valid NDJSON.
+        counter_add("obs.test.global", 1);
+        record_value("obs.test.hist", 0.5);
+        {
+            let _g = span("obs.test.span");
+        }
+        record_run("obs.test.run", 1, 1, 1e-6, &[1e-6]);
+        let report = report_ndjson();
+        for line in report.lines() {
+            json::validate(line).unwrap_or_else(|e| panic!("invalid JSON: {e}\nline: {line}"));
+        }
+        assert!(!init_with_mode(Mode::Off), "global already initialised");
+    }
+}

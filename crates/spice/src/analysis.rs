@@ -263,7 +263,8 @@ impl Mna {
         if !self.has_nonlinear {
             return self.assemble_and_solve(netlist, t, &x, dt, cap_prev);
         }
-        for _ in 0..MAX_NEWTON {
+        mss_obs::counter_add("spice.newton.calls", 1);
+        for iter in 0..MAX_NEWTON {
             let x_new = self.assemble_and_solve(netlist, t, &x, dt, cap_prev)?;
             let mut max_dv: f64 = 0.0;
             let mut damped = x_new.clone();
@@ -277,9 +278,12 @@ impl Mna {
             let converged = max_dv < VTOL;
             x = damped;
             if converged {
+                mss_obs::counter_add("spice.newton.iterations", iter as u64 + 1);
                 return Ok(x);
             }
         }
+        mss_obs::counter_add("spice.newton.iterations", MAX_NEWTON as u64);
+        mss_obs::counter_add("spice.newton.nonconverged", 1);
         Err(SpiceError::NoConvergence {
             analysis,
             time: if dt.is_some() { Some(t) } else { None },
@@ -294,6 +298,7 @@ impl Mna {
 ///
 /// Propagates singular-matrix and non-convergence failures.
 pub fn dc_operating_point(netlist: &Netlist) -> Result<DcSolution, SpiceError> {
+    let _span = mss_obs::span("spice.dc");
     let mna = Mna::new(netlist);
     let x0 = vec![0.0; mna.dim()];
     let x = mna.newton(netlist, 0.0, &x0, None, None, "dc operating point")?;
@@ -381,9 +386,11 @@ impl Transient {
     /// Propagates Newton non-convergence and singular-matrix failures with
     /// the failing time point attached.
     pub fn run(&self, opts: &TransientOptions) -> Result<TransientResult, SpiceError> {
+        let _span = mss_obs::span("spice.transient");
         let mut netlist = self.netlist.clone();
         let mna = Mna::new(&netlist);
         let steps = (opts.t_stop / opts.dt).round() as usize;
+        mss_obs::counter_add("spice.transient.steps", steps as u64);
 
         // t = 0: DC operating point (capacitors open).
         let mut x = mna.newton(

@@ -76,9 +76,21 @@ impl Matrix {
 ///
 /// `a` and `b` are consumed as scratch.
 ///
+/// The singularity test is **relative to the matrix scale**: a pivot is
+/// rejected when it falls below `scale · n · ε`, where `scale` is the
+/// largest absolute entry of the input matrix. An absolute threshold
+/// (the former `1e-300`) passes badly scaled near-singular MNA systems —
+/// elimination leaves rounding dust in the pivot slot, back-substitution
+/// divides by it, and the caller receives huge or non-finite garbage with
+/// `Ok` status. A relative test catches those while still accepting
+/// legitimately tiny-but-well-conditioned systems of any scale (a GMIN
+/// conductance of `1e-12` against unit-scale stamps stays far above the
+/// tolerance for any realistic matrix size).
+///
 /// # Errors
 ///
-/// [`SpiceError::SingularMatrix`] when a pivot falls below `1e-300`.
+/// [`SpiceError::SingularMatrix`] when a pivot falls below the relative
+/// tolerance, or when the solution contains non-finite entries.
 ///
 /// # Panics
 ///
@@ -88,6 +100,11 @@ pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>, SpiceError> {
     let n = a.n_rows();
     assert_eq!(a.n_cols(), n, "matrix must be square");
     assert_eq!(b.len(), n, "rhs length mismatch");
+    // Matrix scale for the relative pivot tolerance; the MIN_POSITIVE floor
+    // makes the all-zero matrix (scale 0) singular rather than tol == 0.
+    let scale = a.data.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+    let tol = (scale * n as f64 * f64::EPSILON).max(f64::MIN_POSITIVE);
+    let mut min_pivot_ratio = f64::INFINITY;
     for k in 0..n {
         // Partial pivot.
         let mut piv = k;
@@ -99,9 +116,11 @@ pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>, SpiceError> {
                 piv = r;
             }
         }
-        if max < 1e-300 {
+        if max < tol {
+            mss_obs::counter_add("spice.solver.singular", 1);
             return Err(SpiceError::SingularMatrix);
         }
+        min_pivot_ratio = min_pivot_ratio.min(max / scale);
         if piv != k {
             for c in 0..n {
                 let tmp = a.get(k, c);
@@ -132,6 +151,16 @@ pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>, SpiceError> {
             sum -= a.get(k, c) * x[c];
         }
         x[k] = sum / a.get(k, k);
+    }
+    // Defence in depth: a pivot chain can pass the tolerance yet still
+    // overflow during substitution; never hand back non-finite "solutions".
+    if x.iter().any(|v| !v.is_finite()) {
+        mss_obs::counter_add("spice.solver.singular", 1);
+        return Err(SpiceError::SingularMatrix);
+    }
+    if mss_obs::enabled() {
+        mss_obs::counter_add("spice.solver.solves", 1);
+        mss_obs::record_value("spice.solver.min_pivot_ratio", min_pivot_ratio);
     }
     Ok(x)
 }
@@ -184,6 +213,91 @@ mod tests {
         a.set(1, 1, 4.0);
         assert_eq!(
             solve(a, vec![1.0, 2.0]).unwrap_err(),
+            SpiceError::SingularMatrix
+        );
+    }
+
+    #[test]
+    fn scaled_near_singular_is_rejected_not_garbage() {
+        // Rank-1 matrix scaled down to 1e-280: elimination leaves only
+        // rounding dust in the (1,1) slot. The dust sits far above the old
+        // absolute 1e-300 threshold, so the former code "solved" the system
+        // and back-substitution divided by it, emitting ~1e280-magnitude
+        // garbage with Ok status. The relative tolerance rejects it.
+        let s = 1e-280;
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 0.1 * s);
+        a.set(0, 1, 0.7 * s);
+        a.set(1, 0, 0.03 * s);
+        a.set(1, 1, 0.21 * s);
+        assert_eq!(
+            solve(a, vec![1.0 * s, 2.0 * s]).unwrap_err(),
+            SpiceError::SingularMatrix
+        );
+    }
+
+    #[test]
+    fn solutions_are_always_finite_or_err() {
+        // Sweep the scale across ~40 decades of rank-deficient systems: the
+        // solver must never return Ok with a non-finite entry.
+        for exp in [-290, -250, -100, 0, 100, 250] {
+            let s = 10f64.powi(exp);
+            let mut a = Matrix::zeros(3, 3);
+            a.set(0, 0, 1.0 * s);
+            a.set(0, 1, 2.0 * s);
+            a.set(0, 2, 3.0 * s);
+            a.set(1, 0, 2.0 * s);
+            a.set(1, 1, 4.0 * s);
+            a.set(1, 2, 6.0 * s);
+            a.set(2, 0, 0.5 * s);
+            a.set(2, 1, 1.0 * s);
+            a.set(2, 2, 1.5 * s);
+            match solve(a, vec![s, s, s]) {
+                Ok(x) => {
+                    assert!(
+                        x.iter().all(|v| v.is_finite()),
+                        "non-finite solution at scale 1e{exp}: {x:?}"
+                    );
+                }
+                Err(e) => assert_eq!(e, SpiceError::SingularMatrix),
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_but_well_conditioned_systems_still_solve() {
+        // A uniformly tiny diagonal system is perfectly conditioned; a
+        // relative tolerance must accept it even though every pivot is far
+        // below the old absolute floor's neighbourhood.
+        let mut a = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            a.set(i, i, 1e-250);
+        }
+        let x = solve(a, vec![2e-250, 4e-250, 6e-250]).unwrap();
+        for (i, expect) in [2.0, 4.0, 6.0].iter().enumerate() {
+            assert!((x[i] - expect).abs() < 1e-9, "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn gmin_only_pivot_survives_relative_tolerance() {
+        // A floating node held only by GMIN (1e-12) against unit-scale
+        // voltage-source stamps is legitimate MNA structure, not singularity.
+        let mut a = Matrix::zeros(3, 3);
+        a.set(0, 0, 1e-3); // node 0: 1 kΩ to ground
+        a.set(0, 2, 1.0); // vsrc current unknown
+        a.set(1, 1, 1e-12); // node 1: GMIN only
+        a.set(2, 0, 1.0); // vsrc row
+        let x = solve(a, vec![0.0, 0.0, 1.0]).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert!((x[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_zero_matrix_is_singular() {
+        let a = Matrix::zeros(2, 2);
+        assert_eq!(
+            solve(a, vec![1.0, 1.0]).unwrap_err(),
             SpiceError::SingularMatrix
         );
     }

@@ -149,8 +149,28 @@ pub struct DistributionSummary {
     pub samples: u64,
 }
 
+impl DistributionSummary {
+    /// True when the summary aggregates zero samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0
+    }
+}
+
 impl From<&OnlineStats> for DistributionSummary {
     fn from(s: &OnlineStats) -> Self {
+        if s.count() == 0 {
+            // An empty accumulator keeps ±inf extrema internally (the merge
+            // identity); leaking them into a report renders as `inf`/`-inf`
+            // engineering notation. An empty summary is all-zero with
+            // `samples == 0` so renderers can say "n/a" instead.
+            return Self {
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                samples: 0,
+            };
+        }
         Self {
             mean: s.mean(),
             std_dev: s.sample_std_dev(),
@@ -161,27 +181,94 @@ impl From<&OnlineStats> for DistributionSummary {
     }
 }
 
+/// Error from [`try_quantile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantileError {
+    /// The input slice was empty (or all-NaN).
+    EmptyData,
+    /// `p` fell outside `[0, 1]`.
+    BadProbability,
+}
+
+impl std::fmt::Display for QuantileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantileError::EmptyData => write!(f, "quantile of empty (or all-NaN) data"),
+            QuantileError::BadProbability => write!(f, "quantile probability outside [0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for QuantileError {}
+
 /// Returns the `p`-quantile (0 ≤ p ≤ 1) of `data` by linear interpolation.
 ///
 /// The input is sorted internally; pass a scratch copy if the original order
-/// matters.
+/// matters. NaN entries (failed Monte Carlo samples) are excluded from the
+/// quantile rather than aborting the whole report — callers that need to
+/// know how many were dropped should use [`try_quantile`].
 ///
 /// # Panics
 ///
-/// Panics if `data` is empty or `p` is outside `[0, 1]`.
+/// Panics if `data` is empty (or entirely NaN) or `p` is outside `[0, 1]`.
 pub fn quantile(data: &mut [f64], p: f64) -> f64 {
-    assert!(!data.is_empty(), "quantile of empty data");
-    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
-    data.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
-    let idx = p * (data.len() - 1) as f64;
+    try_quantile(data, p).map(|q| q.value).unwrap_or_else(|e| {
+        panic!("quantile(p = {p}) on {} samples: {e}", data.len());
+    })
+}
+
+/// A quantile computed over the finite portion of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantile {
+    /// The interpolated quantile of the non-NaN samples.
+    pub value: f64,
+    /// NaN samples excluded from the computation.
+    pub dropped_nan: usize,
+}
+
+/// Checked [`quantile`]: NaN entries are partitioned out and counted, and
+/// degenerate inputs return an error instead of panicking.
+///
+/// `data` is reordered (NaNs moved to the tail, the rest sorted with
+/// [`f64::total_cmp`]); pass a scratch copy if the original order matters.
+///
+/// # Errors
+///
+/// [`QuantileError::EmptyData`] when no non-NaN samples remain;
+/// [`QuantileError::BadProbability`] when `p` is outside `[0, 1]`.
+pub fn try_quantile(data: &mut [f64], p: f64) -> Result<Quantile, QuantileError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(QuantileError::BadProbability);
+    }
+    // Partition NaNs to the tail so they cannot land inside the sorted range
+    // (total_cmp orders negative NaN first and positive NaN last, so sorting
+    // alone is not enough).
+    let mut n = data.len();
+    let mut i = 0;
+    while i < n {
+        if data[i].is_nan() {
+            n -= 1;
+            data.swap(i, n);
+        } else {
+            i += 1;
+        }
+    }
+    let dropped_nan = data.len() - n;
+    let finite = &mut data[..n];
+    if finite.is_empty() {
+        return Err(QuantileError::EmptyData);
+    }
+    finite.sort_by(f64::total_cmp);
+    let idx = p * (finite.len() - 1) as f64;
     let lo = idx.floor() as usize;
     let hi = idx.ceil() as usize;
-    if lo == hi {
-        data[lo]
+    let value = if lo == hi {
+        finite[lo]
     } else {
         let t = idx - lo as f64;
-        data[lo] * (1.0 - t) + data[hi] * t
-    }
+        finite[lo] * (1.0 - t) + finite[hi] * t
+    };
+    Ok(Quantile { value, dropped_nan })
 }
 
 #[cfg(test)]
@@ -231,6 +318,69 @@ mod tests {
         assert_eq!(quantile(&mut data, 0.0), 1.0);
         assert_eq!(quantile(&mut data, 1.0), 5.0);
         assert_eq!(quantile(&mut data, 0.25), 2.0);
+    }
+
+    #[test]
+    fn quantile_tolerates_nan_samples() {
+        // One failed Monte Carlo sample used to abort the whole report via
+        // the `expect` inside sort_by; now NaNs are dropped and counted.
+        let mut data = vec![5.0, f64::NAN, 1.0, 3.0, f64::NAN, 2.0, 4.0];
+        let q = try_quantile(&mut data, 0.5).unwrap();
+        assert_eq!(q.value, 3.0);
+        assert_eq!(q.dropped_nan, 2);
+        // The panicking wrapper also survives (same finite median).
+        let mut data = vec![5.0, f64::NAN, 1.0, 3.0, f64::NAN, 2.0, 4.0];
+        assert_eq!(quantile(&mut data, 0.5), 3.0);
+    }
+
+    #[test]
+    fn quantile_single_element_and_negative_zero() {
+        let mut one = vec![42.0];
+        assert_eq!(quantile(&mut one, 0.0), 42.0);
+        assert_eq!(quantile(&mut one, 0.5), 42.0);
+        assert_eq!(quantile(&mut one, 1.0), 42.0);
+        // total_cmp orders -0.0 before +0.0; the interpolated value is 0.
+        let mut zeros = vec![0.0, -0.0];
+        assert_eq!(quantile(&mut zeros, 0.5), 0.0);
+    }
+
+    #[test]
+    fn try_quantile_rejects_degenerate_inputs() {
+        let mut empty: Vec<f64> = vec![];
+        assert_eq!(
+            try_quantile(&mut empty, 0.5).unwrap_err(),
+            QuantileError::EmptyData
+        );
+        let mut all_nan = vec![f64::NAN, f64::NAN];
+        assert_eq!(
+            try_quantile(&mut all_nan, 0.5).unwrap_err(),
+            QuantileError::EmptyData
+        );
+        let mut data = vec![1.0, 2.0];
+        assert_eq!(
+            try_quantile(&mut data, 1.5).unwrap_err(),
+            QuantileError::BadProbability
+        );
+        assert_eq!(
+            try_quantile(&mut data, -0.1).unwrap_err(),
+            QuantileError::BadProbability
+        );
+    }
+
+    #[test]
+    fn empty_stats_summarise_finitely() {
+        // Internally the accumulator keeps ±inf extrema as merge identity...
+        let s = OnlineStats::new();
+        assert_eq!(s.min(), f64::INFINITY);
+        assert_eq!(s.max(), f64::NEG_INFINITY);
+        // ...but the report-facing summary must never leak them.
+        let d = DistributionSummary::from(&s);
+        assert!(d.is_empty());
+        assert_eq!(d.samples, 0);
+        for v in [d.mean, d.std_dev, d.min, d.max] {
+            assert!(v.is_finite(), "empty summary leaked non-finite: {d:?}");
+            assert_eq!(v, 0.0);
+        }
     }
 
     #[test]

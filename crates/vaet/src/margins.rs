@@ -78,6 +78,34 @@ impl WriteMarginSolver {
             / self.corners.len() as f64
     }
 
+    /// The `p`-quantile of the per-corner bit WER at pulse width `t` — the
+    /// corner spread behind [`mean_bit_wer`](Self::mean_bit_wer) (e.g.
+    /// `p = 0.95` for a pessimistic-corner margin). Corners whose WER
+    /// evaluates to NaN (degenerate sampled devices) are skipped and
+    /// counted on the `vaet.margin.nan_corners` observability counter
+    /// instead of aborting the solve.
+    ///
+    /// # Errors
+    ///
+    /// [`VaetError::InvalidOptions`] when `p` is outside `[0, 1]` or every
+    /// corner evaluated to NaN.
+    pub fn bit_wer_quantile(&self, t: f64, p: f64) -> Result<f64, VaetError> {
+        let mut wers: Vec<f64> = self
+            .corners
+            .iter()
+            .map(|(sw, i)| sw.write_error_rate(t, *i))
+            .collect();
+        let q = mss_units::stats::try_quantile(&mut wers, p).map_err(|e| {
+            VaetError::InvalidOptions {
+                reason: format!("bit WER quantile: {e}"),
+            }
+        })?;
+        if q.dropped_nan > 0 {
+            mss_obs::counter_add("vaet.margin.nan_corners", q.dropped_nan as u64);
+        }
+        Ok(q.value)
+    }
+
     /// Word-level failure probability at pulse width `t`
     /// (`1 − (1−p)^word ≈ word·p` for small `p`).
     pub fn word_wer(&self, t: f64) -> f64 {
@@ -96,6 +124,7 @@ impl WriteMarginSolver {
     /// [`VaetError::UnreachableTarget`] when the target cannot be reached
     /// within a 10 µs pulse.
     pub fn latency_for_wer(&self, target: f64) -> Result<MarginPoint, VaetError> {
+        mss_obs::counter_add("vaet.margin.wer_solves", 1);
         if !(target > 0.0 && target < 1.0) {
             return Err(VaetError::InvalidOptions {
                 reason: format!("WER target {target} must be in (0, 1)"),
@@ -271,6 +300,22 @@ mod tests {
         let p15 = solver.latency_for_rer(1e-15).unwrap();
         assert!(p5.latency < p15.latency);
         assert!(p5.latency > solver.periphery);
+    }
+
+    #[test]
+    fn bit_wer_quantile_brackets_the_mean() {
+        let solver = WriteMarginSolver::new(ctx()).unwrap();
+        let t = 10e-9;
+        let q05 = solver.bit_wer_quantile(t, 0.05).unwrap();
+        let q50 = solver.bit_wer_quantile(t, 0.5).unwrap();
+        let q95 = solver.bit_wer_quantile(t, 0.95).unwrap();
+        assert!(q05 <= q50 && q50 <= q95, "{q05} {q50} {q95}");
+        // The corner spread must straddle (or at least contain near) the
+        // variation-averaged WER.
+        let mean = solver.mean_bit_wer(t);
+        assert!(q05 <= mean && mean <= q95 * solver.corners.len() as f64);
+        // Degenerate probability is rejected, not panicked on.
+        assert!(solver.bit_wer_quantile(t, 1.5).is_err());
     }
 
     #[test]

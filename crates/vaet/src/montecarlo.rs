@@ -244,6 +244,7 @@ pub fn run_with_stats(
         signal_nom: ctx.sense_signal(),
     };
 
+    let _span = mss_obs::span("vaet.mc.run");
     let (batches, stats) = par_chunks_stats(
         cfg,
         opts.samples,
@@ -256,6 +257,7 @@ pub fn run_with_stats(
             Ok(acc)
         },
     );
+    stats.record("vaet.mc");
     let mut total = BatchAcc::default();
     for batch in batches {
         total.merge(&batch?);

@@ -111,16 +111,17 @@ impl RefreshAnalysis {
             .iter()
             .map(|&r| self.evaluate(reference, r))
             .collect::<Result<_, _>>()?;
+        // Rank with total_cmp so one NaN power (degenerate sizing) cannot
+        // abort the sweep; non-finite totals are skipped as unrankable.
         let best = points
             .iter()
             .enumerate()
-            .min_by(|a, b| {
-                a.1.total_power()
-                    .partial_cmp(&b.1.total_power())
-                    .expect("finite powers")
-            })
+            .filter(|(_, p)| p.total_power().is_finite())
+            .min_by(|a, b| a.1.total_power().total_cmp(&b.1.total_power()))
             .map(|(i, _)| i)
-            .expect("non-empty");
+            .ok_or_else(|| VaetError::InvalidOptions {
+                reason: "no retention point with finite total power".into(),
+            })?;
         Ok((points, best))
     }
 }

@@ -36,11 +36,20 @@ impl VaetReport {
     /// Renders the paper's Table-1 rows for this node.
     pub fn to_table(&self) -> String {
         let row = |name: &str, unit: &'static str, nominal: f64, d: &DistributionSummary| {
+            // A 0-sample distribution (e.g. every Monte Carlo sample failed
+            // or was filtered) has no meaningful moments: render "n/a"
+            // rather than the accumulator's ±inf/0 placeholders.
+            let (mu, sigma) = if d.is_empty() {
+                ("n/a".to_string(), "n/a".to_string())
+            } else {
+                (
+                    Eng(d.mean, unit).to_string(),
+                    Eng(d.std_dev, unit).to_string(),
+                )
+            };
             format!(
-                "{name:<18} | {:>12} | {:>12} | {:>12}\n",
-                Eng(nominal, unit).to_string(),
-                Eng(d.mean, unit).to_string(),
-                Eng(d.std_dev, unit).to_string()
+                "{name:<18} | {:>12} | {mu:>12} | {sigma:>12}\n",
+                Eng(nominal, unit).to_string()
             )
         };
         let mut out = format!(
@@ -109,5 +118,30 @@ mod tests {
         assert!(t.contains("read energy"));
         assert!(t.contains("45 nm"));
         assert!(t.contains("14.70 ns") || t.contains("14.7"), "{t}");
+    }
+
+    #[test]
+    fn empty_distributions_render_as_n_a_not_inf() {
+        use mss_units::stats::OnlineStats;
+        // An all-samples-failed run produces empty accumulators; the table
+        // must stay finite and explicit instead of printing inf/-inf.
+        let empty = DistributionSummary::from(&OnlineStats::new());
+        let r = VaetReport {
+            node: TechNode::N45,
+            samples: 0,
+            word_bits: 1024,
+            nominal_write_latency: 4.9e-9,
+            nominal_write_energy: 159e-12,
+            nominal_read_latency: 1.2e-9,
+            nominal_read_energy: 3.4e-12,
+            write_latency: empty,
+            write_energy: empty,
+            read_latency: empty,
+            read_energy: empty,
+        };
+        let t = r.to_table();
+        assert!(t.contains("n/a"), "{t}");
+        assert!(!t.to_lowercase().contains("inf"), "{t}");
+        assert!(!t.to_lowercase().contains("nan"), "{t}");
     }
 }

@@ -108,10 +108,12 @@ pub fn optimize(
             reason: format!("target {target_word_wer} must be in (0, 1)"),
         });
     }
+    let _span = mss_obs::span("vaet.wvr.optimize");
     let base = ctx.nominal.write_breakdown.cell.max(1e-9);
     let mut best: Option<WvrOutcome> = None;
     for pulse_factor in [0.8, 1.0, 1.3, 1.7, 2.2, 3.0] {
         for attempts in 1..=max_attempts {
+            mss_obs::counter_add("vaet.wvr.evaluations", 1);
             let out = evaluate(
                 ctx,
                 WriteVerifyScheme {

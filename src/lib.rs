@@ -5,6 +5,7 @@
 //! Re-exports every layer of the cross-layer flow under one roof:
 //!
 //! - [`exec`] — the deterministic scoped-thread parallel runtime,
+//! - [`obs`] — zero-dependency observability (spans, counters, NDJSON reports),
 //! - [`mtj`] — the MSS compact model (memory / sensor / oscillator modes),
 //! - [`spice`] — netlist-level MNA circuit simulation with MDL measurements,
 //! - [`pdk`] — CMOS + MTJ process design kit, standard cells, characterisation,
@@ -23,6 +24,7 @@ pub use mss_gemsim as gemsim;
 pub use mss_mcpat as mcpat;
 pub use mss_mtj as mtj;
 pub use mss_nvsim as nvsim;
+pub use mss_obs as obs;
 pub use mss_pdk as pdk;
 pub use mss_spice as spice;
 pub use mss_units as units;
