@@ -361,13 +361,17 @@ impl MagpieReport {
             let Some(r) = self.result(kernel, s) else {
                 continue;
             };
-            let area = self.area(s).map(|a| a.total()).unwrap_or(0.0);
+            // A scenario without an area record renders as "n/a": a silent
+            // 0.000 mm2 would read as a real (and absurd) measurement.
+            let area = match self.area(s) {
+                Some(a) => format!("{:>9.3} mm2", a.total() * 1e6),
+                None => format!("{:>13}", "n/a"),
+            };
             out.push_str(&format!(
-                "{:<20} | {:>12} | {:>12} | {:>9.3} mm2\n",
+                "{:<20} | {:>12} | {:>12} | {area}\n",
                 s.to_string(),
                 Eng(r.runtime, "s").to_string(),
                 Eng(r.energy, "J").to_string(),
-                area * 1e6
             ));
         }
         out
@@ -394,19 +398,22 @@ impl MagpieReport {
         for comp in &reference.power.components {
             out.push_str(&format!("{:<16}", comp.name));
             for s in &scenarios {
-                let v = self
+                let cell = self
                     .result(kernel, *s)
                     .and_then(|r| r.power.component(&comp.name))
-                    .map(|c| c.total())
-                    .unwrap_or(0.0);
-                out.push_str(&format!(" | {:>20}", Eng(v, "J").to_string()));
+                    .map(|c| Eng(c.total(), "J").to_string())
+                    .unwrap_or_else(|| "n/a".into());
+                out.push_str(&format!(" | {cell:>20}"));
             }
             out.push('\n');
         }
         out.push_str(&format!("{:<16}", "TOTAL"));
         for s in &scenarios {
-            let v = self.result(kernel, *s).map(|r| r.energy).unwrap_or(0.0);
-            out.push_str(&format!(" | {:>20}", Eng(v, "J").to_string()));
+            let cell = self
+                .result(kernel, *s)
+                .map(|r| Eng(r.energy, "J").to_string())
+                .unwrap_or_else(|| "n/a".into());
+            out.push_str(&format!(" | {cell:>20}"));
         }
         out.push('\n');
         out
@@ -430,12 +437,13 @@ impl MagpieReport {
         for comp in &reference.power.components {
             out.push_str(&comp.name);
             for s in &scenarios {
-                let v = self
+                match self
                     .result(kernel, *s)
                     .and_then(|r| r.power.component(&comp.name))
-                    .map(|c| c.total())
-                    .unwrap_or(0.0);
-                out.push_str(&format!(",{v:.6e}"));
+                {
+                    Some(c) => out.push_str(&format!(",{:.6e}", c.total())),
+                    None => out.push_str(",n/a"),
+                }
             }
             out.push('\n');
         }
@@ -658,6 +666,35 @@ mod tests {
         let summary = report.fig10_summary("bodytrack");
         assert!(summary.contains("mm2"));
         assert!(summary.contains("Full-SRAM"));
+    }
+
+    #[test]
+    fn missing_records_render_as_na_not_zero() {
+        let mut report = flow_report().1.clone();
+        // No area record: the Fig. 10 cell must say so instead of claiming
+        // a 0.000 mm2 chip.
+        report.areas.clear();
+        let summary = report.fig10_summary("bodytrack");
+        assert!(summary.contains("n/a"), "{summary}");
+        assert!(!summary.contains("0.000 mm2"), "{summary}");
+        // A component present in the reference scenario but absent from
+        // another renders as n/a in that column (table and CSV).
+        let victim = report
+            .results
+            .iter_mut()
+            .find(|r| r.kernel == "bodytrack" && r.scenario != Scenario::FullSram)
+            .unwrap();
+        let dropped = victim.power.components.remove(0).name;
+        let table = report.fig11_table("bodytrack");
+        let row = table
+            .lines()
+            .find(|l| l.starts_with(&dropped))
+            .expect("dropped component still has its reference row");
+        assert!(row.contains("n/a"), "{row}");
+        let csv = report.fig11_csv("bodytrack");
+        let row = csv.lines().find(|l| l.starts_with(&dropped)).unwrap();
+        assert!(row.contains(",n/a"), "{row}");
+        assert!(!row.contains(",0.000000e0"), "{row}");
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Error type for the fault-injection plane.
+
+use std::fmt;
+
+use mss_mtj::MtjError;
+
+/// Errors produced while building fault plans or running campaigns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A fault model carries an unusable rate (negative, above 1, NaN).
+    InvalidModel {
+        /// Which rate is wrong and why.
+        reason: String,
+    },
+    /// Campaign options are inconsistent (zero blocks, bad rate, ...).
+    InvalidCampaign {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+    /// Deriving rates from the device model failed.
+    Device(MtjError),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidModel { reason } => write!(f, "invalid fault model: {reason}"),
+            FaultError::InvalidCampaign { reason } => write!(f, "invalid campaign: {reason}"),
+            FaultError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FaultError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MtjError> for FaultError {
+    fn from(e: MtjError) -> Self {
+        FaultError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = FaultError::InvalidModel {
+            reason: "rate 2.0 out of [0, 1]".into(),
+        };
+        assert!(e.to_string().contains("2.0"));
+        let e = FaultError::InvalidCampaign {
+            reason: "zero blocks".into(),
+        };
+        assert!(e.to_string().contains("zero blocks"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<FaultError>();
+    }
+}

@@ -1,0 +1,303 @@
+//! Stateless seeded fault decisions.
+//!
+//! Every injection decision is a *pure hash* of
+//! `(seed, fault kind, site, epoch, bit)` — there is no generator state to
+//! share, lock, or split. That is what makes the plane deterministic under
+//! parallelism: the same access produces the same fault no matter which
+//! thread evaluates it, how work is chunked, or in which order sites are
+//! visited.
+
+use mss_units::rng::{Rng, SplitMix64};
+
+use crate::plan::{FaultModel, FaultPlan};
+
+/// Domain-separation constants: each fault kind hashes into its own stream
+/// so e.g. a write-failure decision never correlates with a read-disturb
+/// decision at the same `(site, epoch, bit)`.
+const KIND_WRITE_FAIL: u64 = 0x57_52_49_54; // "WRIT"
+const KIND_READ_DISTURB: u64 = 0x52_45_41_44; // "READ"
+const KIND_TRANSIENT: u64 = 0x54_52_4E_53; // "TRNS"
+const KIND_STUCK_AT: u64 = 0x53_54_55_4B; // "STUK"
+
+/// One SplitMix64 finalizer step: a high-quality 64-bit mixer.
+#[inline]
+fn mix(x: u64) -> u64 {
+    SplitMix64::new(x).next_u64()
+}
+
+/// Chained hash of the full decision coordinate.
+#[inline]
+fn hash_decision(seed: u64, kind: u64, site: u64, epoch: u64, bit: u64) -> u64 {
+    let mut h = mix(seed ^ kind);
+    h = mix(h ^ site);
+    h = mix(h ^ epoch);
+    mix(h ^ bit)
+}
+
+/// Uniform `[0, 1)` from a hash, 53-bit precision (same dyadic grid as
+/// [`Rng::next_f64`]).
+#[inline]
+fn uniform(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The stateless fault oracle derived from a [`FaultPlan`].
+///
+/// All queries are `&self`, cheap (a handful of integer multiplies), and
+/// reproducible: a fixed plan answers every question identically forever.
+/// Sites are caller-defined identifiers (an array base address, a bank
+/// index, a block index in a campaign); epochs distinguish repeated touches
+/// of the same bit (a write attempt counter, an access sequence number).
+///
+/// # Examples
+///
+/// ```
+/// use mss_fault::{FaultInjector, FaultModel, FaultPlan};
+///
+/// let mut model = FaultModel::none();
+/// model.write_fail_rate = 0.5;
+/// let inj = FaultInjector::new(FaultPlan::new(7, model).unwrap_or_default());
+/// // Pure function of the coordinate: always the same answer.
+/// assert_eq!(
+///     inj.write_fails(3, 0, 12),
+///     inj.write_fails(3, 0, 12),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Wraps a plan. A [`FaultPlan::disabled`] plan yields an injector that
+    /// never injects.
+    pub const fn new(plan: FaultPlan) -> Self {
+        Self { plan }
+    }
+
+    /// The plan this injector draws from.
+    pub const fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The model this injector draws from.
+    pub const fn model(&self) -> &FaultModel {
+        &self.plan.model
+    }
+
+    /// True when any fault can ever be injected.
+    pub fn is_active(&self) -> bool {
+        self.plan.is_active()
+    }
+
+    /// Bernoulli draw at probability `p` for one decision coordinate.
+    #[inline]
+    fn draw(&self, kind: u64, site: u64, epoch: u64, bit: u64, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        uniform(hash_decision(self.plan.seed, kind, site, epoch, bit)) < p
+    }
+
+    /// Does the write of `bit` at `site` fail on attempt `epoch`?
+    ///
+    /// Distinct epochs are independent draws, so a bounded retry loop sees
+    /// fresh (but reproducible) outcomes on each attempt.
+    #[inline]
+    pub fn write_fails(&self, site: u64, epoch: u64, bit: u64) -> bool {
+        self.draw(
+            KIND_WRITE_FAIL,
+            site,
+            epoch,
+            bit,
+            self.plan.model.write_fail_rate,
+        )
+    }
+
+    /// Does reading `bit` at `site` during access `epoch` disturb (flip) the
+    /// stored state?
+    #[inline]
+    pub fn read_disturbs(&self, site: u64, epoch: u64, bit: u64) -> bool {
+        self.draw(
+            KIND_READ_DISTURB,
+            site,
+            epoch,
+            bit,
+            self.plan.model.read_disturb_rate,
+        )
+    }
+
+    /// Does `bit` at `site` suffer a transient flip in access epoch `epoch`
+    /// (retention loss / soft upset since the previous touch)?
+    #[inline]
+    pub fn transient_flips(&self, site: u64, epoch: u64, bit: u64) -> bool {
+        self.draw(
+            KIND_TRANSIENT,
+            site,
+            epoch,
+            bit,
+            self.plan.model.transient_flip_rate,
+        )
+    }
+
+    /// Is the cell for `bit` at `site` a fabrication-time stuck-at defect,
+    /// and if so, which value is it stuck at?
+    ///
+    /// Stuck-at state is a property of the cell, not of an access: it has no
+    /// epoch. Returns `Some(stuck_value)` for defective cells.
+    #[inline]
+    pub fn stuck_at(&self, site: u64, bit: u64) -> Option<bool> {
+        let p = self.plan.model.stuck_at_rate;
+        if p <= 0.0 {
+            return None;
+        }
+        let h = hash_decision(self.plan.seed, KIND_STUCK_AT, site, 0, bit);
+        if uniform(h) < p {
+            // Derive the stuck value from an independent hash bit so it does
+            // not correlate with the selection threshold.
+            Some(mix(h) & 1 == 1)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn injector(f: impl FnOnce(&mut FaultModel)) -> FaultInjector {
+        let mut m = FaultModel::none();
+        f(&mut m);
+        FaultInjector::new(FaultPlan::new(0xDEAD_BEEF, m).expect("valid model"))
+    }
+
+    #[test]
+    fn disabled_injector_never_injects() {
+        let inj = FaultInjector::new(FaultPlan::disabled());
+        assert!(!inj.is_active());
+        for site in 0..16 {
+            for bit in 0..64 {
+                assert!(!inj.write_fails(site, 0, bit));
+                assert!(!inj.read_disturbs(site, 0, bit));
+                assert!(!inj.transient_flips(site, 0, bit));
+                assert!(inj.stuck_at(site, bit).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_the_coordinate() {
+        let inj = injector(|m| {
+            m.write_fail_rate = 0.3;
+            m.read_disturb_rate = 0.3;
+            m.transient_flip_rate = 0.3;
+            m.stuck_at_rate = 0.3;
+        });
+        for site in 0..8 {
+            for epoch in 0..4 {
+                for bit in 0..32 {
+                    assert_eq!(
+                        inj.write_fails(site, epoch, bit),
+                        inj.write_fails(site, epoch, bit)
+                    );
+                    assert_eq!(
+                        inj.read_disturbs(site, epoch, bit),
+                        inj.read_disturbs(site, epoch, bit)
+                    );
+                    assert_eq!(inj.stuck_at(site, bit), inj.stuck_at(site, bit));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_are_domain_separated() {
+        // With all rates at 0.5, the four decision kinds at the same
+        // coordinate must not be perfectly correlated.
+        let inj = injector(|m| {
+            m.write_fail_rate = 0.5;
+            m.read_disturb_rate = 0.5;
+            m.transient_flip_rate = 0.5;
+            m.stuck_at_rate = 0.5;
+        });
+        let mut all_same = true;
+        for bit in 0..256 {
+            let w = inj.write_fails(0, 0, bit);
+            let r = inj.read_disturbs(0, 0, bit);
+            let t = inj.transient_flips(0, 0, bit);
+            if w != r || r != t {
+                all_same = false;
+            }
+        }
+        assert!(!all_same, "fault kinds are correlated");
+    }
+
+    #[test]
+    fn epochs_give_independent_retry_outcomes() {
+        // A bit that fails at epoch 0 must eventually succeed at some later
+        // epoch when the rate is 0.5 — retries see fresh draws.
+        let inj = injector(|m| m.write_fail_rate = 0.5);
+        let mut failing_bit = None;
+        for bit in 0..256 {
+            if inj.write_fails(1, 0, bit) {
+                failing_bit = Some(bit);
+                break;
+            }
+        }
+        let bit = failing_bit.expect("some bit fails at rate 0.5");
+        assert!(
+            (1..32).any(|epoch| !inj.write_fails(1, epoch, bit)),
+            "bit never recovers across 31 retries at rate 0.5"
+        );
+    }
+
+    #[test]
+    fn empirical_rate_tracks_requested_rate() {
+        let inj = injector(|m| m.write_fail_rate = 0.2);
+        let n = 100_000u64;
+        let hits = (0..n).filter(|&bit| inj.write_fails(0, 0, bit)).count();
+        let ratio = hits as f64 / n as f64;
+        // 3σ binomial band around 0.2 for n = 1e5 is ±0.0038.
+        assert!((ratio - 0.2).abs() < 0.004, "ratio {ratio}");
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let m = {
+            let mut m = FaultModel::none();
+            m.write_fail_rate = 0.5;
+            m
+        };
+        let a = FaultInjector::new(FaultPlan::new(1, m).expect("valid"));
+        let b = FaultInjector::new(FaultPlan::new(2, m).expect("valid"));
+        let agree = (0..512)
+            .filter(|&bit| a.write_fails(0, 0, bit) == b.write_fails(0, 0, bit))
+            .count();
+        // Independent coins agree ~50% of the time; 512 draws at 3σ is ±68.
+        assert!((188..=324).contains(&agree), "agreement {agree}/512");
+    }
+
+    #[test]
+    fn stuck_values_take_both_polarities() {
+        let inj = injector(|m| m.stuck_at_rate = 0.5);
+        let mut saw = [false, false];
+        for bit in 0..512 {
+            if let Some(v) = inj.stuck_at(7, bit) {
+                saw[v as usize] = true;
+            }
+        }
+        assert!(saw[0] && saw[1], "stuck-at values are single-polarity");
+    }
+
+    #[test]
+    fn extreme_rates_shortcut() {
+        let never = injector(|m| m.write_fail_rate = 0.0);
+        assert!(!never.write_fails(0, 0, 0));
+        let always = injector(|m| m.write_fail_rate = 1.0);
+        assert!(always.write_fails(0, 0, 0));
+    }
+}

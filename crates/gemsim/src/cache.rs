@@ -107,6 +107,12 @@ impl CacheStats {
         }
     }
 
+    /// Hit ratio in `[0, 1]` (1 when never accessed, so that
+    /// `hit_ratio() + miss_ratio() == 1` always holds).
+    pub fn hit_ratio(&self) -> f64 {
+        1.0 - self.miss_ratio()
+    }
+
     /// Accumulates another counter set.
     pub fn merge(&mut self, other: &CacheStats) {
         self.reads += other.reads;
@@ -275,6 +281,30 @@ mod tests {
             write_energy: 1e-12,
             leakage_power: 1e-3,
         }
+    }
+
+    #[test]
+    fn zero_access_ratios_are_defined() {
+        // A never-touched cache must not divide by zero: by convention it
+        // misses nothing and hits everything it was (never) asked.
+        let s = CacheStats::default();
+        assert_eq!(s.accesses(), 0);
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn hit_and_miss_ratios_are_complementary() {
+        let s = CacheStats {
+            reads: 6,
+            writes: 4,
+            read_hits: 3,
+            write_hits: 1,
+            writebacks: 0,
+        };
+        assert!((s.miss_ratio() - 0.6).abs() < 1e-12);
+        assert!((s.hit_ratio() - 0.4).abs() < 1e-12);
+        assert!((s.hit_ratio() + s.miss_ratio() - 1.0).abs() < 1e-12);
     }
 
     #[test]

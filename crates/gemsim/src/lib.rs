@@ -13,6 +13,9 @@
 //! - [`workload`] — statistical Parsec-like kernels (instruction mix,
 //!   working set, stack-distance locality),
 //! - [`dram`] — an opt-in row-buffer model for the memory controller,
+//! - [`faultmem`] — an opt-in fault-aware memory array behind an ECC
+//!   controller (seeded injection via `mss-fault`, bounded write retry,
+//!   correct/detect/scrub, graceful degradation),
 //! - [`system`] — the big.LITTLE platform: per-core L1s, per-cluster shared
 //!   L2s, DRAM,
 //! - [`stats`] — the activity report consumed by `mss-mcpat`.
@@ -39,6 +42,7 @@ pub mod cache;
 pub mod core;
 pub mod dram;
 mod error;
+pub mod faultmem;
 pub mod stats;
 pub mod system;
 pub mod workload;

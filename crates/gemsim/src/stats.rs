@@ -2,6 +2,7 @@
 
 use crate::cache::{CacheConfig, CacheStats};
 use crate::core::CoreKind;
+use crate::faultmem::FaultMemStats;
 
 /// Activity of one cache over a run (counters already scaled back to the
 /// full workload when sampling was used).
@@ -50,6 +51,9 @@ pub struct SimReport {
     pub dram_row_hits: u64,
     /// Fraction of memory accesses actually simulated (sampling factor).
     pub simulated_fraction: f64,
+    /// Fault/ECC activity of the memory array (unscaled simulated counts),
+    /// `None` when the run modelled a perfect array.
+    pub fault: Option<FaultMemStats>,
 }
 
 impl SimReport {
@@ -100,6 +104,7 @@ mod tests {
             dram_writes: 2,
             dram_row_hits: 0,
             simulated_fraction: 1.0,
+            fault: None,
         };
         assert_eq!(r.total_instructions(), 150);
         assert!(r.cache("none").is_none());

@@ -22,6 +22,7 @@ use mss_exec::{par_map, ParallelConfig};
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::core::CoreModel;
 use crate::dram::{DramSim, RowBufferConfig};
+use crate::faultmem::{FaultMemConfig, FaultMemory};
 use crate::stats::{CacheActivity, CoreActivity, SimReport};
 use crate::workload::{AccessStream, Kernel};
 use crate::GemsimError;
@@ -67,6 +68,10 @@ pub struct SystemConfig {
     pub l2_next_line_prefetch: bool,
     /// Per-thread cap on simulated memory references (sampling).
     pub sample_accesses_per_thread: u64,
+    /// Optional fault-aware main-memory array: every DRAM-level transaction
+    /// runs through a seeded fault injector and an ECC controller (see
+    /// [`crate::faultmem`]). `None` models a perfect array.
+    pub fault: Option<FaultMemConfig>,
 }
 
 fn sram_l1(name: &str) -> CacheConfig {
@@ -130,6 +135,7 @@ impl SystemConfig {
             row_buffer: None,
             l2_next_line_prefetch: false,
             sample_accesses_per_thread: 150_000,
+            fault: None,
         }
     }
 
@@ -160,6 +166,9 @@ impl SystemConfig {
         }
         if let Some(rb) = &self.row_buffer {
             rb.validate()?;
+        }
+        if let Some(fault) = &self.fault {
+            fault.validate()?;
         }
         Ok(())
     }
@@ -297,6 +306,13 @@ impl System {
             Some(rb) => Some(DramSim::new(*rb)?),
             None => None,
         };
+        // The fault-aware array sees DRAM-level transactions at line
+        // granularity; it is rebuilt per run so identical seeds replay an
+        // identical fault history.
+        let mut fault_mem = match &self.config.fault {
+            Some(cfg) => Some(FaultMemory::new(*cfg)?),
+            None => None,
+        };
         let mut runtime: f64 = 0.0;
 
         let mut global_core_index = 0u32;
@@ -356,9 +372,13 @@ impl System {
                         // L1 miss: read the line from L2.
                         let l2_out = l2.access(acc.address, false);
                         stall_seconds_sim += cluster.l2.read_latency;
+                        let line = acc.address / cluster.l2.line_bytes as u64;
                         if !l2_out.hit {
                             // L2 miss: DRAM fetch + fill write into the L2 array.
                             dram_reads_sim += 1;
+                            if let Some(fm) = fault_mem.as_mut() {
+                                fm.read(line);
+                            }
                             if self.config.l2_next_line_prefetch {
                                 // Pull the follower line in alongside; a
                                 // line already present is left untouched.
@@ -366,9 +386,18 @@ impl System {
                                 let pf = l2.prefetch(next);
                                 if pf.allocated {
                                     dram_reads_sim += 1;
+                                    if let Some(fm) = fault_mem.as_mut() {
+                                        fm.read(next / cluster.l2.line_bytes as u64);
+                                    }
                                 }
                                 if pf.writeback {
                                     dram_writes_sim += 1;
+                                    // Victim addresses are not tracked; the
+                                    // trigger line stands in as the fault
+                                    // site (deterministic either way).
+                                    if let Some(fm) = fault_mem.as_mut() {
+                                        fm.write(next / cluster.l2.line_bytes as u64);
+                                    }
                                 }
                             }
                             let dram_latency = if let Some(d) = dram.as_mut() {
@@ -385,6 +414,9 @@ impl System {
                         }
                         if l2_out.writeback {
                             dram_writes_sim += 1;
+                            if let Some(fm) = fault_mem.as_mut() {
+                                fm.write(line);
+                            }
                         }
                         if l1_out.writeback {
                             // Dirty L1 line written into the L2 array.
@@ -392,6 +424,11 @@ impl System {
                             stall_seconds_sim += WRITEBACK_EXPOSURE * cluster.l2.write_latency;
                             if wb.writeback {
                                 dram_writes_sim += 1;
+                                if let Some(fm) = fault_mem.as_mut() {
+                                    fm.write(
+                                        (acc.address ^ 0x8000_0000) / cluster.l2.line_bytes as u64,
+                                    );
+                                }
                             }
                         }
                     }
@@ -461,6 +498,7 @@ impl System {
             dram_writes: dram_writes_scaled,
             dram_row_hits: dram_row_hits_scaled,
             simulated_fraction: sampled_fraction,
+            fault: fault_mem.map(|fm| *fm.stats()),
         };
         if mss_obs::enabled() {
             mss_obs::counter_add("gemsim.runs", 1);
@@ -689,6 +727,76 @@ mod tests {
             flat.runtime_seconds
         );
         assert_eq!(flat.dram_row_hits, 0);
+    }
+
+    #[test]
+    fn fault_free_runs_report_no_fault_stats() {
+        let sys = System::new(quick_config()).unwrap();
+        let r = sys.run(&Kernel::bodytrack(), 1).unwrap();
+        assert!(r.fault.is_none());
+    }
+
+    fn faulty_config() -> SystemConfig {
+        use mss_fault::{FaultModel, FaultPlan};
+        use mss_vaet::ecc::EccScheme;
+        let mut c = quick_config();
+        let mut m = FaultModel::none();
+        m.write_fail_rate = 0.002;
+        m.read_disturb_rate = 0.0005;
+        c.fault = Some(FaultMemConfig::new(
+            FaultPlan::new(77, m).unwrap(),
+            EccScheme::bch(2, 512),
+        ));
+        c
+    }
+
+    #[test]
+    fn faulty_memory_degrades_gracefully() {
+        let sys = System::new(faulty_config()).unwrap();
+        let r = sys.run(&Kernel::bodytrack(), 1).unwrap();
+        let f = r.fault.expect("fault stats present");
+        // DRAM traffic ran through the array...
+        assert!(f.reads > 0 && f.writes > 0);
+        assert!(f.injected_bits > 0);
+        // ...every read got a verdict, and nothing panicked on the way.
+        assert_eq!(
+            f.reads_clean + f.reads_corrected + f.reads_detected + f.reads_uncorrectable,
+            f.reads
+        );
+        // Timing and traffic are unchanged by error accounting.
+        let clean = System::new(quick_config())
+            .unwrap()
+            .run(&Kernel::bodytrack(), 1)
+            .unwrap();
+        assert_eq!(r.runtime_seconds, clean.runtime_seconds);
+        assert_eq!(r.dram_reads, clean.dram_reads);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let sys = System::new(faulty_config()).unwrap();
+        let a = sys.run(&Kernel::bodytrack(), 7).unwrap();
+        let b = sys.run(&Kernel::bodytrack(), 7).unwrap();
+        assert_eq!(a, b);
+        let batch = sys
+            .run_many(
+                &[Kernel::bodytrack(), Kernel::streamcluster()],
+                7,
+                &ParallelConfig::serial().with_threads(2),
+            )
+            .unwrap();
+        assert_eq!(batch[0], a);
+    }
+
+    #[test]
+    fn bad_fault_config_rejected() {
+        use mss_fault::FaultPlan;
+        use mss_vaet::ecc::EccScheme;
+        let mut c = quick_config();
+        let mut plan = FaultPlan::disabled();
+        plan.model.stuck_at_rate = -1.0;
+        c.fault = Some(FaultMemConfig::new(plan, EccScheme::bch(1, 64)));
+        assert!(System::new(c).is_err());
     }
 
     #[test]

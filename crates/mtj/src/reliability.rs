@@ -117,6 +117,21 @@ pub fn expected_disturbs(stack: &MssStack, t_read: f64, i_read: f64, n_reads: u6
     read_disturb_probability(stack, t_read, i_read) * n_reads as f64
 }
 
+/// Probability that an idle (undriven) cell thermally loses its state within
+/// a window of `t_idle` seconds: `P = 1 − exp(−t_idle/τ_retention)` with the
+/// full barrier Δ.
+///
+/// This is the retention-limited *transient flip* rate a fault model charges
+/// per access epoch: between two touches of a word, each bit has had
+/// `t_idle` of exposure to the Néel–Brown escape process. It is the
+/// zero-current limit of [`read_disturb_probability`].
+pub fn retention_flip_probability(stack: &MssStack, t_idle: f64) -> f64 {
+    if t_idle <= 0.0 {
+        return 0.0;
+    }
+    -(-t_idle / retention_seconds(stack)).exp_m1()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +214,20 @@ mod tests {
         let s = stack();
         let p = read_disturb_probability(&s, 2e-9, 0.1 * s.critical_current());
         assert!(p < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn retention_flip_matches_disturb_at_zero_current() {
+        let s = stack();
+        let t = 1.0; // one second of idle exposure
+        let a = retention_flip_probability(&s, t);
+        let b = read_disturb_probability(&s, t, 0.0);
+        assert!((a - b).abs() <= 1e-18 * a.max(1e-300), "a={a}, b={b}");
+        // Zero or negative windows never flip.
+        assert_eq!(retention_flip_probability(&s, 0.0), 0.0);
+        assert_eq!(retention_flip_probability(&s, -1.0), 0.0);
+        // Longer exposure, higher flip probability.
+        assert!(retention_flip_probability(&s, 10.0) > a);
     }
 
     #[test]

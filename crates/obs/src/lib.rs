@@ -524,6 +524,12 @@ pub fn counter_add(name: &str, n: u64) {
     global().counter_add(name, n);
 }
 
+/// Current value of a global counter (0 when never touched).
+#[inline]
+pub fn counter(name: &str) -> u64 {
+    global().counter(name)
+}
+
 /// Records a value into a global histogram.
 #[inline]
 pub fn record_value(name: &str, v: f64) {

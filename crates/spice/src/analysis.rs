@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use crate::error::RetryAttempt;
 use crate::netlist::{Element, Netlist, NodeId};
 use crate::solver::{solve, Matrix};
 use crate::SpiceError;
@@ -21,6 +22,104 @@ const VTOL: f64 = 1e-9;
 const MAX_NEWTON: usize = 200;
 /// Per-iteration clamp on voltage updates (volts) for Newton damping.
 const VSTEP_MAX: f64 = 0.5;
+/// Largest shunt conductance the gmin-stepping ladder starts from.
+const GMIN_LADDER_START: f64 = 1e-3;
+/// Source-stepping ladder resolution (number of alpha levels up to 1.0).
+const SOURCE_LADDER_LEVELS: usize = 10;
+
+/// Convergence policy: how hard the solver tries before reporting failure.
+///
+/// Plain Newton runs first with `max_newton` iterations. If it fails to
+/// converge the solver does **not** give up; it climbs a retry ladder:
+///
+/// - **DC** (and the transient `t = 0` init): *gmin stepping* — re-solve with
+///   a large shunt conductance to ground (`1e-3` S) and relax it decade by
+///   decade down to the nominal `GMIN`, warm-starting each level from the
+///   previous solution; if that fails too, *source stepping* — ramp all
+///   source values from 10% to 100% in ten homotopy steps,
+/// - **transient steps**: *step rejection* — halve `dt` (exact for the
+///   backward-Euler companion models used here) and advance in two half
+///   steps, recursively, up to `max_step_halvings` levels deep.
+///
+/// Exhausted ladders return [`SpiceError::RetryLadderExhausted`] with the
+/// full attempt history — never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverOptions {
+    /// Newton iteration budget for the plain (first) attempt.
+    pub max_newton: usize,
+    /// Newton iteration budget per continuation level (gmin/source steps).
+    pub ladder_newton: usize,
+    /// Enables the gmin-stepping stage for DC-like solves.
+    pub gmin_stepping: bool,
+    /// Enables the source-stepping homotopy for DC-like solves.
+    pub source_stepping: bool,
+    /// Maximum recursive `dt` halvings per transient step (0 = reject
+    /// nothing).
+    pub max_step_halvings: u32,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        Self {
+            max_newton: MAX_NEWTON,
+            ladder_newton: MAX_NEWTON,
+            gmin_stepping: true,
+            source_stepping: true,
+            max_step_halvings: 6,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// The full ladder at default budgets.
+    pub fn robust() -> Self {
+        Self::default()
+    }
+
+    /// Plain Newton only: any non-convergence is reported immediately with
+    /// iteration count and final `max_dv` ([`SpiceError::NoConvergence`]).
+    pub fn without_ladder() -> Self {
+        Self {
+            gmin_stepping: false,
+            source_stepping: false,
+            max_step_halvings: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Returns the options with a different plain-Newton budget.
+    pub fn with_max_newton(mut self, n: usize) -> Self {
+        self.max_newton = n.max(1);
+        self
+    }
+
+    /// Returns the options with a different per-ladder-level budget.
+    pub fn with_ladder_newton(mut self, n: usize) -> Self {
+        self.ladder_newton = n.max(1);
+        self
+    }
+
+    /// Returns the options with a different halving depth.
+    pub fn with_max_step_halvings(mut self, n: u32) -> Self {
+        self.max_step_halvings = n;
+        self
+    }
+}
+
+/// Continuation knobs of one Newton attempt: the shunt conductance stamped
+/// to ground and the global scale applied to every source value.
+#[derive(Debug, Clone, Copy)]
+struct SolveKnobs {
+    gmin: f64,
+    source_scale: f64,
+}
+
+impl SolveKnobs {
+    const NOMINAL: SolveKnobs = SolveKnobs {
+        gmin: GMIN,
+        source_scale: 1.0,
+    };
+}
 
 /// Result of a DC operating-point analysis.
 #[derive(Debug, Clone)]
@@ -143,14 +242,15 @@ impl Mna {
         x0: &[f64],
         dt: Option<f64>,
         cap_prev: Option<&[f64]>,
+        knobs: &SolveKnobs,
     ) -> Result<Vec<f64>, SpiceError> {
         let dim = self.dim();
         let mut m = Matrix::zeros(dim, dim);
         let mut rhs = vec![0.0; dim];
 
-        // gmin to ground on every node.
+        // gmin to ground on every node (the ladder may inflate it).
         for i in 0..self.n_nodes {
-            m.add(i, i, GMIN);
+            m.add(i, i, knobs.gmin);
         }
 
         let mut vk = 0usize;
@@ -190,12 +290,12 @@ impl Mna {
                         m.add(im, row, -1.0);
                         m.add(row, im, -1.0);
                     }
-                    rhs[row] = wave.eval(t);
+                    rhs[row] = knobs.source_scale * wave.eval(t);
                 }
                 Element::ISource {
                     plus, minus, wave, ..
                 } => {
-                    let i = wave.eval(t);
+                    let i = knobs.source_scale * wave.eval(t);
                     self.inject(&mut rhs, *plus, -i);
                     self.inject(&mut rhs, *minus, i);
                 }
@@ -249,7 +349,11 @@ impl Mna {
         solve(m, rhs)
     }
 
-    /// Newton loop at time `t`.
+    /// Newton loop at time `t` with a bounded iteration budget.
+    ///
+    /// Failure carries the iteration count and the final `max_dv` so the
+    /// retry ladder (and the user) can see how close the iterate got.
+    #[allow(clippy::too_many_arguments)]
     fn newton(
         &self,
         netlist: &Netlist,
@@ -258,14 +362,18 @@ impl Mna {
         dt: Option<f64>,
         cap_prev: Option<&[f64]>,
         analysis: &'static str,
+        knobs: &SolveKnobs,
+        budget: usize,
     ) -> Result<Vec<f64>, SpiceError> {
         let mut x = x_init.to_vec();
         if !self.has_nonlinear {
-            return self.assemble_and_solve(netlist, t, &x, dt, cap_prev);
+            return self.assemble_and_solve(netlist, t, &x, dt, cap_prev, knobs);
         }
         mss_obs::counter_add("spice.newton.calls", 1);
-        for iter in 0..MAX_NEWTON {
-            let x_new = self.assemble_and_solve(netlist, t, &x, dt, cap_prev)?;
+        let budget = budget.max(1);
+        let mut last_dv = f64::INFINITY;
+        for iter in 0..budget {
+            let x_new = self.assemble_and_solve(netlist, t, &x, dt, cap_prev, knobs)?;
             let mut max_dv: f64 = 0.0;
             let mut damped = x_new.clone();
             for i in 0..self.n_nodes {
@@ -276,32 +384,312 @@ impl Mna {
                 }
             }
             let converged = max_dv < VTOL;
+            last_dv = max_dv;
             x = damped;
             if converged {
                 mss_obs::counter_add("spice.newton.iterations", iter as u64 + 1);
                 return Ok(x);
             }
         }
-        mss_obs::counter_add("spice.newton.iterations", MAX_NEWTON as u64);
+        mss_obs::counter_add("spice.newton.iterations", budget as u64);
         mss_obs::counter_add("spice.newton.nonconverged", 1);
         Err(SpiceError::NoConvergence {
             analysis,
             time: if dt.is_some() { Some(t) } else { None },
+            iterations: budget,
+            max_dv: last_dv,
         })
+    }
+
+    /// DC-like solve with the full convergence retry ladder: plain Newton,
+    /// then gmin stepping, then source stepping.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_static(
+        &self,
+        netlist: &Netlist,
+        t: f64,
+        x_init: &[f64],
+        dt: Option<f64>,
+        cap_prev: Option<&[f64]>,
+        analysis: &'static str,
+        opts: &SolverOptions,
+    ) -> Result<Vec<f64>, SpiceError> {
+        let mut attempts = Vec::new();
+        match self.newton(
+            netlist,
+            t,
+            x_init,
+            dt,
+            cap_prev,
+            analysis,
+            &SolveKnobs::NOMINAL,
+            opts.max_newton,
+        ) {
+            Ok(x) => return Ok(x),
+            Err(e) => record_attempt(&mut attempts, "newton", e)?,
+        }
+        if opts.gmin_stepping {
+            if let Some(x) = self.gmin_ladder(
+                netlist,
+                t,
+                x_init,
+                dt,
+                cap_prev,
+                analysis,
+                opts,
+                &mut attempts,
+            )? {
+                mss_obs::counter_add("spice.ladder.gmin_rescued", 1);
+                return Ok(x);
+            }
+        }
+        if opts.source_stepping {
+            if let Some(x) = self.source_ladder(
+                netlist,
+                t,
+                x_init,
+                dt,
+                cap_prev,
+                analysis,
+                opts,
+                &mut attempts,
+            )? {
+                mss_obs::counter_add("spice.ladder.source_rescued", 1);
+                return Ok(x);
+            }
+        }
+        mss_obs::counter_add("spice.ladder.exhausted", 1);
+        Err(exhausted(analysis, dt.map(|_| t), attempts))
+    }
+
+    /// Gmin stepping: inflate the universal shunt to `1e-3` S (which makes
+    /// almost any circuit solvable), then relax it decade by decade back to
+    /// the nominal `GMIN`, warm-starting each level from the last. Returns
+    /// `Ok(None)` when a level fails (failure recorded in `attempts`).
+    #[allow(clippy::too_many_arguments)]
+    fn gmin_ladder(
+        &self,
+        netlist: &Netlist,
+        t: f64,
+        x_init: &[f64],
+        dt: Option<f64>,
+        cap_prev: Option<&[f64]>,
+        analysis: &'static str,
+        opts: &SolverOptions,
+        attempts: &mut Vec<RetryAttempt>,
+    ) -> Result<Option<Vec<f64>>, SpiceError> {
+        let mut x = x_init.to_vec();
+        let mut gmin = GMIN_LADDER_START;
+        while gmin > GMIN {
+            let knobs = SolveKnobs {
+                gmin,
+                source_scale: 1.0,
+            };
+            match self.newton(
+                netlist,
+                t,
+                &x,
+                dt,
+                cap_prev,
+                analysis,
+                &knobs,
+                opts.ladder_newton,
+            ) {
+                Ok(next) => x = next,
+                Err(e) => {
+                    record_attempt(attempts, &format!("gmin={gmin:.1e}"), e)?;
+                    return Ok(None);
+                }
+            }
+            gmin /= 10.0;
+        }
+        // Final solve at the nominal gmin seals the continuation.
+        match self.newton(
+            netlist,
+            t,
+            &x,
+            dt,
+            cap_prev,
+            analysis,
+            &SolveKnobs::NOMINAL,
+            opts.ladder_newton,
+        ) {
+            Ok(x) => Ok(Some(x)),
+            Err(e) => {
+                record_attempt(attempts, &format!("gmin={GMIN:.1e}"), e)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Source stepping: ramp every independent source from 10% to 100% of
+    /// its value in equal homotopy steps, tracking the solution branch from
+    /// the trivially solvable low-drive circuit. Returns `Ok(None)` when a
+    /// level fails (failure recorded in `attempts`).
+    #[allow(clippy::too_many_arguments)]
+    fn source_ladder(
+        &self,
+        netlist: &Netlist,
+        t: f64,
+        x_init: &[f64],
+        dt: Option<f64>,
+        cap_prev: Option<&[f64]>,
+        analysis: &'static str,
+        opts: &SolverOptions,
+        attempts: &mut Vec<RetryAttempt>,
+    ) -> Result<Option<Vec<f64>>, SpiceError> {
+        let mut x = x_init.to_vec();
+        for level in 1..=SOURCE_LADDER_LEVELS {
+            let alpha = level as f64 / SOURCE_LADDER_LEVELS as f64;
+            let knobs = SolveKnobs {
+                gmin: GMIN,
+                source_scale: alpha,
+            };
+            match self.newton(
+                netlist,
+                t,
+                &x,
+                dt,
+                cap_prev,
+                analysis,
+                &knobs,
+                opts.ladder_newton,
+            ) {
+                Ok(next) => x = next,
+                Err(e) => {
+                    record_attempt(attempts, &format!("source-alpha={alpha:.2}"), e)?;
+                    return Ok(None);
+                }
+            }
+        }
+        Ok(Some(x))
+    }
+
+    /// Advances one transient step with step rejection: on non-convergence
+    /// the step is halved (exact for the backward-Euler companions) and
+    /// retried as two half steps, recursively up to
+    /// [`SolverOptions::max_step_halvings`] levels.
+    #[allow(clippy::too_many_arguments)]
+    fn advance_step(
+        &self,
+        netlist: &Netlist,
+        t_end: f64,
+        dt: f64,
+        x_start: &[f64],
+        depth: u32,
+        opts: &SolverOptions,
+        attempts: &mut Vec<RetryAttempt>,
+    ) -> Result<Vec<f64>, SpiceError> {
+        match self.newton(
+            netlist,
+            t_end,
+            x_start,
+            Some(dt),
+            Some(x_start),
+            "transient",
+            &SolveKnobs::NOMINAL,
+            opts.max_newton,
+        ) {
+            Ok(x) => Ok(x),
+            Err(e) => {
+                record_attempt(attempts, &format!("dt={dt:.2e}"), e)?;
+                if depth >= opts.max_step_halvings {
+                    mss_obs::counter_add("spice.ladder.exhausted", 1);
+                    return Err(exhausted(
+                        "transient",
+                        Some(t_end),
+                        std::mem::take(attempts),
+                    ));
+                }
+                mss_obs::counter_add("spice.ladder.step_halvings", 1);
+                let half = dt / 2.0;
+                let x_mid = self.advance_step(
+                    netlist,
+                    t_end - half,
+                    half,
+                    x_start,
+                    depth + 1,
+                    opts,
+                    attempts,
+                )?;
+                self.advance_step(netlist, t_end, half, &x_mid, depth + 1, opts, attempts)
+            }
+        }
+    }
+}
+
+/// Builds the terminal error of a failed solve: a single attempt reports as
+/// plain (enriched) non-convergence, a real ladder reports its full history.
+fn exhausted(
+    analysis: &'static str,
+    time: Option<f64>,
+    mut attempts: Vec<RetryAttempt>,
+) -> SpiceError {
+    if attempts.len() == 1 {
+        let a = attempts.remove(0);
+        SpiceError::NoConvergence {
+            analysis,
+            time,
+            iterations: a.iterations,
+            max_dv: a.max_dv,
+        }
+    } else {
+        SpiceError::RetryLadderExhausted {
+            analysis,
+            time,
+            attempts,
+        }
+    }
+}
+
+/// Folds a Newton failure into the retry history; anything other than
+/// non-convergence (e.g. a singular matrix) aborts the ladder immediately.
+fn record_attempt(
+    attempts: &mut Vec<RetryAttempt>,
+    strategy: &str,
+    e: SpiceError,
+) -> Result<(), SpiceError> {
+    match e {
+        SpiceError::NoConvergence {
+            iterations, max_dv, ..
+        } => {
+            attempts.push(RetryAttempt {
+                strategy: strategy.to_string(),
+                iterations,
+                max_dv,
+            });
+            Ok(())
+        }
+        other => Err(other),
     }
 }
 
 /// Computes the DC operating point with sources at their `t = 0` values and
-/// capacitors open.
+/// capacitors open, using the default convergence retry ladder.
 ///
 /// # Errors
 ///
-/// Propagates singular-matrix and non-convergence failures.
+/// Propagates singular-matrix failures; convergence failures surface only
+/// after the full gmin/source-stepping ladder is exhausted.
 pub fn dc_operating_point(netlist: &Netlist) -> Result<DcSolution, SpiceError> {
+    dc_operating_point_with(netlist, &SolverOptions::default())
+}
+
+/// [`dc_operating_point`] with an explicit convergence policy.
+///
+/// # Errors
+///
+/// [`SpiceError::NoConvergence`] when the ladder is disabled and plain
+/// Newton fails; [`SpiceError::RetryLadderExhausted`] when every enabled
+/// stage fails; singular-matrix failures propagate immediately.
+pub fn dc_operating_point_with(
+    netlist: &Netlist,
+    solver: &SolverOptions,
+) -> Result<DcSolution, SpiceError> {
     let _span = mss_obs::span("spice.dc");
     let mna = Mna::new(netlist);
     let x0 = vec![0.0; mna.dim()];
-    let x = mna.newton(netlist, 0.0, &x0, None, None, "dc operating point")?;
+    let x = mna.solve_static(netlist, 0.0, &x0, None, None, "dc operating point", solver)?;
     Ok(package_dc(netlist, &mna, &x))
 }
 
@@ -332,10 +720,13 @@ pub struct TransientOptions {
     pub dt: f64,
     /// Stop time in seconds.
     pub t_stop: f64,
+    /// Convergence policy (retry ladder on by default).
+    pub solver: SolverOptions,
 }
 
 impl TransientOptions {
-    /// Creates options with the given step and stop time.
+    /// Creates options with the given step and stop time, and the default
+    /// convergence retry ladder.
     ///
     /// # Panics
     ///
@@ -345,7 +736,17 @@ impl TransientOptions {
             dt > 0.0 && t_stop > 0.0 && t_stop >= dt,
             "bad transient window"
         );
-        Self { dt, t_stop }
+        Self {
+            dt,
+            t_stop,
+            solver: SolverOptions::default(),
+        }
+    }
+
+    /// Returns the options with an explicit convergence policy.
+    pub fn with_solver(mut self, solver: SolverOptions) -> Self {
+        self.solver = solver;
+        self
     }
 }
 
@@ -392,14 +793,15 @@ impl Transient {
         let steps = (opts.t_stop / opts.dt).round() as usize;
         mss_obs::counter_add("spice.transient.steps", steps as u64);
 
-        // t = 0: DC operating point (capacitors open).
-        let mut x = mna.newton(
+        // t = 0: DC operating point (capacitors open), full retry ladder.
+        let mut x = mna.solve_static(
             &netlist,
             0.0,
             &vec![0.0; mna.dim()],
             None,
             None,
             "transient dc init",
+            &opts.solver,
         )?;
 
         let node_names: Vec<String> = (0..netlist.node_count())
@@ -448,7 +850,8 @@ impl Transient {
         for k in 1..=steps {
             let t = k as f64 * opts.dt;
             let prev = x.clone();
-            x = mna.newton(&netlist, t, &prev, Some(opts.dt), Some(&prev), "transient")?;
+            let mut attempts = Vec::new();
+            x = mna.advance_step(&netlist, t, opts.dt, &prev, 0, &opts.solver, &mut attempts)?;
 
             // Advance MTJ states with the solved currents.
             let mut events = Vec::new();
@@ -786,5 +1189,183 @@ mod tests {
     #[should_panic(expected = "bad transient window")]
     fn bad_options_panic() {
         let _ = TransientOptions::new(0.0, 1.0);
+    }
+
+    /// An NMOS inverter chain that damped Newton cannot settle from a cold
+    /// start inside a tiny iteration budget.
+    fn stiff_inverter(vin: f64) -> Netlist {
+        let mut nl = Netlist::new();
+        nl.add_vsource("vdd", "vdd", "0", Waveform::dc(1.0))
+            .unwrap();
+        nl.add_vsource("vin", "in", "0", Waveform::dc(vin)).unwrap();
+        nl.add_resistor("rl", "vdd", "out", 10e3).unwrap();
+        nl.add_mosfet(
+            "m1",
+            "out",
+            "in",
+            "0",
+            MosModel::generic_nmos(),
+            MosGeometry {
+                width: 1e-6,
+                length: 100e-9,
+            },
+        )
+        .unwrap();
+        nl
+    }
+
+    #[test]
+    fn dc_ladder_rescues_a_starved_newton() {
+        let nl = stiff_inverter(0.0);
+        // Plain Newton with a 1-iteration budget cannot converge...
+        let strict = SolverOptions::without_ladder().with_max_newton(1);
+        let err = dc_operating_point_with(&nl, &strict).expect_err("must fail");
+        match err {
+            SpiceError::NoConvergence {
+                analysis,
+                time,
+                iterations,
+                max_dv,
+            } => {
+                assert_eq!(analysis, "dc operating point");
+                assert_eq!(time, None);
+                assert_eq!(iterations, 1);
+                assert!(max_dv > VTOL, "final max_dv {max_dv} must be reported");
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+        // ...but the gmin/source ladder converges it to the right answer.
+        let robust = SolverOptions::default().with_max_newton(1);
+        let dc = dc_operating_point_with(&nl, &robust).unwrap();
+        assert!(dc.node_voltage("out").unwrap() > 0.95);
+    }
+
+    #[test]
+    fn exhausted_dc_ladder_reports_full_history() {
+        let nl = stiff_inverter(1.0);
+        // Starve every stage: 1 Newton iteration everywhere.
+        let opts = SolverOptions::default()
+            .with_max_newton(1)
+            .with_ladder_newton(1);
+        let err = dc_operating_point_with(&nl, &opts).expect_err("must exhaust");
+        match err {
+            SpiceError::RetryLadderExhausted {
+                analysis,
+                time,
+                attempts,
+            } => {
+                assert_eq!(analysis, "dc operating point");
+                assert_eq!(time, None);
+                // Plain Newton + first gmin level + first source level.
+                assert_eq!(attempts.len(), 3);
+                assert_eq!(attempts[0].strategy, "newton");
+                assert!(attempts[1].strategy.starts_with("gmin="));
+                assert!(attempts[2].strategy.starts_with("source-alpha="));
+                for a in &attempts {
+                    assert_eq!(a.iterations, 1);
+                    assert!(a.max_dv > VTOL);
+                }
+            }
+            other => panic!("expected RetryLadderExhausted, got {other:?}"),
+        }
+    }
+
+    /// A transient deck whose input step overwhelms a starved Newton budget
+    /// at full `dt` but settles once the step is halved.
+    fn stepping_deck() -> Netlist {
+        let mut nl = Netlist::new();
+        nl.add_vsource("vdd", "vdd", "0", Waveform::dc(1.0))
+            .unwrap();
+        nl.add_vsource(
+            "vin",
+            "in",
+            "0",
+            // 0 -> 1 V edge with a 0.2 ns ramp.
+            Waveform::pulse(0.0, 1.0, 1e-9, 2e-10, 2e-10, 5e-9, 0.0),
+        )
+        .unwrap();
+        nl.add_resistor("rl", "vdd", "out", 10e3).unwrap();
+        nl.add_capacitor("cl", "out", "0", 5e-15).unwrap();
+        nl.add_mosfet(
+            "m1",
+            "out",
+            "in",
+            "0",
+            MosModel::generic_nmos(),
+            MosGeometry {
+                width: 1e-6,
+                length: 100e-9,
+            },
+        )
+        .unwrap();
+        nl
+    }
+
+    #[test]
+    fn transient_step_rejection_rescues_coarse_steps() {
+        let nl = stepping_deck();
+        // A large step across the input edge with a tiny Newton budget: the
+        // DC init is fine (input still 0 V), but the edge step needs help.
+        let starved = SolverOptions::default()
+            .with_max_newton(4)
+            .with_ladder_newton(MAX_NEWTON);
+        let no_reject =
+            TransientOptions::new(4e-10, 3e-9).with_solver(starved.with_max_step_halvings(0));
+        let err = Transient::new(&nl).unwrap().run(&no_reject);
+        assert!(err.is_err(), "coarse steps must fail without rejection");
+        // With step rejection enabled the same budget completes, and the
+        // output settles low after the edge.
+        let rejecting =
+            TransientOptions::new(4e-10, 3e-9).with_solver(starved.with_max_step_halvings(8));
+        let res = Transient::new(&nl).unwrap().run(&rejecting).unwrap();
+        let out = res.node_voltage("out").unwrap();
+        assert!(*out.last().unwrap() < 0.2, "inverter must pull low");
+        assert!(out[0] > 0.95, "inverter starts high");
+    }
+
+    #[test]
+    fn exhausted_transient_ladder_reports_every_halving() {
+        let nl = stepping_deck();
+        let opts = TransientOptions::new(4e-10, 3e-9).with_solver(
+            SolverOptions::default()
+                .with_max_newton(1)
+                .with_max_step_halvings(2),
+        );
+        let err = Transient::new(&nl)
+            .unwrap()
+            .run(&opts)
+            .expect_err("must fail");
+        match err {
+            SpiceError::RetryLadderExhausted {
+                analysis,
+                time,
+                attempts,
+            } => {
+                assert_eq!(analysis, "transient");
+                assert!(time.is_some(), "failing time point must be attached");
+                // dt, dt/2, dt/4 — one failed attempt per halving level.
+                assert_eq!(attempts.len(), 3);
+                assert!(attempts[0].strategy.starts_with("dt=4.00e-10"));
+                assert!(attempts[1].strategy.starts_with("dt=2.00e-10"));
+                assert!(attempts[2].strategy.starts_with("dt=1.00e-10"));
+            }
+            other => panic!("expected RetryLadderExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_options_keep_previous_behaviour() {
+        // The ladder is transparent for well-behaved decks: same divider
+        // answer as plain Newton.
+        let mut nl = Netlist::new();
+        nl.add_vsource("v1", "in", "0", Waveform::dc(2.0)).unwrap();
+        nl.add_resistor("r1", "in", "mid", 1e3).unwrap();
+        nl.add_resistor("r2", "mid", "0", 1e3).unwrap();
+        let plain = dc_operating_point_with(&nl, &SolverOptions::without_ladder()).unwrap();
+        let robust = dc_operating_point(&nl).unwrap();
+        assert_eq!(
+            plain.node_voltage("mid").unwrap(),
+            robust.node_voltage("mid").unwrap()
+        );
     }
 }

@@ -51,4 +51,4 @@ pub mod solver;
 pub mod template;
 pub mod waveform;
 
-pub use error::SpiceError;
+pub use error::{RetryAttempt, SpiceError};

@@ -136,6 +136,52 @@ impl EccScheme {
     }
 }
 
+/// Outcome of decoding one ECC block that carries a known number of raw bit
+/// errors.
+///
+/// The classification follows the extended (distance `2t+2`) construction
+/// implied by [`EccScheme::check_bits`]'s `+1` parity column: up to `t`
+/// errors are corrected, exactly `t+1` errors are *detected* but not
+/// correctable, and beyond that the decoder can mis-correct silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EccOutcome {
+    /// The block is error-free.
+    Clean,
+    /// `1..=t` raw errors: transparently corrected.
+    Corrected,
+    /// Exactly `t+1` raw errors: flagged, data lost but *known* lost.
+    Detected,
+    /// More than `t+1` raw errors: potentially silent corruption.
+    Uncorrectable,
+}
+
+impl EccOutcome {
+    /// True when the decoder returns correct data (clean or corrected).
+    pub fn is_ok(&self) -> bool {
+        matches!(self, EccOutcome::Clean | EccOutcome::Corrected)
+    }
+}
+
+impl EccScheme {
+    /// Classifies a block by its raw (pre-decode) bit-error count.
+    ///
+    /// A `t = 0` scheme has no check bits at all, so *any* error is silent
+    /// corruption rather than a detected failure.
+    pub fn classify(&self, raw_errors: u32) -> EccOutcome {
+        if raw_errors == 0 {
+            EccOutcome::Clean
+        } else if self.correctable == 0 {
+            EccOutcome::Uncorrectable
+        } else if raw_errors <= self.correctable {
+            EccOutcome::Corrected
+        } else if raw_errors == self.correctable + 1 {
+            EccOutcome::Detected
+        } else {
+            EccOutcome::Uncorrectable
+        }
+    }
+}
+
 fn ln_binomial(n: f64, k: f64) -> f64 {
     ln_gamma(n + 1.0) - ln_gamma(k + 1.0) - ln_gamma(n - k + 1.0)
 }

@@ -11,6 +11,8 @@
 //! - [`pdk`] — CMOS + MTJ process design kit, standard cells, characterisation,
 //! - [`nvsim`] — memory-array latency/energy/area estimation,
 //! - [`vaet`] — variation-aware estimation (Monte Carlo, ECC, RER/WER),
+//! - [`fault`] — deterministic seeded fault injection (write/read-disturb/
+//!   transient/stuck-at) with ECC cross-validation campaigns,
 //! - [`gemsim`] — manycore performance simulation with Parsec-like kernels,
 //! - [`mcpat`] — architecture-level power/area estimation,
 //! - [`core`] — the MAGPIE cross-layer hybrid design-exploration flow.
@@ -20,6 +22,7 @@
 
 pub use mss_core as core;
 pub use mss_exec as exec;
+pub use mss_fault as fault;
 pub use mss_gemsim as gemsim;
 pub use mss_mcpat as mcpat;
 pub use mss_mtj as mtj;
