@@ -1,0 +1,154 @@
+//! CI smoke benchmark for the content-addressed stage pipeline: runs the
+//! MAGPIE flow twice in one process over a shared in-memory cache, then cold
+//! and warm against the on-disk tier — asserting a byte-identical
+//! [`MagpieReport`](mss_core::flow::MagpieReport) and 100 % stage hits on
+//! every warm pass. When `MSS_METRICS=1` or `MSS_TRACE=1` the observability
+//! registry (including the `pipe.*` cache counters) is written as an NDJSON
+//! run report CI archives.
+//!
+//! ```text
+//! cargo run --release -p mss-bench --bin cache_smoke
+//! MSS_METRICS=1 cargo run --release -p mss-bench --bin cache_smoke -- 100000
+//! ```
+//!
+//! The optional argument overrides the per-thread sampling cap (default
+//! 50 000). `MSS_OBS_OUT` overrides the report path (default
+//! `target/cache_smoke.ndjson`). Exits non-zero on any cache-transparency
+//! violation.
+
+use std::sync::Arc;
+
+use mss_core::flow::{MagpieFlow, MagpieInputs, MagpieReport};
+use mss_core::scenario::Scenario;
+use mss_gemsim::workload::Kernel;
+use mss_pdk::tech::TechNode;
+use mss_pipe::{PipeCache, Stage};
+
+/// Stages the MAGPIE flow exercises (VaetDistributions is owned by the
+/// variation-aware explorer, not this flow).
+const FLOW_STAGES: [Stage; 4] = [
+    Stage::CharacterizeCells,
+    Stage::EstimateArray,
+    Stage::SimulateKernel,
+    Stage::McpatAccount,
+];
+
+fn inputs(sample_cap: u64) -> MagpieInputs {
+    MagpieInputs {
+        node: TechNode::N45,
+        kernels: vec![Kernel::swaptions()],
+        scenarios: Scenario::ALL.to_vec(),
+        seed: 2024,
+        sample_cap,
+    }
+}
+
+fn run(cache: &Arc<PipeCache>, sample_cap: u64) -> MagpieReport {
+    MagpieFlow::new_with_cache(inputs(sample_cap), Arc::clone(cache))
+        .expect("flow setup")
+        .run()
+        .expect("flow run")
+}
+
+/// Asserts the reports agree down to the serialized figure exports.
+fn assert_identical(leg: &str, warm: &MagpieReport, cold: &MagpieReport) {
+    assert_eq!(warm, cold, "{leg}: warm report diverged from cold");
+    assert_eq!(
+        warm.fig11_csv("swaptions"),
+        cold.fig11_csv("swaptions"),
+        "{leg}: fig11 CSV diverged"
+    );
+    assert_eq!(
+        warm.fig12_csv(),
+        cold.fig12_csv(),
+        "{leg}: fig12 CSV diverged"
+    );
+}
+
+/// In-memory leg: the second run of the same process must be 100 % hits.
+fn memory_leg(sample_cap: u64) {
+    let _span = mss_obs::span("cache_smoke.memory");
+    let cache = Arc::new(PipeCache::memory_only());
+    let cold = run(&cache, sample_cap);
+    let misses_after_cold: Vec<u64> = FLOW_STAGES.iter().map(|&s| cache.stats(s).misses).collect();
+
+    let warm = run(&cache, sample_cap);
+    assert_identical("memory", &warm, &cold);
+    for (&stage, &cold_misses) in FLOW_STAGES.iter().zip(&misses_after_cold) {
+        let s = cache.stats(stage);
+        assert_eq!(
+            s.misses, cold_misses,
+            "memory: {stage} recomputed on the warm run"
+        );
+        assert!(s.hits > 0, "memory: {stage} saw no hits");
+        println!(
+            "memory   : {:<18} | {} hits / {} misses / {} evictions",
+            stage.name(),
+            s.hits,
+            s.misses,
+            s.evictions
+        );
+    }
+}
+
+/// Disk leg: a fresh cache instance over a warmed directory must serve every
+/// artifact stage from disk.
+fn disk_leg(sample_cap: u64) {
+    let _span = mss_obs::span("cache_smoke.disk");
+    let dir = std::path::Path::new("target").join(format!("cache-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold_cache = Arc::new(PipeCache::with_disk(&dir));
+    let cold = run(&cold_cache, sample_cap);
+
+    let warm_cache = Arc::new(PipeCache::with_disk(&dir));
+    let warm = run(&warm_cache, sample_cap);
+    assert_identical("disk", &warm, &cold);
+
+    for stage in [Stage::CharacterizeCells, Stage::EstimateArray] {
+        let s = warm_cache.stats(stage);
+        assert_eq!(s.misses, 0, "disk: {stage} recomputed despite warm disk");
+        assert_eq!(s.load_failures, 0, "disk: {stage} hit damaged entries");
+        assert!(s.disk_hits > 0, "disk: {stage} never read the disk tier");
+        println!(
+            "disk     : {:<18} | {} disk hits / {} memory hits / {} misses",
+            stage.name(),
+            s.disk_hits,
+            s.hits,
+            s.misses
+        );
+    }
+    let entries = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+    println!(
+        "disk     : {entries} NDJSON artifacts under {}",
+        dir.display()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn main() {
+    let sample_cap: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000);
+    println!("== cache_smoke: pipeline cache transparency (memory + disk tiers) ==");
+    memory_leg(sample_cap);
+    disk_leg(sample_cap);
+    println!("cache    : warm runs byte-identical with zero recomputation");
+
+    if mss_obs::enabled() {
+        let path =
+            std::env::var("MSS_OBS_OUT").unwrap_or_else(|_| "target/cache_smoke.ndjson".into());
+        let report = mss_obs::report_ndjson();
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, &report).expect("write NDJSON run report");
+        println!(
+            "obs      : {} NDJSON lines -> {path}",
+            report.lines().count()
+        );
+    } else {
+        println!("obs      : disabled (set MSS_METRICS=1 for an NDJSON run report)");
+    }
+}

@@ -1,4 +1,13 @@
 //! The MAGPIE evaluation flow: characterise → estimate → simulate → account.
+//!
+//! Every stage routes through the content-addressed [`mss_pipe`] cache, so a
+//! sweep over nodes, kernels or scenarios reuses the upstream artifacts
+//! (characterised cell libraries, estimated array macros, simulated activity
+//! reports) that its points share. Memoization is semantically transparent:
+//! every stage computation is pure, so the report is bit-identical at any
+//! thread count and any cache temperature.
+
+use std::sync::Arc;
 
 use mss_exec::{par_map, ParallelConfig};
 use mss_gemsim::cache::CacheConfig;
@@ -8,9 +17,10 @@ use mss_gemsim::workload::Kernel;
 use mss_mcpat::{evaluate as mcpat_evaluate, McpatConfig, PowerReport};
 use mss_mtj::MssStack;
 use mss_nvsim::config::MemoryConfig;
-use mss_nvsim::model::{estimate, ArrayMetrics, MemoryTechnology};
-use mss_pdk::charlib::{characterize, CellLibrary};
+use mss_nvsim::model::{estimate_cached, ArrayMetrics, MemoryTechnology};
+use mss_pdk::charlib::{characterize_with_cached, CellLibrary};
 use mss_pdk::tech::{TechNode, TechParams};
+use mss_pipe::{digest_of, PipeCache, Stage};
 
 use crate::scenario::Scenario;
 use crate::MagpieError;
@@ -33,6 +43,39 @@ pub struct MagpieInputs {
     pub seed: u64,
     /// Per-thread memory-access sampling cap for `mss-gemsim`.
     pub sample_cap: u64,
+}
+
+impl MagpieInputs {
+    /// Validates the inputs before any stage runs.
+    ///
+    /// # Errors
+    ///
+    /// [`MagpieError::InvalidInputs`] with a distinct reason per defect:
+    /// empty kernel list, empty scenario list, zero sampling cap, or a
+    /// kernel whose own [`Kernel::validate`] rejects it.
+    pub fn validate(&self) -> Result<(), MagpieError> {
+        if self.kernels.is_empty() {
+            return Err(MagpieError::InvalidInputs {
+                reason: "kernels must be non-empty".into(),
+            });
+        }
+        if self.scenarios.is_empty() {
+            return Err(MagpieError::InvalidInputs {
+                reason: "scenarios must be non-empty".into(),
+            });
+        }
+        if self.sample_cap == 0 {
+            return Err(MagpieError::InvalidInputs {
+                reason: "sample_cap must be non-zero".into(),
+            });
+        }
+        for kernel in &self.kernels {
+            kernel.validate().map_err(|e| MagpieError::InvalidInputs {
+                reason: format!("kernel {}: {e}", kernel.name),
+            })?;
+        }
+        Ok(())
+    }
 }
 
 /// One (kernel, scenario) evaluation outcome.
@@ -92,41 +135,54 @@ pub struct MagpieFlow {
     inputs: MagpieInputs,
     tech: TechParams,
     stt_lib: CellLibrary,
+    cache: Arc<PipeCache>,
 }
 
 impl MagpieFlow {
-    /// Runs the circuit-level characterisation and prepares the flow.
+    /// Runs the circuit-level characterisation and prepares the flow,
+    /// memoizing through the process-global [`mss_pipe`] cache.
     ///
     /// # Errors
     ///
-    /// [`MagpieError::InvalidInputs`] on empty kernel/scenario lists;
-    /// characterisation failures propagate.
+    /// [`MagpieError::InvalidInputs`] on invalid inputs (see
+    /// [`MagpieInputs::validate`]); characterisation failures propagate.
     pub fn new(inputs: MagpieInputs) -> Result<Self, MagpieError> {
-        if inputs.kernels.is_empty() || inputs.scenarios.is_empty() {
-            return Err(MagpieError::InvalidInputs {
-                reason: "kernels and scenarios must be non-empty".into(),
-            });
-        }
-        if inputs.sample_cap == 0 {
-            return Err(MagpieError::InvalidInputs {
-                reason: "sample_cap must be non-zero".into(),
-            });
-        }
+        Self::new_with_cache(inputs, mss_pipe::global())
+    }
+
+    /// [`new`](Self::new) against an explicit cache — use this to isolate
+    /// flows from each other (tests) or to share a warm cache across sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`new`](Self::new).
+    pub fn new_with_cache(
+        inputs: MagpieInputs,
+        cache: Arc<PipeCache>,
+    ) -> Result<Self, MagpieError> {
+        inputs.validate()?;
+        let tech = TechParams::node(inputs.node);
         let stack = MssStack::builder().build()?;
         let stt_lib = {
             let _span = mss_obs::span("flow.characterize");
-            characterize(inputs.node, &stack)?
+            (*characterize_with_cached(&tech, &stack, &cache)?).clone()
         };
         Ok(Self {
-            tech: TechParams::node(inputs.node),
+            tech,
             stt_lib,
             inputs,
+            cache,
         })
     }
 
     /// The characterised STT cell library (cell configuration file).
     pub fn cell_library(&self) -> &CellLibrary {
         &self.stt_lib
+    }
+
+    /// The stage cache this flow memoizes through.
+    pub fn cache(&self) -> &Arc<PipeCache> {
+        &self.cache
     }
 
     /// Estimates one cache macro with NVSim and converts it into the
@@ -155,7 +211,7 @@ impl MagpieFlow {
         } else {
             MemoryTechnology::Sram
         };
-        let m = estimate(&self.tech, &mem_cfg, &technology)?;
+        let m = (*estimate_cached(&self.tech, &mem_cfg, &technology, &self.cache)?).clone();
         Ok((
             CacheConfig {
                 name: name.to_string(),
@@ -284,9 +340,30 @@ impl MagpieFlow {
         let evaluated = par_map(exec, &pairs, |_, &(s, k)| {
             let scenario = self.inputs.scenarios[s];
             let kernel = &self.inputs.kernels[k];
-            let activity = systems[s].run(kernel, self.inputs.seed)?;
-            let mut power = mcpat_evaluate(&mcpat_cfg, &activity);
-            power.label = format!("{} / {}", kernel.name, scenario);
+            // The platform configuration fully determines the (deterministic)
+            // simulation, so the key is (system, kernel, seed) — scenarios
+            // that build identical platforms share the activity report.
+            let sim_key = digest_of(&(systems[s].config(), kernel, self.inputs.seed));
+            let activity = self
+                .cache
+                .get_or_compute(Stage::SimulateKernel, &sim_key, || {
+                    systems[s]
+                        .run(kernel, self.inputs.seed)
+                        .map_err(MagpieError::from)
+                })?;
+            let label = format!("{} / {}", kernel.name, scenario);
+            // The label is part of the key: a shared activity report must not
+            // leak another scenario's label into this one's power report.
+            let power_key = digest_of(&(sim_key.as_str(), &mcpat_cfg, label.as_str()));
+            let power = self
+                .cache
+                .get_or_compute(Stage::McpatAccount, &power_key, || {
+                    let mut power = mcpat_evaluate(&mcpat_cfg, &activity);
+                    power.label = label.clone();
+                    Ok::<_, MagpieError>(power)
+                })?;
+            let power = (*power).clone();
+            let activity = (*activity).clone();
             Ok::<_, MagpieError>(KernelScenarioResult {
                 scenario,
                 kernel: kernel.name.clone(),
@@ -530,6 +607,72 @@ mod tests {
             sample_cap: 1000,
         })
         .is_err());
+    }
+
+    #[test]
+    fn validation_failures_name_the_defect() {
+        let base = MagpieInputs {
+            node: TechNode::N45,
+            kernels: vec![Kernel::bodytrack()],
+            scenarios: Scenario::ALL.to_vec(),
+            seed: 0,
+            sample_cap: 1000,
+        };
+        let reason = |inputs: MagpieInputs| match inputs.validate() {
+            Err(MagpieError::InvalidInputs { reason }) => reason,
+            other => panic!("expected InvalidInputs, got {other:?}"),
+        };
+
+        let mut inputs = base.clone();
+        inputs.kernels.clear();
+        assert_eq!(reason(inputs), "kernels must be non-empty");
+
+        let mut inputs = base.clone();
+        inputs.scenarios.clear();
+        assert_eq!(reason(inputs), "scenarios must be non-empty");
+
+        let mut inputs = base.clone();
+        inputs.sample_cap = 0;
+        assert_eq!(reason(inputs), "sample_cap must be non-zero");
+
+        // A structurally broken kernel is caught per-kernel with its name.
+        let mut inputs = base.clone();
+        inputs.kernels[0].memory_ratio = 2.0;
+        let r = reason(inputs);
+        assert!(r.starts_with("kernel bodytrack:"), "{r}");
+        assert!(r.contains("memory_ratio"), "{r}");
+
+        assert!(base.validate().is_ok());
+    }
+
+    #[test]
+    fn csv_exports_are_golden_stable() {
+        // The figure CSVs must be byte-identical run to run, at any thread
+        // count, warm or cold cache. The shared report is warm by now; the
+        // serial rerun re-reduces through the cache, and the fresh-cache
+        // flow recomputes every stage from scratch.
+        let (flow, report) = flow_report();
+        let fig11 = report.fig11_csv("bodytrack");
+        let fig12 = report.fig12_csv();
+
+        let serial = flow.run_with(&ParallelConfig::serial()).unwrap();
+        assert_eq!(serial.fig11_csv("bodytrack"), fig11);
+        assert_eq!(serial.fig12_csv(), fig12);
+
+        let threaded = flow
+            .run_with(&ParallelConfig::serial().with_threads(3))
+            .unwrap();
+        assert_eq!(threaded.fig11_csv("bodytrack"), fig11);
+        assert_eq!(threaded.fig12_csv(), fig12);
+
+        let cold_flow = MagpieFlow::new_with_cache(
+            flow.inputs.clone(),
+            std::sync::Arc::new(mss_pipe::PipeCache::memory_only()),
+        )
+        .unwrap();
+        let cold = cold_flow.run().unwrap();
+        assert_eq!(cold.fig11_csv("bodytrack"), fig11);
+        assert_eq!(cold.fig12_csv(), fig12);
     }
 
     #[test]

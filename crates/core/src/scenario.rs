@@ -48,6 +48,17 @@ impl Scenario {
     }
 }
 
+impl mss_pipe::StableHash for Scenario {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_u8(match self {
+            Scenario::FullSram => 0,
+            Scenario::LittleL2Stt => 1,
+            Scenario::BigL2Stt => 2,
+            Scenario::FullL2Stt => 3,
+        });
+    }
+}
+
 impl std::fmt::Display for Scenario {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

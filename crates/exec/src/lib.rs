@@ -84,14 +84,15 @@ impl ParallelConfig {
             Ok(raw) if !raw.trim().is_empty() => match parse_threads(&raw) {
                 Ok(n) => Some(n),
                 Err(why) => {
-                    mss_obs::counter_add("exec.bad_threads_env", 1);
                     static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-                    WARN_ONCE.call_once(|| {
-                        eprintln!(
+                    warn_ignored_env_once(
+                        &WARN_ONCE,
+                        "exec.bad_threads_env",
+                        format!(
                             "warning: ignoring {THREADS_ENV}={raw:?} ({why}); \
                              using available parallelism"
-                        );
-                    });
+                        ),
+                    );
                     None
                 }
             },
@@ -126,6 +127,22 @@ impl Default for ParallelConfig {
     fn default() -> Self {
         Self::from_env()
     }
+}
+
+/// The shared "garbled env var" convention: bump `counter`, print `message`
+/// to stderr exactly once per call site (via the caller's `Once`), and let
+/// the caller fall back to its safe default. Used by `MSS_THREADS` here and
+/// by `MSS_CACHE`/`MSS_CACHE_DIR` in `mss-pipe`, so every layer warns with
+/// one voice and never panics on a misconfiguration.
+pub fn warn_ignored_env_once(
+    once: &'static std::sync::Once,
+    counter: &'static str,
+    message: String,
+) {
+    mss_obs::counter_add(counter, 1);
+    once.call_once(|| {
+        eprintln!("{message}");
+    });
 }
 
 /// Parses an `MSS_THREADS`-style thread-count override.

@@ -29,6 +29,15 @@ pub struct FaultModel {
     pub stuck_at_rate: f64,
 }
 
+impl mss_pipe::StableHash for FaultModel {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_f64(self.write_fail_rate);
+        h.write_f64(self.read_disturb_rate);
+        h.write_f64(self.transient_flip_rate);
+        h.write_f64(self.stuck_at_rate);
+    }
+}
+
 impl FaultModel {
     /// The all-zero model: nothing ever fails.
     pub const fn none() -> Self {
@@ -137,6 +146,13 @@ pub struct FaultPlan {
     pub seed: u64,
     /// The rates to inject at.
     pub model: FaultModel,
+}
+
+impl mss_pipe::StableHash for FaultPlan {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_u64(self.seed);
+        self.model.stable_hash(h);
+    }
 }
 
 impl FaultPlan {

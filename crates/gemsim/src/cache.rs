@@ -25,6 +25,20 @@ pub struct CacheConfig {
     pub leakage_power: f64,
 }
 
+impl mss_pipe::StableHash for CacheConfig {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_str(&self.name);
+        h.write_u64(self.capacity);
+        h.write_u32(self.associativity);
+        h.write_u32(self.line_bytes);
+        h.write_f64(self.read_latency);
+        h.write_f64(self.write_latency);
+        h.write_f64(self.read_energy);
+        h.write_f64(self.write_energy);
+        h.write_f64(self.leakage_power);
+    }
+}
+
 impl CacheConfig {
     /// Validates the configuration.
     ///

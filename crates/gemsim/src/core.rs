@@ -38,6 +38,24 @@ pub struct CoreModel {
     pub stall_exposure: f64,
 }
 
+impl mss_pipe::StableHash for CoreKind {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_u8(match self {
+            CoreKind::Big => 0,
+            CoreKind::Little => 1,
+        });
+    }
+}
+
+impl mss_pipe::StableHash for CoreModel {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        self.kind.stable_hash(h);
+        h.write_f64(self.frequency);
+        h.write_f64(self.base_cpi);
+        h.write_f64(self.stall_exposure);
+    }
+}
+
 impl CoreModel {
     /// Cortex-A15-class big core: 2 GHz, OoO.
     pub fn big() -> Self {

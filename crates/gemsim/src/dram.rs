@@ -22,6 +22,15 @@ pub struct RowBufferConfig {
     pub hit_energy_fraction: f64,
 }
 
+impl mss_pipe::StableHash for RowBufferConfig {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_f64(self.hit_latency);
+        h.write_u64(self.row_bytes);
+        h.write_u32(self.banks);
+        h.write_f64(self.hit_energy_fraction);
+    }
+}
+
 impl RowBufferConfig {
     /// A typical LPDDR-class configuration: 2 KiB rows, 8 banks, 25 ns hits
     /// at 40 % of the activate energy.

@@ -47,6 +47,15 @@ pub struct FaultMemConfig {
     pub demand_scrub: bool,
 }
 
+impl mss_pipe::StableHash for FaultMemConfig {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        self.plan.stable_hash(h);
+        self.scheme.stable_hash(h);
+        h.write_u32(self.max_write_retries);
+        (self.demand_scrub).stable_hash(h);
+    }
+}
+
 impl FaultMemConfig {
     /// A config with the controller defaults: two write-verify retries and
     /// demand scrubbing on.

@@ -47,6 +47,16 @@ pub struct ClusterConfig {
     pub l2: CacheConfig,
 }
 
+impl mss_pipe::StableHash for ClusterConfig {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_str(&self.name);
+        self.core.stable_hash(h);
+        h.write_u32(self.cores);
+        self.l1d.stable_hash(h);
+        self.l2.stable_hash(h);
+    }
+}
+
 /// The platform configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
@@ -85,6 +95,31 @@ fn sram_l1(name: &str) -> CacheConfig {
         read_energy: 10e-12,
         write_energy: 12e-12,
         leakage_power: 8e-3,
+    }
+}
+
+impl mss_pipe::StableHash for SystemConfig {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        self.clusters.stable_hash(h);
+        h.write_f64(self.dram_latency);
+        h.write_f64(self.dram_energy);
+        h.write_f64(self.dram_background_power);
+        match &self.row_buffer {
+            None => h.write_u8(0),
+            Some(rb) => {
+                h.write_u8(1);
+                rb.stable_hash(h);
+            }
+        }
+        self.l2_next_line_prefetch.stable_hash(h);
+        h.write_u64(self.sample_accesses_per_thread);
+        match &self.fault {
+            None => h.write_u8(0),
+            Some(f) => {
+                h.write_u8(1);
+                f.stable_hash(h);
+            }
+        }
     }
 }
 

@@ -41,6 +41,21 @@ pub struct Kernel {
     pub threads: u32,
 }
 
+impl mss_pipe::StableHash for Kernel {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_str(&self.name);
+        h.write_u64(self.instructions);
+        h.write_f64(self.memory_ratio);
+        h.write_f64(self.write_ratio);
+        h.write_u64(self.working_set);
+        h.write_f64(self.reuse_probability);
+        h.write_f64(self.mean_reuse_distance);
+        h.write_f64(self.stream_probability);
+        h.write_f64(self.far_reuse_probability);
+        h.write_u32(self.threads);
+    }
+}
+
 impl Kernel {
     /// `bodytrack` — computer-vision body tracking: compute-heavy, moderate
     /// working set, good locality (the paper's Fig. 11 kernel).

@@ -30,6 +30,14 @@ pub struct CorePowerParams {
     pub area: f64,
 }
 
+impl mss_pipe::StableHash for CorePowerParams {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_f64(self.energy_per_instruction);
+        h.write_f64(self.leakage);
+        h.write_f64(self.area);
+    }
+}
+
 impl CorePowerParams {
     /// Cortex-A15-class big core at 45 nm.
     pub fn big_45nm() -> Self {
@@ -67,6 +75,18 @@ pub struct McpatConfig {
     pub dram_energy_per_transaction: f64,
     /// DRAM background power, watts.
     pub dram_background_power: f64,
+}
+
+impl mss_pipe::StableHash for McpatConfig {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        self.big.stable_hash(h);
+        self.little.stable_hash(h);
+        h.write_f64(self.bus_energy_per_transaction);
+        h.write_f64(self.mc_energy_per_transaction);
+        h.write_f64(self.mc_leakage);
+        h.write_f64(self.dram_energy_per_transaction);
+        h.write_f64(self.dram_background_power);
+    }
 }
 
 impl Default for McpatConfig {

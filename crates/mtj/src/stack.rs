@@ -42,6 +42,21 @@ pub struct MssStack {
     temperature: f64,
 }
 
+impl mss_pipe::StableHash for MssStack {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_f64(self.diameter);
+        h.write_f64(self.free_layer_thickness);
+        h.write_f64(self.saturation_magnetization);
+        h.write_f64(self.interfacial_anisotropy);
+        h.write_f64(self.damping);
+        h.write_f64(self.spin_polarization);
+        h.write_f64(self.resistance_area_product);
+        h.write_f64(self.tmr_zero_bias);
+        h.write_f64(self.bias_half_voltage);
+        h.write_f64(self.temperature);
+    }
+}
+
 impl MssStack {
     /// Starts building a stack from the calibrated defaults.
     pub fn builder() -> MssStackBuilder {

@@ -33,6 +33,33 @@ pub struct MemoryConfig {
     pub kind: MemoryKind,
 }
 
+impl mss_pipe::StableHash for MemoryKind {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        match self {
+            MemoryKind::Ram => h.write_u8(0),
+            MemoryKind::Cache {
+                associativity,
+                line_bytes,
+            } => {
+                h.write_u8(1);
+                h.write_u32(*associativity);
+                h.write_u32(*line_bytes);
+            }
+        }
+    }
+}
+
+impl mss_pipe::StableHash for MemoryConfig {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_u64(self.capacity_bytes);
+        h.write_u32(self.word_bits);
+        h.write_u32(self.banks);
+        h.write_u32(self.subarray_rows);
+        h.write_u32(self.subarray_cols);
+        self.kind.stable_hash(h);
+    }
+}
+
 impl MemoryConfig {
     /// A single-bank RAM with a default 512×512 subarray tiling.
     ///

@@ -11,7 +11,7 @@ use mss_exec::{par_map, ParallelConfig};
 use mss_pdk::tech::TechParams;
 
 use crate::config::MemoryConfig;
-use crate::model::{estimate, ArrayMetrics, MemoryTechnology};
+use crate::model::{estimate_cached, ArrayMetrics, MemoryTechnology};
 use crate::NvsimError;
 
 /// What the exploration minimises.
@@ -139,11 +139,17 @@ pub fn explore_with(
         .filter_map(|(rows, cols)| base.with_subarray(rows, cols).ok())
         .collect();
     let _span = mss_obs::span("nvsim.explore");
-    let estimated = par_map(exec, &grid, |_, cfg| estimate(tech, cfg, technology));
+    // Estimation runs through the stage pipeline: re-exploring the same
+    // technology (across targets, constraint sets or flow scenarios) hits
+    // the cache instead of re-running the RC models.
+    let cache = mss_pipe::global();
+    let estimated = par_map(exec, &grid, |_, cfg| {
+        estimate_cached(tech, cfg, technology, &cache)
+    });
     mss_obs::counter_add("nvsim.explore.candidates", estimated.len() as u64);
     let mut candidates = Vec::new();
     for (cfg, metrics) in grid.into_iter().zip(estimated) {
-        let metrics = metrics?;
+        let metrics = (*metrics?).clone();
         if !constraints.accepts(&metrics) {
             continue;
         }

@@ -84,6 +84,96 @@ pub struct ArrayMetrics {
     pub write_breakdown: LatencyBreakdown,
 }
 
+impl mss_pipe::StableHash for MemoryTechnology {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        match self {
+            MemoryTechnology::Sram => h.write_u8(0),
+            MemoryTechnology::SttMram(lib) => {
+                h.write_u8(1);
+                lib.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl mss_pipe::StableHash for LatencyBreakdown {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_f64(self.decoder);
+        h.write_f64(self.wordline);
+        h.write_f64(self.bitline);
+        h.write_f64(self.cell);
+        h.write_f64(self.sense);
+        h.write_f64(self.routing);
+    }
+}
+
+impl mss_pipe::StableHash for ArrayMetrics {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_f64(self.read_latency);
+        h.write_f64(self.write_latency);
+        h.write_f64(self.read_energy);
+        h.write_f64(self.write_energy);
+        h.write_f64(self.leakage_power);
+        h.write_f64(self.area);
+        self.read_breakdown.stable_hash(h);
+        self.write_breakdown.stable_hash(h);
+    }
+}
+
+impl mss_pipe::Artifact for ArrayMetrics {
+    const KIND: &'static str = "array-metrics";
+    const VERSION: u32 = 1;
+
+    fn encode(&self) -> String {
+        fn breakdown(
+            line: mss_pipe::codec::JsonLine,
+            p: &str,
+            b: &LatencyBreakdown,
+        ) -> mss_pipe::codec::JsonLine {
+            line.f64_bits(&format!("{p}_decoder"), b.decoder)
+                .f64_bits(&format!("{p}_wordline"), b.wordline)
+                .f64_bits(&format!("{p}_bitline"), b.bitline)
+                .f64_bits(&format!("{p}_cell"), b.cell)
+                .f64_bits(&format!("{p}_sense"), b.sense)
+                .f64_bits(&format!("{p}_routing"), b.routing)
+        }
+        let line = mss_pipe::codec::JsonLine::new()
+            .f64_bits("read_latency", self.read_latency)
+            .f64_bits("write_latency", self.write_latency)
+            .f64_bits("read_energy", self.read_energy)
+            .f64_bits("write_energy", self.write_energy)
+            .f64_bits("leakage_power", self.leakage_power)
+            .f64_bits("area", self.area);
+        let line = breakdown(line, "rb", &self.read_breakdown);
+        breakdown(line, "wb", &self.write_breakdown).finish()
+    }
+
+    fn decode(payload: &str) -> Option<Self> {
+        use mss_pipe::codec::{get_f64_bits, parse_object};
+        let map = parse_object(payload.trim_end())?;
+        let breakdown = |p: &str| -> Option<LatencyBreakdown> {
+            Some(LatencyBreakdown {
+                decoder: get_f64_bits(&map, &format!("{p}_decoder"))?,
+                wordline: get_f64_bits(&map, &format!("{p}_wordline"))?,
+                bitline: get_f64_bits(&map, &format!("{p}_bitline"))?,
+                cell: get_f64_bits(&map, &format!("{p}_cell"))?,
+                sense: get_f64_bits(&map, &format!("{p}_sense"))?,
+                routing: get_f64_bits(&map, &format!("{p}_routing"))?,
+            })
+        };
+        Some(Self {
+            read_latency: get_f64_bits(&map, "read_latency")?,
+            write_latency: get_f64_bits(&map, "write_latency")?,
+            read_energy: get_f64_bits(&map, "read_energy")?,
+            write_energy: get_f64_bits(&map, "write_energy")?,
+            leakage_power: get_f64_bits(&map, "leakage_power")?,
+            area: get_f64_bits(&map, "area")?,
+            read_breakdown: breakdown("rb")?,
+            write_breakdown: breakdown("wb")?,
+        })
+    }
+}
+
 /// Geometry of one subarray under a given cell technology.
 struct SubarrayGeometry {
     wl_len: f64,
@@ -151,6 +241,26 @@ pub fn estimate(
         data.write_breakdown.routing += compare;
     }
     Ok(data)
+}
+
+/// [`estimate`] through the stage pipeline: the result is memoized in
+/// `cache` under [`Stage::EstimateArray`](mss_pipe::Stage) keyed by the
+/// structural hash of the full `(tech, cfg, technology)` input, so design
+/// sweeps and multi-scenario flows estimate each distinct organisation once.
+///
+/// # Errors
+///
+/// See [`estimate`]; cache problems are never errors.
+pub fn estimate_cached(
+    tech: &TechParams,
+    cfg: &MemoryConfig,
+    technology: &MemoryTechnology,
+    cache: &mss_pipe::PipeCache,
+) -> Result<std::sync::Arc<ArrayMetrics>, NvsimError> {
+    let key = mss_pipe::digest_of(&(tech, cfg, technology));
+    cache.get_or_compute_artifact(mss_pipe::Stage::EstimateArray, &key, || {
+        estimate(tech, cfg, technology)
+    })
 }
 
 fn estimate_flat(

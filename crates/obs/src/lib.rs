@@ -458,34 +458,40 @@ impl Drop for SpanGuard<'_> {
     }
 }
 
-/// Escapes a string as a JSON string literal (with quotes).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+/// The hand-rolled NDJSON emitter primitives shared by every report writer
+/// in the workspace (run reports here, on-disk cache entries in `mss-pipe`).
+pub mod ndjson {
+    /// Escapes a string as a JSON string literal (with quotes).
+    pub fn json_str(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Formats an `f64` as a JSON number (`null` for non-finite values,
+    /// which JSON cannot represent).
+    pub fn json_num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:e}")
+        } else {
+            "null".to_string()
         }
     }
-    out.push('"');
-    out
 }
 
-/// Formats an `f64` as a JSON number (`null` for non-finite values, which
-/// JSON cannot represent).
-fn json_num(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:e}")
-    } else {
-        "null".to_string()
-    }
-}
+use ndjson::{json_num, json_str};
 
 // ---------------------------------------------------------------------------
 // Global registry

@@ -78,6 +78,89 @@ const CHAR_WRITE_PULSE: f64 = 12e-9;
 /// Sense window used during read characterisation, seconds.
 const CHAR_SENSE_WINDOW: f64 = 3e-9;
 
+impl mss_pipe::StableHash for OpMetrics {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_f64(self.latency);
+        h.write_f64(self.energy);
+        h.write_f64(self.current);
+    }
+}
+
+impl mss_pipe::StableHash for CellLibrary {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        self.node.stable_hash(h);
+        self.write.stable_hash(h);
+        self.read.stable_hash(h);
+        h.write_f64(self.access_width);
+        h.write_f64(self.cell_area);
+        h.write_f64(self.leakage);
+        h.write_f64(self.critical_current);
+        h.write_f64(self.delta);
+        h.write_f64(self.r_parallel);
+        h.write_f64(self.r_antiparallel);
+    }
+}
+
+impl mss_pipe::Artifact for CellLibrary {
+    const KIND: &'static str = "cell-library";
+    const VERSION: u32 = 1;
+
+    fn encode(&self) -> String {
+        mss_pipe::codec::JsonLine::new()
+            .u64(
+                "node",
+                match self.node {
+                    TechNode::N45 => 45,
+                    TechNode::N65 => 65,
+                },
+            )
+            .f64_bits("write_latency", self.write.latency)
+            .f64_bits("write_energy", self.write.energy)
+            .f64_bits("write_current", self.write.current)
+            .f64_bits("read_latency", self.read.latency)
+            .f64_bits("read_energy", self.read.energy)
+            .f64_bits("read_current", self.read.current)
+            .f64_bits("access_width", self.access_width)
+            .f64_bits("cell_area", self.cell_area)
+            .f64_bits("leakage", self.leakage)
+            .f64_bits("critical_current", self.critical_current)
+            .f64_bits("delta", self.delta)
+            .f64_bits("r_parallel", self.r_parallel)
+            .f64_bits("r_antiparallel", self.r_antiparallel)
+            .finish()
+    }
+
+    fn decode(payload: &str) -> Option<Self> {
+        use mss_pipe::codec::{get_f64_bits, get_u64, parse_object};
+        let map = parse_object(payload.trim_end())?;
+        let node = match get_u64(&map, "node")? {
+            45 => TechNode::N45,
+            65 => TechNode::N65,
+            _ => return None,
+        };
+        Some(Self {
+            node,
+            write: OpMetrics {
+                latency: get_f64_bits(&map, "write_latency")?,
+                energy: get_f64_bits(&map, "write_energy")?,
+                current: get_f64_bits(&map, "write_current")?,
+            },
+            read: OpMetrics {
+                latency: get_f64_bits(&map, "read_latency")?,
+                energy: get_f64_bits(&map, "read_energy")?,
+                current: get_f64_bits(&map, "read_current")?,
+            },
+            access_width: get_f64_bits(&map, "access_width")?,
+            cell_area: get_f64_bits(&map, "cell_area")?,
+            leakage: get_f64_bits(&map, "leakage")?,
+            critical_current: get_f64_bits(&map, "critical_current")?,
+            delta: get_f64_bits(&map, "delta")?,
+            r_parallel: get_f64_bits(&map, "r_parallel")?,
+            r_antiparallel: get_f64_bits(&map, "r_antiparallel")?,
+        })
+    }
+}
+
 /// Runs the full characterisation flow for a node + stack pair.
 ///
 /// # Errors
@@ -88,6 +171,40 @@ const CHAR_SENSE_WINDOW: f64 = 3e-9;
 pub fn characterize(node: TechNode, stack: &MssStack) -> Result<CellLibrary, PdkError> {
     let tech = TechParams::node(node);
     characterize_with(&tech, stack)
+}
+
+/// [`characterize`] through the stage pipeline: the result is memoized in
+/// `cache` under [`Stage::CharacterizeCells`](mss_pipe::Stage) keyed by the
+/// structural hash of the full `(tech, stack)` input, so repeated node
+/// sweeps and multi-scenario flows characterise each distinct input once.
+///
+/// # Errors
+///
+/// See [`characterize`]; cache problems are never errors.
+pub fn characterize_cached(
+    node: TechNode,
+    stack: &MssStack,
+    cache: &mss_pipe::PipeCache,
+) -> Result<std::sync::Arc<CellLibrary>, PdkError> {
+    let tech = TechParams::node(node);
+    characterize_with_cached(&tech, stack, cache)
+}
+
+/// [`characterize_with`] through the stage pipeline (see
+/// [`characterize_cached`]).
+///
+/// # Errors
+///
+/// See [`characterize`]; cache problems are never errors.
+pub fn characterize_with_cached(
+    tech: &TechParams,
+    stack: &MssStack,
+    cache: &mss_pipe::PipeCache,
+) -> Result<std::sync::Arc<CellLibrary>, PdkError> {
+    let key = mss_pipe::digest_of(&(tech, stack));
+    cache.get_or_compute_artifact(mss_pipe::Stage::CharacterizeCells, &key, || {
+        characterize_with(tech, stack)
+    })
 }
 
 /// [`characterize`] with an explicit (possibly variation-sampled) CMOS card.

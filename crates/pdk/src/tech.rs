@@ -31,6 +31,35 @@ impl TechNode {
     pub const ALL: [TechNode; 2] = [TechNode::N45, TechNode::N65];
 }
 
+impl mss_pipe::StableHash for TechNode {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_u8(match self {
+            TechNode::N45 => 0,
+            TechNode::N65 => 1,
+        });
+    }
+}
+
+impl mss_pipe::StableHash for TechParams {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        self.node.stable_hash(h);
+        h.write_f64(self.feature);
+        h.write_f64(self.vdd);
+        self.nmos.stable_hash(h);
+        self.pmos.stable_hash(h);
+        h.write_f64(self.min_width);
+        h.write_f64(self.c_gate_per_width);
+        h.write_f64(self.c_junction_per_width);
+        h.write_f64(self.wire_res_per_len);
+        h.write_f64(self.wire_cap_per_len);
+        h.write_f64(self.leak_per_width);
+        h.write_f64(self.fo4_delay);
+        h.write_f64(self.inv_energy);
+        h.write_f64(self.sram_cell_f2);
+        h.write_f64(self.stt_cell_f2);
+    }
+}
+
 /// A complete CMOS technology card.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TechParams {

@@ -8,9 +8,45 @@
 //! 1/√(W·L) ∝ 1/F for fixed relative geometry).
 
 use mss_mtj::{MssStack, MssStackBuilder, MtjError};
-use mss_units::rng::{Rng, Variation};
+use mss_units::rng::{Rng, Variation, VariationKind};
 
 use crate::tech::{TechNode, TechParams};
+
+/// Absorbs a [`Variation`] into a stable hasher (a free helper because
+/// `Variation` lives in `mss-units`, which sits below `mss-pipe`).
+pub fn hash_variation(v: &Variation, h: &mut mss_pipe::StableHasher) {
+    h.write_f64(v.sigma);
+    h.write_u8(match v.kind {
+        VariationKind::Relative => 0,
+        VariationKind::Absolute => 1,
+    });
+}
+
+impl mss_pipe::StableHash for CmosVariation {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        hash_variation(&self.vth, h);
+        hash_variation(&self.kp, h);
+        hash_variation(&self.length, h);
+        hash_variation(&self.width, h);
+    }
+}
+
+impl mss_pipe::StableHash for MtjVariation {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        hash_variation(&self.diameter, h);
+        hash_variation(&self.thickness, h);
+        hash_variation(&self.ra, h);
+        hash_variation(&self.tmr, h);
+        hash_variation(&self.anisotropy, h);
+    }
+}
+
+impl mss_pipe::StableHash for VariationCard {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        self.cmos.stable_hash(h);
+        self.mtj.stable_hash(h);
+    }
+}
 
 /// Dispersion of the CMOS process parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]

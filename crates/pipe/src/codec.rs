@@ -1,0 +1,245 @@
+//! NDJSON line codec for on-disk cache entries.
+//!
+//! Emission reuses the observability layer's hand-rolled JSON emitter
+//! ([`mss_obs::ndjson`]) — one flat object per line, keys in insertion
+//! order. Parsing is the matching minimal reader: it accepts exactly the
+//! flat string/number objects this module emits and returns `None` on
+//! anything else, which the cache layer treats as a miss, never an error.
+//!
+//! Floats round-trip **exactly**: they are stored as the 16-hex-digit
+//! [`f64::to_bits`] pattern (same convention as [`crate::hash`]), not as a
+//! decimal rendering, so a value loaded from disk is bit-identical to the
+//! value that was computed.
+
+use std::collections::BTreeMap;
+
+use mss_obs::ndjson::json_str;
+
+/// Builds one flat JSON object line, keys in insertion order.
+#[derive(Debug, Default)]
+pub struct JsonLine {
+    body: String,
+}
+
+impl JsonLine {
+    /// An empty object builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push_key(&mut self, key: &str) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push_str(&json_str(key));
+        self.body.push(':');
+    }
+
+    /// Adds a string field (JSON-escaped).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.push_key(key);
+        self.body.push_str(&json_str(value));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.push_key(key);
+        self.body.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds an `f64` field as its exact 16-hex-digit bit pattern (a JSON
+    /// string), so the value survives the round trip bit-for-bit.
+    pub fn f64_bits(self, key: &str, value: f64) -> Self {
+        let hex = hex_of_f64(value);
+        self.str(key, &hex)
+    }
+
+    /// Renders the `{...}` object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// The exact 16-hex-digit encoding of an `f64`'s bit pattern.
+pub fn hex_of_f64(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Parses a 16-hex-digit bit pattern back into the exact `f64`.
+pub fn f64_of_hex(s: &str) -> Option<f64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// Parses one flat JSON object line into a key → raw-value map.
+///
+/// String values are unescaped; numeric/bare values are kept as their
+/// source text (retrieve them with [`get_u64`] / [`get_f64_bits`]).
+/// Returns `None` for anything that is not a flat object of the shape
+/// [`JsonLine`] emits.
+pub fn parse_object(line: &str) -> Option<BTreeMap<String, String>> {
+    let mut out = BTreeMap::new();
+    let trimmed = line.trim();
+    let inner = trimmed.strip_prefix('{')?.strip_suffix('}')?;
+    let mut chars = inner.char_indices().peekable();
+    loop {
+        skip_ws(inner, &mut chars);
+        if chars.peek().is_none() {
+            break;
+        }
+        let key = parse_string(inner, &mut chars)?;
+        skip_ws(inner, &mut chars);
+        match chars.next() {
+            Some((_, ':')) => {}
+            _ => return None,
+        }
+        skip_ws(inner, &mut chars);
+        let value = match chars.peek() {
+            Some((_, '"')) => parse_string(inner, &mut chars)?,
+            Some(_) => parse_bare(inner, &mut chars),
+            None => return None,
+        };
+        out.insert(key, value);
+        skip_ws(inner, &mut chars);
+        match chars.next() {
+            None => break,
+            // A comma must introduce another field (no trailing commas).
+            Some((_, ',')) => {
+                skip_ws(inner, &mut chars);
+                chars.peek()?;
+            }
+            Some(_) => return None,
+        }
+    }
+    Some(out)
+}
+
+type CharIter<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn skip_ws(_src: &str, chars: &mut CharIter<'_>) {
+    while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+/// Parses a double-quoted JSON string (the escapes [`json_str`] emits).
+fn parse_string(_src: &str, chars: &mut CharIter<'_>) -> Option<String> {
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return None,
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            (_, '"') => return Some(out),
+            (_, '\\') => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.1.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            (_, c) => out.push(c),
+        }
+    }
+}
+
+/// Consumes a bare (unquoted) token up to the next `,` / end.
+fn parse_bare(_src: &str, chars: &mut CharIter<'_>) -> String {
+    let mut out = String::new();
+    while let Some(&(_, c)) = chars.peek() {
+        if c == ',' {
+            break;
+        }
+        out.push(c);
+        chars.next();
+    }
+    out.trim().to_string()
+}
+
+/// Reads a `u64` field from a parsed object.
+pub fn get_u64(map: &BTreeMap<String, String>, key: &str) -> Option<u64> {
+    map.get(key)?.parse().ok()
+}
+
+/// Reads an exact-bits `f64` field from a parsed object.
+pub fn get_f64_bits(map: &BTreeMap<String, String>, key: &str) -> Option<f64> {
+    f64_of_hex(map.get(key)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_round_trips() {
+        let line = JsonLine::new()
+            .str("type", "mss-cache")
+            .u64("schema", 1)
+            .str("key", "00ff")
+            .f64_bits("v", -0.0)
+            .finish();
+        let map = parse_object(&line).unwrap();
+        assert_eq!(map.get("type").unwrap(), "mss-cache");
+        assert_eq!(get_u64(&map, "schema"), Some(1));
+        assert_eq!(
+            get_f64_bits(&map, "v").unwrap().to_bits(),
+            (-0.0f64).to_bits()
+        );
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            core::f64::consts::PI,
+            1.234_567_890_123_456_7e-308,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::NAN,
+            f64::INFINITY,
+        ] {
+            let hex = hex_of_f64(v);
+            assert_eq!(f64_of_hex(&hex).unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn escaped_strings_survive() {
+        let line = JsonLine::new().str("k", "a\"b\\c\nd\u{1}e").finish();
+        let map = parse_object(&line).unwrap();
+        assert_eq!(map.get("k").unwrap(), "a\"b\\c\nd\u{1}e");
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicked() {
+        for bad in [
+            "",
+            "{",
+            "not json",
+            "{\"k\" 1}",
+            "{\"k\":}",
+            "{\"unterminated",
+            "[1,2]",
+            "{\"k\":\"v\",}",
+        ] {
+            assert!(parse_object(bad).is_none(), "accepted {bad:?}");
+        }
+        assert_eq!(f64_of_hex("xyz"), None);
+        assert_eq!(f64_of_hex("0123"), None);
+    }
+}

@@ -26,6 +26,24 @@ pub struct MosModel {
     pub lambda: f64,
 }
 
+impl mss_pipe::StableHash for MosPolarity {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_u8(match self {
+            MosPolarity::Nmos => 0,
+            MosPolarity::Pmos => 1,
+        });
+    }
+}
+
+impl mss_pipe::StableHash for MosModel {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        self.polarity.stable_hash(h);
+        h.write_f64(self.vth);
+        h.write_f64(self.kp);
+        h.write_f64(self.lambda);
+    }
+}
+
 impl MosModel {
     /// A generic NMOS card (used by tests; real cards come from the PDK).
     pub fn generic_nmos() -> Self {

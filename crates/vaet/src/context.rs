@@ -3,8 +3,8 @@
 
 use mss_mtj::MssStack;
 use mss_nvsim::config::MemoryConfig;
-use mss_nvsim::model::{estimate, ArrayMetrics, MemoryTechnology};
-use mss_pdk::charlib::{characterize, CellLibrary};
+use mss_nvsim::model::{estimate_cached, ArrayMetrics, MemoryTechnology};
+use mss_pdk::charlib::{characterize_cached, CellLibrary};
 use mss_pdk::tech::{TechNode, TechParams};
 use mss_pdk::variation::VariationCard;
 
@@ -29,6 +29,17 @@ pub struct VaetContext {
     pub nominal: ArrayMetrics,
     /// Process-variation card for the node.
     pub variation: VariationCard,
+}
+
+impl mss_pipe::StableHash for VaetContext {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        self.tech.stable_hash(h);
+        self.stack.stable_hash(h);
+        self.cell.stable_hash(h);
+        self.config.stable_hash(h);
+        self.nominal.stable_hash(h);
+        self.variation.stable_hash(h);
+    }
 }
 
 impl VaetContext {
@@ -57,9 +68,19 @@ impl VaetContext {
     ///
     /// Propagates characterisation and estimation failures.
     pub fn build(node: TechNode, stack: MssStack, config: MemoryConfig) -> Result<Self, VaetError> {
+        // Both upstream artifacts come through the stage pipeline, so
+        // building many contexts over the same node/stack (exploration,
+        // scenario sweeps) characterises and estimates each input once.
+        let cache = mss_pipe::global();
         let tech = TechParams::node(node);
-        let cell = characterize(node, &stack)?;
-        let nominal = estimate(&tech, &config, &MemoryTechnology::SttMram(cell.clone()))?;
+        let cell = (*characterize_cached(node, &stack, &cache)?).clone();
+        let nominal = (*estimate_cached(
+            &tech,
+            &config,
+            &MemoryTechnology::SttMram(cell.clone()),
+            &cache,
+        )?)
+        .clone();
         let variation = VariationCard::node(node);
         Ok(Self {
             tech,
@@ -78,11 +99,13 @@ impl VaetContext {
     ///
     /// Propagates array-estimation failures.
     pub fn with_config(&self, config: MemoryConfig) -> Result<Self, VaetError> {
-        let nominal = estimate(
+        let nominal = (*estimate_cached(
             &self.tech,
             &config,
             &MemoryTechnology::SttMram(self.cell.clone()),
-        )?;
+            &mss_pipe::global(),
+        )?)
+        .clone();
         Ok(Self {
             config,
             nominal,

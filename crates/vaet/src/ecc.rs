@@ -26,6 +26,13 @@ pub struct EccScheme {
     pub data_bits: u32,
 }
 
+impl mss_pipe::StableHash for EccScheme {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_u32(self.correctable);
+        h.write_u32(self.data_bits);
+    }
+}
+
 impl EccScheme {
     /// A BCH-style scheme: `t` corrections over `data_bits` of payload.
     pub fn bch(correctable: u32, data_bits: u32) -> Self {

@@ -34,6 +34,13 @@ impl Default for ReliabilityRequirements {
     }
 }
 
+impl mss_pipe::StableHash for ReliabilityRequirements {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_f64(self.wer);
+        h.write_f64(self.rer);
+    }
+}
+
 /// What the variation-aware exploration minimises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VariationAwareTarget {
@@ -43,6 +50,16 @@ pub enum VariationAwareTarget {
     ReadLatency,
     /// Margined write latency × nominal write energy (write EDP proxy).
     WriteEdp,
+}
+
+impl mss_pipe::StableHash for VariationAwareTarget {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_u8(match self {
+            VariationAwareTarget::WriteLatency => 0,
+            VariationAwareTarget::ReadLatency => 1,
+            VariationAwareTarget::WriteEdp => 2,
+        });
+    }
 }
 
 /// One evaluated organisation.
@@ -96,6 +113,30 @@ pub fn evaluate_candidate(
     })
 }
 
+/// [`evaluate_candidate`] through the stage pipeline: the margin solve is
+/// memoized in `cache` under
+/// [`Stage::VaetDistributions`](mss_pipe::Stage) keyed by the structural
+/// hash of the full context, requirements and target, so re-ranking the
+/// same organisation (across targets or repeated explorations) solves the
+/// distributions once.
+///
+/// # Errors
+///
+/// See [`evaluate_candidate`]; cache problems are never errors.
+pub fn evaluate_candidate_cached(
+    ctx: &VaetContext,
+    requirements: &ReliabilityRequirements,
+    target: VariationAwareTarget,
+    cache: &mss_pipe::PipeCache,
+) -> Result<VariationAwareCandidate, VaetError> {
+    let key = mss_pipe::digest_of(&(ctx, requirements, target));
+    cache
+        .get_or_compute(mss_pipe::Stage::VaetDistributions, &key, || {
+            evaluate_candidate(ctx, requirements, target)
+        })
+        .map(|arc| (*arc).clone())
+}
+
 /// Sweeps subarray tilings and ranks them by the margined metric.
 ///
 /// Organisations whose requirements are unreachable are skipped (not
@@ -133,9 +174,10 @@ pub fn explore_variation_aware_with(
         .flat_map(|&rows| sizes.iter().map(move |&cols| (rows, cols)))
         .filter_map(|(rows, cols)| base.config.with_subarray(rows, cols).ok())
         .collect();
+    let cache = mss_pipe::global();
     let evaluated = par_map(exec, &grid, |_, &cfg| {
         let ctx = base.with_config(cfg)?;
-        evaluate_candidate(&ctx, requirements, target)
+        evaluate_candidate_cached(&ctx, requirements, target, &cache)
     });
     let mut candidates = Vec::new();
     let mut last_err = None;

@@ -6,6 +6,8 @@
 //!
 //! - [`exec`] — the deterministic scoped-thread parallel runtime,
 //! - [`obs`] — zero-dependency observability (spans, counters, NDJSON reports),
+//! - [`pipe`] — the content-addressed stage pipeline cache (memoized
+//!   cross-layer artifacts, incremental sweeps),
 //! - [`mtj`] — the MSS compact model (memory / sensor / oscillator modes),
 //! - [`spice`] — netlist-level MNA circuit simulation with MDL measurements,
 //! - [`pdk`] — CMOS + MTJ process design kit, standard cells, characterisation,
@@ -29,6 +31,7 @@ pub use mss_mtj as mtj;
 pub use mss_nvsim as nvsim;
 pub use mss_obs as obs;
 pub use mss_pdk as pdk;
+pub use mss_pipe as pipe;
 pub use mss_spice as spice;
 pub use mss_units as units;
 pub use mss_vaet as vaet;
