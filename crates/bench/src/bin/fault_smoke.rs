@@ -154,19 +154,5 @@ fn main() {
     ladder_smoke();
     gemsim_smoke();
 
-    if mss_obs::enabled() {
-        let path =
-            std::env::var("MSS_OBS_OUT").unwrap_or_else(|_| "target/fault_smoke.ndjson".into());
-        let report = mss_obs::report_ndjson();
-        if let Some(dir) = std::path::Path::new(&path).parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-        std::fs::write(&path, &report).expect("write NDJSON run report");
-        println!(
-            "obs      : {} NDJSON lines -> {path}",
-            report.lines().count()
-        );
-    } else {
-        println!("obs      : disabled (set MSS_METRICS=1 for an NDJSON run report)");
-    }
+    mss_bench::write_obs_artifacts("fault_smoke");
 }

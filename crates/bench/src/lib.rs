@@ -38,6 +38,71 @@ pub fn fig9_periods() -> Vec<f64> {
     ]
 }
 
+/// Writes the enabled observability registry as this bench's profiling
+/// artifacts, and prints one status line per artifact:
+///
+/// - the NDJSON run report (`MSS_OBS_OUT`, default `target/<name>.ndjson`),
+///   round-tripped through the `mss-prof` schema validator before it is
+///   trusted — an emitter regression fails the smoke run, not a later
+///   consumer,
+/// - the structural `BENCH_<name>.json` baseline (`MSS_BENCH_BASELINE_OUT`,
+///   default `target/BENCH_<name>.json`) for `mss_report check`,
+/// - in trace mode, the Chrome trace (`target/<name>.trace.json`) loadable
+///   in Perfetto / `chrome://tracing`.
+///
+/// No-op (with a hint) when observability is disabled.
+///
+/// # Panics
+///
+/// When the emitted report fails schema validation or an artifact cannot be
+/// written — both are fatal infrastructure bugs for a smoke bench.
+pub fn write_obs_artifacts(name: &str) {
+    if !mss_obs::enabled() {
+        println!("obs      : disabled (set MSS_METRICS=1 for an NDJSON run report)");
+        return;
+    }
+    let write = |path: &str, content: &str| {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(path, content)
+            .unwrap_or_else(|e| panic!("write profiling artifact {path}: {e}"));
+    };
+
+    let text = mss_obs::report_ndjson();
+    let report = mss_prof::Report::parse_ndjson(&text)
+        .unwrap_or_else(|e| panic!("emitted NDJSON failed schema validation: {e}"));
+    let report_path =
+        std::env::var("MSS_OBS_OUT").unwrap_or_else(|_| format!("target/{name}.ndjson"));
+    write(&report_path, &text);
+    println!(
+        "obs      : {} NDJSON lines (schema v{}, validated) -> {report_path}",
+        text.lines().count(),
+        report.meta.schema
+    );
+
+    let baseline_path = std::env::var("MSS_BENCH_BASELINE_OUT")
+        .unwrap_or_else(|_| format!("target/BENCH_{name}.json"));
+    let baseline = mss_prof::Baseline::from_report(name, &report);
+    write(&baseline_path, &baseline.to_json());
+    println!(
+        "baseline : {} counters, {} spans -> {baseline_path}",
+        baseline.counters.len(),
+        baseline.spans.len()
+    );
+
+    if !report.events.is_empty() {
+        let trace_path = format!("target/{name}.trace.json");
+        let trace = mss_prof::chrome_trace(&report).expect("events present, export must succeed");
+        write(&trace_path, &trace);
+        println!(
+            "trace    : {} events ({} dropped) -> {trace_path} (load in Perfetto)",
+            report.events.len(),
+            report.meta.dropped_events
+        );
+    }
+}
+
 /// Renders a simple two-column series as text rows.
 pub fn series_table(
     title: &str,

@@ -288,8 +288,16 @@ where
     let mut busy_seconds = vec![0.0; threads];
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|worker| {
+                let slots = &slots;
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    // Pin the observability thread ordinal to `1 + worker`
+                    // so span ownership and Chrome-trace timelines name
+                    // workers stably across parallel regions (0 stays the
+                    // main thread).
+                    mss_obs::set_thread_ordinal(1 + worker as u32);
                     let mut busy = 0.0;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);

@@ -63,7 +63,24 @@ pub const TRACE_EVENT_CAP: usize = 8192;
 pub const HIST_BUCKETS: usize = 64;
 
 /// NDJSON schema version emitted in the `meta` line.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version 2 (the profiling schema) extends v1 with:
+/// - `meta.dropped_events` — trace-buffer overflow count, surfaced so a
+///   truncated timeline is never mistaken for a complete one,
+/// - `histogram.mean`/`p50`/`p90`/`p99` — bucket-derived quantile estimates,
+/// - `span.self_seconds` — time inside the span excluding child spans,
+/// - `span.by_thread` — `[tid, count, total_seconds]` ownership slices,
+/// - `event.tid` — the recording thread's ordinal (see
+///   [`set_thread_ordinal`]).
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Counter bumped when `MSS_METRICS`/`MSS_TRACE` hold a garbled value (the
+/// value is warned about once on stderr and otherwise ignored).
+pub const BAD_ENV_COUNTER: &str = "obs.bad_env";
+
+/// Counter holding the number of trace events dropped on buffer overflow;
+/// also surfaced as `dropped_events` in the NDJSON `meta` line.
+pub const DROPPED_EVENTS_COUNTER: &str = "obs.trace.dropped_events";
 
 /// What the registry records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -79,20 +96,56 @@ pub enum Mode {
 impl Mode {
     /// Reads the mode from `MSS_TRACE` / `MSS_METRICS`.
     ///
-    /// A variable counts as set when it is non-empty and not `0`.
+    /// Accepted spellings (after trimming, case-insensitive): `1`/`true`/`on`
+    /// enable, and unset/empty/`0`/`false`/`off` disable. Anything else
+    /// (`yes`, `enable`, a stray path, …) is **not** silently treated as set:
+    /// it warns once on stderr and counts as unset, following the
+    /// `MSS_THREADS` / `MSS_CACHE` warn-once convention, and is tallied for
+    /// the [`BAD_ENV_COUNTER`] (seeded into registries built via
+    /// [`Registry::from_env`]).
     pub fn from_env() -> Self {
-        let on = |k: &str| {
-            std::env::var(k)
-                .map(|v| !v.is_empty() && v != "0")
-                .unwrap_or(false)
+        Self::from_env_diagnostics().0
+    }
+
+    /// [`Mode::from_env`] plus the number of garbled variables encountered.
+    fn from_env_diagnostics() -> (Self, u64) {
+        static WARN_TRACE: std::sync::Once = std::sync::Once::new();
+        static WARN_METRICS: std::sync::Once = std::sync::Once::new();
+        let mut bad = 0u64;
+        let mut on = |key: &str, once: &'static std::sync::Once| match std::env::var(key) {
+            Err(_) => false,
+            Ok(raw) => match parse_flag(&raw) {
+                Ok(set) => set,
+                Err(why) => {
+                    bad += 1;
+                    once.call_once(|| {
+                        eprintln!(
+                            "warning: ignoring {key}={raw:?} ({why}); \
+                             expected 1/true/on or 0/false/off"
+                        );
+                    });
+                    false
+                }
+            },
         };
-        if on(TRACE_ENV) {
+        let mode = if on(TRACE_ENV, &WARN_TRACE) {
             Mode::Trace
-        } else if on(METRICS_ENV) {
+        } else if on(METRICS_ENV, &WARN_METRICS) {
             Mode::Metrics
         } else {
             Mode::Off
-        }
+        };
+        (mode, bad)
+    }
+}
+
+/// Parses an `MSS_METRICS`-style boolean flag; see [`Mode::from_env`] for
+/// the accepted spellings.
+fn parse_flag(raw: &str) -> Result<bool, String> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "" | "0" | "false" | "off" => Ok(false),
+        "1" | "true" | "on" => Ok(true),
+        other => Err(format!("unrecognised value {other:?}")),
     }
 }
 
@@ -163,6 +216,50 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Smallest finite observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.min <= self.max).then_some(self.min)
+    }
+
+    /// Largest finite observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.min <= self.max).then_some(self.max)
+    }
+
+    /// Bucket-derived quantile estimate (`q` clamped to `[0, 1]`), `None`
+    /// when the histogram is empty.
+    ///
+    /// Walks the cumulative bucket counts to the bucket containing the
+    /// `ceil(q·count)`-th observation and returns its geometric midpoint,
+    /// clamped to the observed `[min, max]` so single-sample histograms and
+    /// edge buckets report the recorded value rather than a bucket-shaped
+    /// fiction. Bucket 0 (values ≤ 0, non-finite, or below `1e-18`) has no
+    /// meaningful midpoint; it reports the observed minimum, or `0` when no
+    /// finite value was ever recorded.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                let estimate = if i == 0 {
+                    self.min().unwrap_or(0.0)
+                } else {
+                    10f64.powf((i as f64 - 35.5) / 2.0)
+                };
+                return Some(match (self.min(), self.max()) {
+                    (Some(lo), Some(hi)) => estimate.clamp(lo, hi),
+                    _ => estimate,
+                });
+            }
+        }
+        unreachable!("bucket counts always sum to self.count")
+    }
 }
 
 /// Aggregate of one span path.
@@ -170,22 +267,74 @@ impl Histogram {
 struct SpanAgg {
     count: u64,
     total_seconds: f64,
+    /// Total time minus time spent in child spans (attribution: where the
+    /// clock actually burned, not just what was on the stack).
+    self_seconds: f64,
     min_seconds: f64,
     max_seconds: f64,
+    /// Ownership slices keyed by thread ordinal: which worker closed this
+    /// span, how often, and for how long.
+    by_thread: BTreeMap<u32, ThreadSlice>,
+}
+
+/// Per-thread share of one span path.
+#[derive(Debug, Clone, Copy, Default)]
+struct ThreadSlice {
+    count: u64,
+    total_seconds: f64,
 }
 
 /// One recorded span event (trace mode only).
 #[derive(Debug, Clone)]
 struct TraceEvent {
     path: String,
+    tid: u32,
     start_seconds: f64,
     duration_seconds: f64,
 }
 
+/// One open span on a thread's stack: its name plus the time already
+/// attributed to completed child spans (used for self-time on close).
+#[derive(Debug)]
+struct Frame {
+    name: &'static str,
+    child_seconds: f64,
+}
+
 thread_local! {
-    /// Active span names on this thread, innermost last. Shared by every
+    /// Active span frames on this thread, innermost last. Shared by every
     /// registry; span paths therefore reflect per-thread nesting.
-    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    static SPAN_STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+
+    /// This thread's ordinal for timeline attribution (lazily assigned, or
+    /// pinned by [`set_thread_ordinal`]).
+    static THREAD_ORDINAL: std::cell::Cell<Option<u32>> = const { std::cell::Cell::new(None) };
+}
+
+/// Next lazily-assigned thread ordinal. The first recording thread —
+/// normally the main thread — gets 0; `mss-exec` workers pin `1 + worker`
+/// via [`set_thread_ordinal`] before pulling tasks.
+static NEXT_ORDINAL: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+
+/// Pins the calling thread's ordinal for span ownership and trace-event
+/// timelines. `mss-exec` calls this with `1 + worker_index` in every spawned
+/// worker so profiles and Chrome traces name workers stably across parallel
+/// regions; threads that never pin one get the next free ordinal on first
+/// use.
+pub fn set_thread_ordinal(ordinal: u32) {
+    THREAD_ORDINAL.with(|cell| cell.set(Some(ordinal)));
+}
+
+/// The calling thread's ordinal, assigning one if needed.
+pub fn thread_ordinal() -> u32 {
+    THREAD_ORDINAL.with(|cell| match cell.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT_ORDINAL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            cell.set(Some(id));
+            id
+        }
+    })
 }
 
 /// A named-metric registry. One global instance backs the free functions;
@@ -213,9 +362,17 @@ impl Registry {
         }
     }
 
-    /// Creates a registry with the mode from the environment.
+    /// Creates a registry with the mode from the environment; garbled
+    /// `MSS_METRICS`/`MSS_TRACE` values are warned about once and seed the
+    /// [`BAD_ENV_COUNTER`] so a misconfigured run stays diagnosable from its
+    /// own report.
     pub fn from_env() -> Self {
-        Self::new(Mode::from_env())
+        let (mode, bad_env) = Mode::from_env_diagnostics();
+        let reg = Self::new(mode);
+        if bad_env > 0 {
+            reg.counter_add(BAD_ENV_COUNTER, bad_env);
+        }
+        reg
     }
 
     /// The recording mode.
@@ -282,8 +439,11 @@ impl Registry {
         }
         let path = SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
-            stack.push(name);
-            stack.join("/")
+            stack.push(Frame {
+                name,
+                child_seconds: 0.0,
+            });
+            stack.iter().map(|f| f.name).collect::<Vec<_>>().join("/")
         });
         SpanGuard {
             registry: Some(self),
@@ -322,9 +482,19 @@ impl Registry {
     }
 
     fn close_span(&self, path: &str, duration: f64) {
-        SPAN_STACK.with(|stack| {
-            stack.borrow_mut().pop();
+        // Pop this span's frame and charge its duration to the parent's
+        // child time; the difference between the popped frame's child time
+        // and the duration is this span's self time.
+        let child_seconds = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let child = stack.pop().map_or(0.0, |f| f.child_seconds);
+            if let Some(parent) = stack.last_mut() {
+                parent.child_seconds += duration;
+            }
+            child
         });
+        let self_seconds = (duration - child_seconds).max(0.0);
+        let tid = thread_ordinal();
         {
             let mut spans = self.spans.lock().expect("obs spans poisoned");
             let agg = spans.entry_or_insert(path);
@@ -337,6 +507,10 @@ impl Registry {
             }
             agg.count += 1;
             agg.total_seconds += duration;
+            agg.self_seconds += self_seconds;
+            let slice = agg.by_thread.entry(tid).or_default();
+            slice.count += 1;
+            slice.total_seconds += duration;
         }
         if self.mode == Mode::Trace {
             let start = self.epoch.elapsed().as_secs_f64() - duration;
@@ -344,12 +518,13 @@ impl Registry {
             if events.len() < TRACE_EVENT_CAP {
                 events.push(TraceEvent {
                     path: path.to_string(),
+                    tid,
                     start_seconds: start.max(0.0),
                     duration_seconds: duration,
                 });
             } else {
                 drop(events);
-                self.counter_add("obs.trace.dropped_events", 1);
+                self.counter_add(DROPPED_EVENTS_COUNTER, 1);
             }
         }
     }
@@ -359,12 +534,15 @@ impl Registry {
     /// histograms, spans and events, each alphabetical):
     ///
     /// ```text
-    /// {"type":"meta","schema":1,"mode":"metrics"}
+    /// {"type":"meta","schema":2,"mode":"metrics","dropped_events":0}
     /// {"type":"counter","name":"vaet.mc.samples","value":20000}
-    /// {"type":"histogram","name":"vaet.mc.wall_seconds","count":2,...}
-    /// {"type":"span","path":"mc_smoke/vaet.mc.run","count":2,...}
-    /// {"type":"event","path":"...","start_seconds":...,"duration_seconds":...}
+    /// {"type":"histogram","name":"vaet.mc.wall_seconds","count":2,...,"p50":...,"p90":...,"p99":...}
+    /// {"type":"span","path":"mc_smoke/vaet.mc.run","count":2,...,"self_seconds":...,"by_thread":[[0,2,1.5e-3]]}
+    /// {"type":"event","path":"...","tid":0,"start_seconds":...,"duration_seconds":...}
     /// ```
+    ///
+    /// See [`SCHEMA_VERSION`] for the v1→v2 field additions; `mss-prof`
+    /// parses, validates, diffs and exports this format.
     pub fn to_ndjson(&self) -> String {
         let mut out = String::new();
         let mode = match self.mode {
@@ -372,8 +550,9 @@ impl Registry {
             Mode::Metrics => "metrics",
             Mode::Trace => "trace",
         };
+        let dropped = self.counter(DROPPED_EVENTS_COUNTER);
         out.push_str(&format!(
-            "{{\"type\":\"meta\",\"schema\":{SCHEMA_VERSION},\"mode\":\"{mode}\"}}\n"
+            "{{\"type\":\"meta\",\"schema\":{SCHEMA_VERSION},\"mode\":\"{mode}\",\"dropped_events\":{dropped}}}\n"
         ));
         for (name, value) in self.counters.lock().expect("obs counters poisoned").iter() {
             out.push_str(&format!(
@@ -394,30 +573,43 @@ impl Registry {
                 .filter(|(_, c)| **c > 0)
                 .map(|(i, c)| format!("[{i},{c}]"))
                 .collect();
+            let quantile = |q: f64| json_num(h.quantile(q).unwrap_or(f64::NAN));
             out.push_str(&format!(
-                "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}\n",
+                "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}\n",
                 json_str(name),
                 h.count,
                 json_num(h.sum),
                 json_num(if h.count == 0 { 0.0 } else { h.min }),
                 json_num(if h.count == 0 { 0.0 } else { h.max }),
+                json_num(h.mean()),
+                quantile(0.50),
+                quantile(0.90),
+                quantile(0.99),
                 buckets.join(",")
             ));
         }
         for (path, s) in self.spans.lock().expect("obs spans poisoned").iter() {
+            let by_thread: Vec<String> = s
+                .by_thread
+                .iter()
+                .map(|(tid, t)| format!("[{tid},{},{}]", t.count, json_num(t.total_seconds)))
+                .collect();
             out.push_str(&format!(
-                "{{\"type\":\"span\",\"path\":{},\"count\":{},\"total_seconds\":{},\"min_seconds\":{},\"max_seconds\":{}}}\n",
+                "{{\"type\":\"span\",\"path\":{},\"count\":{},\"total_seconds\":{},\"self_seconds\":{},\"min_seconds\":{},\"max_seconds\":{},\"by_thread\":[{}]}}\n",
                 json_str(path),
                 s.count,
                 json_num(s.total_seconds),
+                json_num(s.self_seconds),
                 json_num(s.min_seconds),
-                json_num(s.max_seconds)
+                json_num(s.max_seconds),
+                by_thread.join(",")
             ));
         }
         for e in self.events.lock().expect("obs events poisoned").iter() {
             out.push_str(&format!(
-                "{{\"type\":\"event\",\"path\":{},\"start_seconds\":{},\"duration_seconds\":{}}}\n",
+                "{{\"type\":\"event\",\"path\":{},\"tid\":{},\"start_seconds\":{},\"duration_seconds\":{}}}\n",
                 json_str(&e.path),
+                e.tid,
                 json_num(e.start_seconds),
                 json_num(e.duration_seconds)
             ));
@@ -858,7 +1050,188 @@ mod tests {
         }
         let events = reg.events.lock().unwrap().len();
         assert_eq!(events, TRACE_EVENT_CAP);
-        assert_eq!(reg.counter("obs.trace.dropped_events"), 10);
+        assert_eq!(reg.counter(DROPPED_EVENTS_COUNTER), 10);
+    }
+
+    #[test]
+    fn trace_overflow_is_surfaced_in_meta_not_silent() {
+        // A truncated timeline must announce itself: overflow the bounded
+        // buffer and assert the meta line carries the exact drop count.
+        let reg = Registry::new(Mode::Trace);
+        for _ in 0..(TRACE_EVENT_CAP + 25) {
+            let _g = reg.span("spin");
+        }
+        let report = reg.to_ndjson();
+        let meta = report.lines().next().expect("meta line");
+        assert!(
+            meta.contains("\"dropped_events\":25"),
+            "meta must report drops: {meta}"
+        );
+        // And an un-overflowed registry reports zero, not a missing field.
+        let quiet = Registry::new(Mode::Trace);
+        {
+            let _g = quiet.span("one");
+        }
+        let meta = quiet.to_ndjson();
+        assert!(
+            meta.lines()
+                .next()
+                .unwrap()
+                .contains("\"dropped_events\":0"),
+            "{meta}"
+        );
+    }
+
+    #[test]
+    fn quantiles_track_bucket_midpoints() {
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.record(1e-9);
+        }
+        for _ in 0..10 {
+            h.record(1e-3);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(
+            (1e-10..=1e-8).contains(&p50),
+            "p50 should land in the 1e-9 bucket: {p50:e}"
+        );
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(
+            (1e-4..=1e-2).contains(&p99),
+            "p99 should land in the 1e-3 bucket: {p99:e}"
+        );
+        assert!(h.quantile(0.5).unwrap() <= h.quantile(0.99).unwrap());
+    }
+
+    #[test]
+    fn quantile_edge_cases_stay_honest() {
+        // Empty histogram: no quantiles at all.
+        assert_eq!(Histogram::default().quantile(0.5), None);
+
+        // Single sample: every quantile is that sample, exactly — the
+        // clamp to [min, max] must defeat the bucket midpoint.
+        let mut single = Histogram::default();
+        single.record(3.7e-6);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(single.quantile(q), Some(3.7e-6), "q={q}");
+        }
+
+        // Values at or below zero land in bucket 0 and report the observed
+        // minimum, never a fabricated positive midpoint.
+        let mut nonpos = Histogram::default();
+        nonpos.record(-5.0);
+        nonpos.record(0.0);
+        assert_eq!(nonpos.quantile(0.5), Some(-5.0));
+
+        // All-NaN histograms have no finite min; quantiles fall back to 0.
+        let mut nan = Histogram::default();
+        nan.record(f64::NAN);
+        assert_eq!(nan.quantile(0.5), Some(0.0));
+
+        // Clamped extremes: values beyond the bucket range report the
+        // observed extreme, not the edge-bucket midpoint.
+        let mut huge = Histogram::default();
+        huge.record(1e30);
+        assert_eq!(huge.quantile(0.99), Some(1e30));
+        let mut tiny = Histogram::default();
+        tiny.record(1e-30);
+        assert_eq!(tiny.quantile(0.01), Some(1e-30));
+
+        // q outside [0,1] clamps instead of panicking.
+        let mut two = Histogram::default();
+        two.record(1.0);
+        two.record(2.0);
+        assert_eq!(two.quantile(-1.0), two.quantile(0.0));
+        assert_eq!(two.quantile(9.0), two.quantile(1.0));
+    }
+
+    #[test]
+    fn self_time_excludes_children() {
+        let reg = Registry::new(Mode::Metrics);
+        {
+            let _outer = reg.span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(4));
+            {
+                let _inner = reg.span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(12));
+            }
+        }
+        let spans = reg.spans.lock().unwrap();
+        let outer = &spans["outer"];
+        let inner = &spans["outer/inner"];
+        assert!(
+            inner.self_seconds >= 0.010,
+            "leaf self time is its total: {:e}",
+            inner.self_seconds
+        );
+        assert!(
+            outer.self_seconds <= outer.total_seconds - inner.total_seconds + 1e-3,
+            "outer self ({:e}) must exclude inner total ({:e}) from outer total ({:e})",
+            outer.self_seconds,
+            inner.total_seconds,
+            outer.total_seconds
+        );
+        assert!(outer.self_seconds >= 0.0);
+    }
+
+    #[test]
+    fn span_ownership_is_attributed_per_thread() {
+        // Pin this test thread's ordinal: lazy assignment draws from a
+        // process-wide counter shared with every other test thread.
+        set_thread_ordinal(3);
+        let reg = Registry::new(Mode::Metrics);
+        {
+            let _main = reg.span("main_work");
+        }
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                set_thread_ordinal(7);
+                let _w = reg.span("worker_work");
+            });
+        });
+        let report = reg.to_ndjson();
+        let worker_line = report
+            .lines()
+            .find(|l| l.contains("worker_work"))
+            .expect("worker span line");
+        assert!(
+            worker_line.contains("\"by_thread\":[[7,1,"),
+            "worker span must be owned by tid 7: {worker_line}"
+        );
+        let main_line = report
+            .lines()
+            .find(|l| l.contains("main_work"))
+            .expect("main span line");
+        assert!(
+            main_line.contains("\"by_thread\":[[3,1,"),
+            "main-thread span must keep the pinned ordinal 3: {main_line}"
+        );
+    }
+
+    #[test]
+    fn parse_flag_accepts_the_documented_spellings_only() {
+        for on in ["1", "true", "on", " TRUE ", "On"] {
+            assert_eq!(parse_flag(on), Ok(true), "{on:?}");
+        }
+        for off in ["", "0", "false", "off", " OFF "] {
+            assert_eq!(parse_flag(off), Ok(false), "{off:?}");
+        }
+        for bad in ["yes", "no", "2", "enable", "metrics", "1 1"] {
+            let err = parse_flag(bad).expect_err(&format!("{bad:?} must be rejected"));
+            assert!(!err.is_empty());
+        }
+    }
+
+    #[test]
+    fn registry_from_env_is_constructible() {
+        // Whatever the ambient environment, construction must not panic and
+        // the mode must be valid (garbled values are ignored, not fatal).
+        let reg = Registry::from_env();
+        assert!(matches!(
+            reg.mode(),
+            Mode::Off | Mode::Metrics | Mode::Trace
+        ));
     }
 
     #[test]

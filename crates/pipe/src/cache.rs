@@ -446,6 +446,10 @@ impl PipeCache {
 
     fn load_disk<T: Artifact>(&self, stage: Stage, key: &str) -> Option<T> {
         let dir = self.disk_dir.as_ref()?;
+        // Disk I/O is the cache's own cost; spanned separately from the
+        // stage-compute spans so `mss_report summary` can show how much of a
+        // warm run is tier traffic rather than recomputation.
+        let _span = mss_obs::span("pipe.disk.load");
         let path = entry_path(dir, stage, key);
         let text = match std::fs::read_to_string(&path) {
             Ok(text) => text,
@@ -470,6 +474,7 @@ impl PipeCache {
         let Some(dir) = self.disk_dir.as_ref() else {
             return;
         };
+        let _span = mss_obs::span("pipe.disk.store");
         match write_entry(dir, stage, key, value) {
             Ok(()) => self.count(stage, Event::Store),
             Err(_) => self.count(stage, Event::StoreFailure),

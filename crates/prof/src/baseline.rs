@@ -1,0 +1,392 @@
+//! Structural benchmark baselines (`BENCH_<name>.json`).
+//!
+//! A baseline captures the *deterministic* skeleton of a smoke-bench run —
+//! every counter value and every span path with its closing count — plus
+//! per-span mean times as an advisory timing reference. Counters and span
+//! structure are reproducible bit-for-bit on any machine (the workspace's
+//! determinism contract), so they gate exactly; times cross machines, so
+//! they gate only through the same ratio-over-noise-floor policy as
+//! [`crate::diff`], and only when a ratio is explicitly requested.
+
+use std::collections::BTreeMap;
+
+use mss_obs::ndjson::{json_num, json_str};
+
+use crate::json::Value;
+use crate::report::Report;
+
+/// Magic `type` tag of a baseline document.
+pub const BASELINE_TYPE: &str = "mss-bench-baseline";
+
+/// One span's baseline entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineSpan {
+    /// Closings of this path in the baseline run (deterministic, gates).
+    pub count: u64,
+    /// Mean seconds per closing in the baseline run (advisory).
+    pub mean_seconds: f64,
+}
+
+/// A committed benchmark baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Bench name (`cache_smoke`, `mc_smoke`, …).
+    pub name: String,
+    /// NDJSON schema version of the run the baseline was cut from.
+    pub schema: u32,
+    /// Counter name → expected value.
+    pub counters: BTreeMap<String, u64>,
+    /// Span path → expected structure and advisory timing.
+    pub spans: BTreeMap<String, BaselineSpan>,
+}
+
+/// Gating policy for [`Baseline::check`].
+#[derive(Debug, Clone, Default)]
+pub struct CheckOptions {
+    /// When set, a span gates if its mean gets this many times slower than
+    /// the baseline (subject to `min_span_seconds`). `None` = structure and
+    /// counters only.
+    pub max_span_ratio: Option<f64>,
+    /// Spans under this much total time (in both baseline and run) never
+    /// time-gate.
+    pub min_span_seconds: f64,
+    /// Counter name prefixes excluded from gating.
+    pub ignore_counters: Vec<String>,
+}
+
+/// One check finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// True when this finding fails the gate.
+    pub gating: bool,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Baseline {
+    /// Cuts a baseline from a parsed run report.
+    pub fn from_report(name: &str, report: &Report) -> Baseline {
+        Baseline {
+            name: name.to_string(),
+            schema: report.meta.schema,
+            counters: report.counters.clone(),
+            spans: report
+                .spans
+                .iter()
+                .map(|(path, s)| {
+                    (
+                        path.clone(),
+                        BaselineSpan {
+                            count: s.count,
+                            mean_seconds: s.mean_seconds(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the baseline as a stable, human-diffable JSON document
+    /// (sorted keys, one entry per line, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\n  \"type\": {},\n  \"name\": {},\n  \"schema\": {},\n  \"counters\": {{\n",
+            json_str(BASELINE_TYPE),
+            json_str(&self.name),
+            self.schema
+        );
+        let counter_lines: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("    {}: {v}", json_str(k)))
+            .collect();
+        out.push_str(&counter_lines.join(",\n"));
+        out.push_str("\n  },\n  \"spans\": {\n");
+        let span_lines: Vec<String> = self
+            .spans
+            .iter()
+            .map(|(k, s)| {
+                format!(
+                    "    {}: {{\"count\": {}, \"mean_seconds\": {}}}",
+                    json_str(k),
+                    s.count,
+                    json_num(s.mean_seconds)
+                )
+            })
+            .collect();
+        out.push_str(&span_lines.join(",\n"));
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Parses a baseline document.
+    ///
+    /// # Errors
+    ///
+    /// When the document is not valid JSON or not a baseline.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let v = Value::parse(text)?;
+        if v.get("type").and_then(Value::as_str) != Some(BASELINE_TYPE) {
+            return Err(format!("not a baseline: missing type {BASELINE_TYPE:?}"));
+        }
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("baseline missing \"name\"")?
+            .to_string();
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_u64)
+            .and_then(|s| u32::try_from(s).ok())
+            .ok_or("baseline missing \"schema\"")?;
+        let mut counters = BTreeMap::new();
+        for (k, val) in v
+            .get("counters")
+            .and_then(Value::as_obj)
+            .ok_or("baseline missing \"counters\" object")?
+        {
+            counters.insert(
+                k.clone(),
+                val.as_u64()
+                    .ok_or_else(|| format!("counter {k:?} is not an integer"))?,
+            );
+        }
+        let mut spans = BTreeMap::new();
+        for (k, val) in v
+            .get("spans")
+            .and_then(Value::as_obj)
+            .ok_or("baseline missing \"spans\" object")?
+        {
+            spans.insert(
+                k.clone(),
+                BaselineSpan {
+                    count: val
+                        .get("count")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("span {k:?} missing count"))?,
+                    mean_seconds: val
+                        .get("mean_seconds")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("span {k:?} missing mean_seconds"))?,
+                },
+            );
+        }
+        Ok(Baseline {
+            name,
+            schema,
+            counters,
+            spans,
+        })
+    }
+
+    /// Checks a fresh run against this baseline; gating findings fail CI.
+    ///
+    /// - a baseline counter that is missing or differs → gating (unless on
+    ///   an ignore prefix),
+    /// - a counter the baseline has never seen → informational (regenerate
+    ///   the baseline to adopt new instrumentation),
+    /// - a baseline span that is missing or closed a different number of
+    ///   times → gating,
+    /// - a span ≥ `max_span_ratio`× slower than the baseline mean, above the
+    ///   noise floor → gating (only when a ratio was requested).
+    pub fn check(&self, report: &Report, opts: &CheckOptions) -> Vec<Finding> {
+        let ignored = |name: &str| opts.ignore_counters.iter().any(|p| name.starts_with(p));
+        let mut findings = Vec::new();
+        for (name, &expect) in &self.counters {
+            match report.counters.get(name) {
+                None => findings.push(Finding {
+                    gating: !ignored(name),
+                    message: format!("counter {name:?} missing (baseline {expect})"),
+                }),
+                Some(&got) if got != expect => findings.push(Finding {
+                    gating: !ignored(name),
+                    message: format!("counter {name:?} drifted: baseline {expect}, run {got}"),
+                }),
+                Some(_) => {}
+            }
+        }
+        for name in report.counters.keys() {
+            if !self.counters.contains_key(name) {
+                findings.push(Finding {
+                    gating: false,
+                    message: format!(
+                        "counter {name:?} is new since the baseline (regenerate to adopt)"
+                    ),
+                });
+            }
+        }
+        for (path, b) in &self.spans {
+            match report.spans.get(path) {
+                None => findings.push(Finding {
+                    gating: true,
+                    message: format!("span {path:?} missing (baseline count {})", b.count),
+                }),
+                Some(s) => {
+                    if s.count != b.count {
+                        findings.push(Finding {
+                            gating: true,
+                            message: format!(
+                                "span {path:?} count drifted: baseline {}, run {}",
+                                b.count, s.count
+                            ),
+                        });
+                    }
+                    if let Some(max_ratio) = opts.max_span_ratio {
+                        let baseline_total = b.mean_seconds * b.count as f64;
+                        let above_floor =
+                            baseline_total.max(s.total_seconds) >= opts.min_span_seconds;
+                        if above_floor
+                            && b.mean_seconds > 0.0
+                            && s.mean_seconds() > b.mean_seconds * max_ratio
+                        {
+                            findings.push(Finding {
+                                gating: true,
+                                message: format!(
+                                    "span {path:?} regressed: baseline mean {:.3e}s, run {:.3e}s ({:.2}x > {max_ratio}x)",
+                                    b.mean_seconds,
+                                    s.mean_seconds(),
+                                    s.mean_seconds() / b.mean_seconds
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for path in report.spans.keys() {
+            if !self.spans.contains_key(path) {
+                findings.push(Finding {
+                    gating: false,
+                    message: format!("span {path:?} is new since the baseline"),
+                });
+            }
+        }
+        findings
+    }
+}
+
+/// True when no finding gates.
+pub fn passes(findings: &[Finding]) -> bool {
+    findings.iter().all(|f| !f.gating)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mss_obs::{Mode, Registry};
+
+    fn sample_report(extra_counter: Option<(&str, u64)>, span_closings: u32) -> Report {
+        let reg = Registry::new(Mode::Metrics);
+        reg.counter_add("bench.items", 100);
+        if let Some((name, v)) = extra_counter {
+            reg.counter_add(name, v);
+        }
+        for _ in 0..span_closings {
+            let _g = reg.span("bench_leg");
+        }
+        Report::parse_ndjson(&reg.to_ndjson()).expect("valid report")
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let report = sample_report(Some(("bench.extra", 3)), 2);
+        let b = Baseline::from_report("smoke", &report);
+        let text = b.to_json();
+        // The document itself is strict JSON...
+        Value::parse(&text).expect("baseline is valid JSON");
+        // ...and parses back to an identical structure.
+        let back = Baseline::parse(&text).expect("parse back");
+        assert_eq!(back, b);
+        assert_eq!(back.spans["bench_leg"].count, 2);
+        assert_eq!(back.counters["bench.items"], 100);
+    }
+
+    #[test]
+    fn self_check_passes() {
+        let report = sample_report(None, 2);
+        let b = Baseline::from_report("smoke", &report);
+        let findings = b.check(&report, &CheckOptions::default());
+        assert!(passes(&findings), "{findings:?}");
+    }
+
+    #[test]
+    fn counter_drift_and_span_count_drift_gate() {
+        let b = Baseline::from_report("smoke", &sample_report(None, 2));
+        let drifted = sample_report(None, 3);
+        let findings = b.check(&drifted, &CheckOptions::default());
+        assert!(!passes(&findings));
+        assert!(findings
+            .iter()
+            .any(|f| f.gating && f.message.contains("count drifted")));
+
+        let counter_drift = {
+            let reg = Registry::new(Mode::Metrics);
+            reg.counter_add("bench.items", 99);
+            for _ in 0..2 {
+                let _g = reg.span("bench_leg");
+            }
+            Report::parse_ndjson(&reg.to_ndjson()).unwrap()
+        };
+        let findings = b.check(&counter_drift, &CheckOptions::default());
+        assert!(findings
+            .iter()
+            .any(|f| f.gating && f.message.contains("drifted: baseline 100, run 99")));
+    }
+
+    #[test]
+    fn new_instrumentation_is_informational_not_gating() {
+        let b = Baseline::from_report("smoke", &sample_report(None, 2));
+        let richer = sample_report(Some(("bench.new_counter", 1)), 2);
+        let findings = b.check(&richer, &CheckOptions::default());
+        assert!(passes(&findings), "{findings:?}");
+        assert!(findings
+            .iter()
+            .any(|f| !f.gating && f.message.contains("new")));
+    }
+
+    #[test]
+    fn time_gate_is_opt_in_and_noise_floored() {
+        let fast = {
+            let reg = Registry::new(Mode::Metrics);
+            {
+                let _g = reg.span("leg");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            Report::parse_ndjson(&reg.to_ndjson()).unwrap()
+        };
+        let slow = {
+            let reg = Registry::new(Mode::Metrics);
+            {
+                let _g = reg.span("leg");
+                std::thread::sleep(std::time::Duration::from_millis(40));
+            }
+            Report::parse_ndjson(&reg.to_ndjson()).unwrap()
+        };
+        let b = Baseline::from_report("smoke", &fast);
+        // No ratio requested: times never gate.
+        assert!(passes(&b.check(&slow, &CheckOptions::default())));
+        // Ratio requested but floor above the span: still clean.
+        let floored = CheckOptions {
+            max_span_ratio: Some(2.0),
+            min_span_seconds: 10.0,
+            ..CheckOptions::default()
+        };
+        assert!(passes(&b.check(&slow, &floored)));
+        // Ratio requested with a realistic floor: the 20x slowdown gates.
+        let strict = CheckOptions {
+            max_span_ratio: Some(2.0),
+            min_span_seconds: 0.02,
+            ..CheckOptions::default()
+        };
+        let findings = b.check(&slow, &strict);
+        assert!(!passes(&findings));
+        assert!(findings.iter().any(|f| f.message.contains("regressed")));
+    }
+
+    #[test]
+    fn rejects_non_baseline_documents() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\"type\":\"other\"}").is_err());
+        assert!(Baseline::parse("not json").is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! `mss_report` — the profiling CLI over NDJSON run reports.
+//!
+//! ```text
+//! mss_report summary <report.ndjson> [--top N]
+//! mss_report diff <base.ndjson> <new.ndjson> [--max-span-ratio R]
+//!                 [--min-span-seconds S] [--ignore-counter PREFIX]...
+//! mss_report chrome-trace <report.ndjson> [--out FILE]
+//! mss_report validate <report.ndjson>...
+//! mss_report baseline <report.ndjson> --name NAME [--out FILE]
+//! mss_report check <BENCH_name.json> <report.ndjson> [--max-span-ratio R]
+//!                  [--min-span-seconds S] [--ignore-counter PREFIX]...
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = gating regression or invalid report,
+//! 2 = usage / I/O error.
+
+use std::process::ExitCode;
+
+use mss_prof::baseline::{passes, Baseline, CheckOptions};
+use mss_prof::chrome::chrome_trace;
+use mss_prof::diff::{diff, DiffOptions};
+use mss_prof::report::Report;
+
+const USAGE: &str = "\
+usage: mss_report <command> [args]
+
+commands:
+  summary <report.ndjson> [--top N]
+      Parse a run report and print the top-N hot paths (self-time
+      attribution, per-thread ownership) plus headline counts.
+  diff <base.ndjson> <new.ndjson> [--max-span-ratio R] [--min-span-seconds S]
+       [--ignore-counter PREFIX]...
+      Compare two runs. Counter or span-structure drift always gates
+      (deterministic); span times gate when > R x slower (default 2.0)
+      above the S-second noise floor (default 0.05). Exit 1 on regression.
+  chrome-trace <report.ndjson> [--out FILE]
+      Export an MSS_TRACE=1 run as Chrome trace-event JSON (stdout or
+      FILE); load it in https://ui.perfetto.dev or chrome://tracing.
+  validate <report.ndjson>...
+      Strict schema validation of each report; exit 1 on the first
+      invalid file.
+  baseline <report.ndjson> --name NAME [--out FILE]
+      Cut a structural BENCH_<NAME>.json baseline (counters + span
+      structure + advisory mean times) from a run report.
+  check <BENCH_name.json> <report.ndjson> [--max-span-ratio R]
+        [--min-span-seconds S] [--ignore-counter PREFIX]...
+      Check a fresh run against a committed baseline. Counters and span
+      structure gate exactly; span times gate only when R is given.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("mss_report: {e}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Runs the CLI; `Ok(false)` means a gating regression (exit 1).
+fn run(args: &[String]) -> Result<bool, String> {
+    let (cmd, rest) = args.split_first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "summary" => summary(rest),
+        "diff" => diff_cmd(rest),
+        "chrome-trace" => chrome_cmd(rest),
+        "validate" => validate(rest),
+        "baseline" => baseline_cmd(rest),
+        "check" => check_cmd(rest),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(true)
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Parsed `--flag value` pairs, in order (flags may repeat).
+type Flags = Vec<(String, String)>;
+
+/// Splits positional arguments from `--flag value` pairs (and lists).
+fn parse_flags(rest: &[String], known: &[&str]) -> Result<(Vec<String>, Flags), String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if !known.contains(&name) {
+                return Err(format!("unknown flag --{name}"));
+            }
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.push((name.to_string(), value.clone()));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn flag_f64(flags: &[(String, String)], name: &str) -> Result<Option<f64>, String> {
+    flag(flags, name)
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| format!("--{name} expects a number, got {v:?}"))
+        })
+        .transpose()
+}
+
+fn flag_list(flags: &[(String, String)], name: &str) -> Vec<String> {
+    flags
+        .iter()
+        .filter(|(n, _)| n == name)
+        .map(|(_, v)| v.clone())
+        .collect()
+}
+
+fn load_report(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Report::parse_ndjson(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write_out(out: Option<&str>, content: &str, what: &str) -> Result<(), String> {
+    match out {
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+        Some(path) => {
+            if let Some(dir) = std::path::Path::new(path).parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            std::fs::write(path, content).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("{what} -> {path}");
+            Ok(())
+        }
+    }
+}
+
+fn summary(rest: &[String]) -> Result<bool, String> {
+    let (pos, flags) = parse_flags(rest, &["top"])?;
+    let [path] = pos.as_slice() else {
+        return Err("summary expects exactly one report".to_string());
+    };
+    let top = flag(&flags, "top")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| format!("--top expects an integer, got {v:?}"))
+        })
+        .transpose()?
+        .unwrap_or(15);
+    let report = load_report(path)?;
+    print!("{}", report.render_summary(top));
+    Ok(true)
+}
+
+fn diff_opts(flags: &[(String, String)]) -> Result<DiffOptions, String> {
+    let mut opts = DiffOptions {
+        ignore_counters: flag_list(flags, "ignore-counter"),
+        ..DiffOptions::default()
+    };
+    if let Some(r) = flag_f64(flags, "max-span-ratio")? {
+        opts.max_span_ratio = r;
+    }
+    if let Some(s) = flag_f64(flags, "min-span-seconds")? {
+        opts.min_span_seconds = s;
+    }
+    Ok(opts)
+}
+
+fn diff_cmd(rest: &[String]) -> Result<bool, String> {
+    let (pos, flags) = parse_flags(
+        rest,
+        &["max-span-ratio", "min-span-seconds", "ignore-counter"],
+    )?;
+    let [base_path, new_path] = pos.as_slice() else {
+        return Err("diff expects <base.ndjson> <new.ndjson>".to_string());
+    };
+    let opts = diff_opts(&flags)?;
+    let base = load_report(base_path)?;
+    let new = load_report(new_path)?;
+    let d = diff(&base, &new, &opts);
+    print!("{}", d.render());
+    if d.is_clean() {
+        Ok(true)
+    } else {
+        eprintln!("mss_report diff: gating regressions against {base_path}");
+        Ok(false)
+    }
+}
+
+fn chrome_cmd(rest: &[String]) -> Result<bool, String> {
+    let (pos, flags) = parse_flags(rest, &["out"])?;
+    let [path] = pos.as_slice() else {
+        return Err("chrome-trace expects exactly one report".to_string());
+    };
+    let report = load_report(path)?;
+    let trace = chrome_trace(&report)?;
+    write_out(flag(&flags, "out"), &trace, "chrome trace")?;
+    Ok(true)
+}
+
+fn validate(rest: &[String]) -> Result<bool, String> {
+    if rest.is_empty() {
+        return Err("validate expects at least one report".to_string());
+    }
+    for path in rest {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        match Report::parse_ndjson(&text) {
+            Ok(r) => println!(
+                "{path}: valid schema v{} ({} counters, {} histograms, {} spans, {} events)",
+                r.meta.schema,
+                r.counters.len(),
+                r.histograms.len(),
+                r.spans.len(),
+                r.events.len()
+            ),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+fn baseline_cmd(rest: &[String]) -> Result<bool, String> {
+    let (pos, flags) = parse_flags(rest, &["name", "out"])?;
+    let [path] = pos.as_slice() else {
+        return Err("baseline expects exactly one report".to_string());
+    };
+    let name = flag(&flags, "name").ok_or("baseline requires --name")?;
+    let report = load_report(path)?;
+    let b = Baseline::from_report(name, &report);
+    write_out(flag(&flags, "out"), &b.to_json(), "baseline")?;
+    Ok(true)
+}
+
+fn check_cmd(rest: &[String]) -> Result<bool, String> {
+    let (pos, flags) = parse_flags(
+        rest,
+        &["max-span-ratio", "min-span-seconds", "ignore-counter"],
+    )?;
+    let [baseline_path, report_path] = pos.as_slice() else {
+        return Err("check expects <BENCH_name.json> <report.ndjson>".to_string());
+    };
+    let text =
+        std::fs::read_to_string(baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let b = Baseline::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let report = load_report(report_path)?;
+    let opts = CheckOptions {
+        max_span_ratio: flag_f64(&flags, "max-span-ratio")?,
+        min_span_seconds: flag_f64(&flags, "min-span-seconds")?.unwrap_or(0.05),
+        ignore_counters: flag_list(&flags, "ignore-counter"),
+    };
+    let findings = b.check(&report, &opts);
+    for f in &findings {
+        println!("{} {}", if f.gating { "GATE" } else { "info" }, f.message);
+    }
+    if passes(&findings) {
+        println!(
+            "check: {} matches baseline {:?} ({} counters, {} spans)",
+            report_path,
+            b.name,
+            b.counters.len(),
+            b.spans.len()
+        );
+        Ok(true)
+    } else {
+        eprintln!(
+            "mss_report check: {report_path} gates against baseline {baseline_path}; \
+             if the change is intentional, regenerate with `mss_report baseline`"
+        );
+        Ok(false)
+    }
+}

@@ -1,0 +1,313 @@
+//! Report diffing: compares two NDJSON runs and separates deterministic
+//! regressions from wall-clock noise.
+//!
+//! The repo's determinism contract (fixed seed ⇒ bit-identical results at
+//! any thread count) extends to its counters: two runs of the same workload
+//! must produce *identical* counter values, so any counter delta is a real
+//! behavioural change and gates. Span *times* are wall-clock and inherently
+//! noisy, so they gate only through a ratio threshold over a noise floor:
+//! a span must both get ≥ `max_span_ratio`× slower per closing *and* be big
+//! enough (`min_span_seconds` total) for the slowdown to be signal.
+
+use crate::report::Report;
+
+/// Noise-tolerance policy for a diff.
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// A common span gates when `new_mean > base_mean * max_span_ratio`.
+    pub max_span_ratio: f64,
+    /// Spans whose total time stays under this (in both runs) never gate —
+    /// micro-spans are timer-granularity noise.
+    pub min_span_seconds: f64,
+    /// Counter name prefixes excluded from gating (still listed).
+    pub ignore_counters: Vec<String>,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        Self {
+            max_span_ratio: 2.0,
+            min_span_seconds: 0.05,
+            ignore_counters: Vec::new(),
+        }
+    }
+}
+
+impl DiffOptions {
+    fn ignored(&self, name: &str) -> bool {
+        self.ignore_counters.iter().any(|p| name.starts_with(p))
+    }
+}
+
+/// One counter difference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterChange {
+    /// Counter name.
+    pub name: String,
+    /// Value in the base run (`None` = absent).
+    pub base: Option<u64>,
+    /// Value in the new run (`None` = absent).
+    pub new: Option<u64>,
+    /// Whether this change gates (not on an ignore prefix).
+    pub gating: bool,
+}
+
+/// One span compared across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanChange {
+    /// Span path.
+    pub path: String,
+    /// Mean seconds per closing in the base run.
+    pub base_mean: f64,
+    /// Mean seconds per closing in the new run.
+    pub new_mean: f64,
+    /// `new_mean / base_mean` (∞ when base is 0 and new is not).
+    pub ratio: f64,
+    /// Count mismatch (deterministic structure changed) — always gates.
+    pub count_mismatch: Option<(u64, u64)>,
+    /// True when the slowdown clears both the ratio and the noise floor.
+    pub time_regression: bool,
+}
+
+/// The outcome of diffing two reports.
+#[derive(Debug, Clone, Default)]
+pub struct ReportDiff {
+    /// Counters added, removed, or changed.
+    pub counter_changes: Vec<CounterChange>,
+    /// Spans present in only one run (path, present-in-base).
+    pub span_presence: Vec<(String, bool)>,
+    /// Common spans with their timing comparison.
+    pub span_changes: Vec<SpanChange>,
+}
+
+impl ReportDiff {
+    /// Gating counter differences (deterministic regressions).
+    pub fn counter_regressions(&self) -> impl Iterator<Item = &CounterChange> {
+        self.counter_changes.iter().filter(|c| c.gating)
+    }
+
+    /// Gating span differences: structural count mismatches plus timing
+    /// regressions that cleared the noise tolerance.
+    pub fn span_regressions(&self) -> impl Iterator<Item = &SpanChange> {
+        self.span_changes
+            .iter()
+            .filter(|s| s.count_mismatch.is_some() || s.time_regression)
+    }
+
+    /// True when nothing gates: the new run is no worse than the base.
+    pub fn is_clean(&self) -> bool {
+        self.counter_regressions().next().is_none()
+            && self.span_regressions().next().is_none()
+            && self.span_presence.is_empty()
+    }
+
+    /// Renders the human-facing diff report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let counter_regs = self.counter_regressions().count();
+        out.push_str(&format!(
+            "counters: {} change(s), {} gating\n",
+            self.counter_changes.len(),
+            counter_regs
+        ));
+        for c in &self.counter_changes {
+            let fmt = |v: Option<u64>| v.map_or("absent".to_string(), |n| n.to_string());
+            out.push_str(&format!(
+                "  {} {:<52} {} -> {}\n",
+                if c.gating { "GATE" } else { "info" },
+                c.name,
+                fmt(c.base),
+                fmt(c.new)
+            ));
+        }
+        for (path, in_base) in &self.span_presence {
+            out.push_str(&format!(
+                "  GATE span {:<47} {}\n",
+                path,
+                if *in_base { "disappeared" } else { "appeared" }
+            ));
+        }
+        let span_regs: Vec<&SpanChange> = self.span_regressions().collect();
+        out.push_str(&format!(
+            "spans: {} compared, {} gating\n",
+            self.span_changes.len(),
+            span_regs.len()
+        ));
+        for s in &span_regs {
+            if let Some((b, n)) = s.count_mismatch {
+                out.push_str(&format!("  GATE span {:<47} count {b} -> {n}\n", s.path));
+            }
+            if s.time_regression {
+                out.push_str(&format!(
+                    "  GATE span {:<47} mean {:.3e}s -> {:.3e}s ({:.2}x)\n",
+                    s.path, s.base_mean, s.new_mean, s.ratio
+                ));
+            }
+        }
+        if self.is_clean() {
+            out.push_str("clean: no counter regressions, no span regressions\n");
+        }
+        out
+    }
+}
+
+/// Diffs `new` against `base` under the given noise tolerance.
+pub fn diff(base: &Report, new: &Report, opts: &DiffOptions) -> ReportDiff {
+    let mut out = ReportDiff::default();
+
+    let names: std::collections::BTreeSet<&String> =
+        base.counters.keys().chain(new.counters.keys()).collect();
+    for name in names {
+        let b = base.counters.get(name).copied();
+        let n = new.counters.get(name).copied();
+        if b != n {
+            out.counter_changes.push(CounterChange {
+                name: name.clone(),
+                base: b,
+                new: n,
+                gating: !opts.ignored(name),
+            });
+        }
+    }
+
+    let paths: std::collections::BTreeSet<&String> =
+        base.spans.keys().chain(new.spans.keys()).collect();
+    for path in paths {
+        match (base.spans.get(path), new.spans.get(path)) {
+            (Some(b), Some(n)) => {
+                let base_mean = b.mean_seconds();
+                let new_mean = n.mean_seconds();
+                let ratio = if base_mean > 0.0 {
+                    new_mean / base_mean
+                } else if new_mean > 0.0 {
+                    f64::INFINITY
+                } else {
+                    1.0
+                };
+                let above_floor = b.total_seconds.max(n.total_seconds) >= opts.min_span_seconds;
+                out.span_changes.push(SpanChange {
+                    path: path.clone(),
+                    base_mean,
+                    new_mean,
+                    ratio,
+                    count_mismatch: (b.count != n.count).then_some((b.count, n.count)),
+                    time_regression: above_floor && ratio > opts.max_span_ratio,
+                });
+            }
+            (Some(_), None) => out.span_presence.push((path.clone(), true)),
+            (None, Some(_)) => out.span_presence.push((path.clone(), false)),
+            (None, None) => unreachable!("path came from one of the key sets"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mss_obs::{Mode, Registry};
+
+    fn report_with(counter: u64, spin_ms: u64) -> Report {
+        let reg = Registry::new(Mode::Metrics);
+        reg.counter_add("work.items", counter);
+        {
+            let _g = reg.span("work");
+            std::thread::sleep(std::time::Duration::from_millis(spin_ms));
+        }
+        Report::parse_ndjson(&reg.to_ndjson()).expect("valid report")
+    }
+
+    #[test]
+    fn identical_runs_diff_clean() {
+        let a = report_with(10, 1);
+        let b = report_with(10, 1);
+        let d = diff(&a, &b, &DiffOptions::default());
+        assert!(d.is_clean(), "{}", d.render());
+        assert_eq!(d.counter_changes.len(), 0);
+        assert!(d.render().contains("clean"));
+    }
+
+    #[test]
+    fn counter_drift_always_gates() {
+        let a = report_with(10, 1);
+        let b = report_with(11, 1);
+        let d = diff(&a, &b, &DiffOptions::default());
+        assert!(!d.is_clean());
+        let regs: Vec<_> = d.counter_regressions().collect();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "work.items");
+        assert_eq!((regs[0].base, regs[0].new), (Some(10), Some(11)));
+    }
+
+    #[test]
+    fn ignored_counter_prefixes_do_not_gate() {
+        let a = report_with(10, 1);
+        let b = report_with(11, 1);
+        let opts = DiffOptions {
+            ignore_counters: vec!["work.".to_string()],
+            ..DiffOptions::default()
+        };
+        let d = diff(&a, &b, &opts);
+        assert!(d.is_clean(), "{}", d.render());
+        assert_eq!(d.counter_changes.len(), 1, "still listed as info");
+    }
+
+    #[test]
+    fn slow_spans_gate_only_above_the_noise_floor() {
+        let fast = report_with(10, 2);
+        let slow = report_with(10, 40);
+        // Floor above both totals: a 20x slowdown on a micro-span is noise.
+        let lenient = DiffOptions {
+            min_span_seconds: 10.0,
+            ..DiffOptions::default()
+        };
+        assert!(diff(&fast, &slow, &lenient).is_clean());
+        // Floor below the slow run: the same slowdown now gates.
+        let strict = DiffOptions {
+            min_span_seconds: 0.02,
+            ..DiffOptions::default()
+        };
+        let d = diff(&fast, &slow, &strict);
+        let regs: Vec<_> = d.span_regressions().collect();
+        assert_eq!(regs.len(), 1, "{}", d.render());
+        assert!(regs[0].time_regression);
+        assert!(regs[0].ratio > 2.0);
+        // Speedups never gate, whatever the floor.
+        assert!(diff(&slow, &fast, &strict).is_clean());
+    }
+
+    #[test]
+    fn appearing_and_disappearing_spans_gate() {
+        let a = report_with(10, 1);
+        let reg = Registry::new(Mode::Metrics);
+        reg.counter_add("work.items", 10);
+        {
+            let _g = reg.span("work");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        {
+            let _g = reg.span("surprise");
+        }
+        let b = Report::parse_ndjson(&reg.to_ndjson()).unwrap();
+        let d = diff(&a, &b, &DiffOptions::default());
+        assert!(!d.is_clean());
+        assert_eq!(d.span_presence, vec![("surprise".to_string(), false)]);
+        assert!(d.render().contains("appeared"), "{}", d.render());
+    }
+
+    #[test]
+    fn span_count_mismatch_gates_as_structural() {
+        let a = report_with(10, 1);
+        let reg = Registry::new(Mode::Metrics);
+        reg.counter_add("work.items", 10);
+        for _ in 0..2 {
+            let _g = reg.span("work");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let b = Report::parse_ndjson(&reg.to_ndjson()).unwrap();
+        let d = diff(&a, &b, &DiffOptions::default());
+        let regs: Vec<_> = d.span_regressions().collect();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].count_mismatch, Some((1, 2)));
+    }
+}

@@ -1,0 +1,80 @@
+//! `mss-prof` — the profiling and perf-regression subsystem of the GREAT
+//! MSS flow: the consumption side of `mss-obs`.
+//!
+//! `mss-obs` (PR 2) made every layer of the device→PDK→memory→system flow
+//! *emit* NDJSON run reports; this crate makes them *actionable*:
+//!
+//! - [`report`] — strict parsing/validation of the NDJSON schema (v1 and
+//!   the v2 profiling extensions: self time, per-thread ownership,
+//!   quantiles, drop counts) plus top-N hot-path attribution,
+//! - [`chrome`] — Chrome trace-event export (loadable in Perfetto /
+//!   `chrome://tracing`) with per-thread timelines named after `mss-exec`
+//!   workers,
+//! - [`diff`] — run-to-run comparison separating deterministic counter or
+//!   span-structure regressions (always gate) from wall-clock noise
+//!   (ratio-over-noise-floor policy),
+//! - [`baseline`] — committed `BENCH_<name>.json` structural baselines the
+//!   CI perf gate checks every push against,
+//! - [`json`] — the zero-dependency strict JSON parser underneath it all.
+//!
+//! The `mss_report` binary exposes all of it on the command line:
+//!
+//! ```text
+//! mss_report summary  target/cache_smoke.ndjson
+//! mss_report diff     base.ndjson new.ndjson --max-span-ratio 2.0
+//! mss_report chrome-trace target/cache_smoke.ndjson --out trace.json
+//! mss_report validate target/*.ndjson
+//! mss_report baseline target/cache_smoke.ndjson --name cache_smoke
+//! mss_report check    results/BENCH_cache_smoke.json target/cache_smoke.ndjson
+//! ```
+//!
+//! Everything here is hermetic: no dependencies outside the workspace, no
+//! network, deterministic output for deterministic input.
+
+#![deny(missing_docs)]
+
+pub mod baseline;
+pub mod chrome;
+pub mod diff;
+pub mod json;
+pub mod report;
+
+pub use baseline::{Baseline, CheckOptions, Finding};
+pub use chrome::chrome_trace;
+pub use diff::{diff, DiffOptions, ReportDiff};
+pub use report::Report;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mss_obs::{Mode, Registry};
+
+    /// End-to-end: a live registry report survives the full pipeline —
+    /// parse → summarize → baseline → self-check → diff-clean.
+    #[test]
+    fn full_pipeline_round_trip() {
+        let reg = Registry::new(Mode::Trace);
+        reg.counter_add("e2e.items", 5);
+        reg.record_value("e2e.latency", 1e-6);
+        {
+            let _g = reg.span("e2e");
+            let _h = reg.span("leg");
+        }
+        let text = reg.to_ndjson();
+
+        let report = Report::parse_ndjson(&text).expect("parse");
+        assert!(report.render_summary(10).contains("e2e"));
+
+        let b = Baseline::from_report("e2e", &report);
+        let reparsed = Baseline::parse(&b.to_json()).expect("baseline round-trip");
+        assert!(baseline::passes(
+            &reparsed.check(&report, &CheckOptions::default())
+        ));
+
+        let d = diff(&report, &report, &DiffOptions::default());
+        assert!(d.is_clean());
+
+        let trace = chrome_trace(&report).expect("trace export");
+        json::Value::parse(&trace).expect("trace is valid JSON");
+    }
+}

@@ -249,6 +249,12 @@ pub fn run_with_stats(
         cfg,
         opts.samples,
         |batch, range| -> Result<BatchAcc, VaetError> {
+            // Opened inside the worker closure so the profiler attributes the
+            // sampling time to the executing thread (`by_thread` in the span
+            // report), not to the coordinating caller. Batch count depends
+            // only on `samples` and the chunk size, so the span count stays
+            // deterministic across thread counts.
+            let _span = mss_obs::span("vaet.mc.batch");
             let mut rng = Xoshiro256PlusPlus::stream(opts.seed, batch as u64);
             let mut acc = BatchAcc::default();
             for _ in range {
