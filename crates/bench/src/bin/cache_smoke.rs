@@ -1,7 +1,7 @@
 //! CI smoke benchmark for the content-addressed stage pipeline: runs the
 //! MAGPIE flow twice in one process over a shared in-memory cache, then cold
 //! and warm against the on-disk tier — asserting a byte-identical
-//! [`MagpieReport`](mss_core::flow::MagpieReport) and 100 % stage hits on
+//! [`mss_core::flow::MagpieReport`] and 100 % stage hits on
 //! every warm pass. When `MSS_METRICS=1` or `MSS_TRACE=1` the observability
 //! registry (including the `pipe.*` cache counters) is written as an NDJSON
 //! run report CI archives.

@@ -8,7 +8,7 @@
 //! iso-capacity cache configuration that appears twice re-uses the same
 //! `ArrayMetrics`. This crate turns that observation into machinery:
 //!
-//! - [`hash`] — a structural [`StableHash`](hash::StableHash) trait with a
+//! - [`hash`] — a structural [`hash::StableHash`] trait with a
 //!   fully specified FNV-1a + SplitMix64 hasher, stable across processes
 //!   and releases, producing the 16-hex-digit content address of a stage's
 //!   inputs;

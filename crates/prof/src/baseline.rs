@@ -6,7 +6,7 @@
 //! structure are reproducible bit-for-bit on any machine (the workspace's
 //! determinism contract), so they gate exactly; times cross machines, so
 //! they gate only through the same ratio-over-noise-floor policy as
-//! [`crate::diff`], and only when a ratio is explicitly requested.
+//! [`crate::diff()`], and only when a ratio is explicitly requested.
 
 use std::collections::BTreeMap;
 

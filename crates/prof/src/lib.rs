@@ -10,7 +10,7 @@
 //! - [`chrome`] — Chrome trace-event export (loadable in Perfetto /
 //!   `chrome://tracing`) with per-thread timelines named after `mss-exec`
 //!   workers,
-//! - [`diff`] — run-to-run comparison separating deterministic counter or
+//! - [`diff()`] — run-to-run comparison separating deterministic counter or
 //!   span-structure regressions (always gate) from wall-clock noise
 //!   (ratio-over-noise-floor policy),
 //! - [`baseline`] — committed `BENCH_<name>.json` structural baselines the

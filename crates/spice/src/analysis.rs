@@ -9,9 +9,10 @@
 
 use std::collections::HashMap;
 
+use crate::backend::{BackendKind, SolverBackend, Workspace};
 use crate::error::RetryAttempt;
 use crate::netlist::{Element, Netlist, NodeId};
-use crate::solver::{solve, Matrix};
+use crate::solver::Matrix;
 use crate::SpiceError;
 
 /// Conductance from every node to ground, keeping floating nets solvable.
@@ -56,6 +57,8 @@ pub struct SolverOptions {
     /// Maximum recursive `dt` halvings per transient step (0 = reject
     /// nothing).
     pub max_step_halvings: u32,
+    /// Numeric kernel used for the linear solves.
+    pub backend: BackendKind,
 }
 
 impl Default for SolverOptions {
@@ -66,6 +69,7 @@ impl Default for SolverOptions {
             gmin_stepping: true,
             source_stepping: true,
             max_step_halvings: 6,
+            backend: BackendKind::default(),
         }
     }
 }
@@ -102,6 +106,12 @@ impl SolverOptions {
     /// Returns the options with a different halving depth.
     pub fn with_max_step_halvings(mut self, n: u32) -> Self {
         self.max_step_halvings = n;
+        self
+    }
+
+    /// Returns the options with a different solver backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -159,17 +169,19 @@ impl DcSolution {
     }
 }
 
-/// Workspace shared by DC and transient assembly. Holds only index
+/// Symbolic MNA structure shared by DC, transient and batched assembly:
+/// the index mapping computed once per netlist *topology*. Holds only index
 /// structure, never a borrow of the netlist, so the transient loop can
-/// mutate MTJ states between steps.
-struct Mna {
+/// mutate MTJ states between steps and the batch path can re-stamp many
+/// parameter vectors against one analysis.
+pub(crate) struct Mna {
     n_nodes: usize,
-    vsource_rows: Vec<(usize, usize)>, // (element index, mna row)
+    pub(crate) vsource_rows: Vec<(usize, usize)>, // (element index, mna row)
     has_nonlinear: bool,
 }
 
 impl Mna {
-    fn new(netlist: &Netlist) -> Self {
+    pub(crate) fn new(netlist: &Netlist) -> Self {
         let n_nodes = netlist.node_count() - 1; // exclude ground
         let mut vsource_rows = Vec::new();
         let mut next = n_nodes;
@@ -190,7 +202,7 @@ impl Mna {
         }
     }
 
-    fn dim(&self) -> usize {
+    pub(crate) fn dim(&self) -> usize {
         self.n_nodes + self.vsource_rows.len()
     }
 
@@ -202,7 +214,7 @@ impl Mna {
         }
     }
 
-    fn voltage(&self, x: &[f64], n: NodeId) -> f64 {
+    pub(crate) fn voltage(&self, x: &[f64], n: NodeId) -> f64 {
         match self.node_idx(n) {
             Some(i) => x[i],
             None => 0.0,
@@ -229,12 +241,14 @@ impl Mna {
         }
     }
 
-    /// Assembles and solves one Newton iteration.
+    /// Assembles one Newton iteration into the workspace and solves it with
+    /// the given backend; the solution lands in [`Workspace::solution`].
     ///
-    /// `t` selects source values; `cap_state` holds previous-step voltages
+    /// `t` selects source values; `cap_prev` holds previous-step voltages
     /// for the backward-Euler companions (`None` in DC: capacitors open).
-    /// `x0` is the current Newton iterate; `mtj_voltages` receives nothing —
-    /// MTJ conductances are read from `x0`.
+    /// `x0` is the current Newton iterate — MTJ/MOSFET linearisations are
+    /// read from it.
+    #[allow(clippy::too_many_arguments)]
     fn assemble_and_solve(
         &self,
         netlist: &Netlist,
@@ -243,10 +257,12 @@ impl Mna {
         dt: Option<f64>,
         cap_prev: Option<&[f64]>,
         knobs: &SolveKnobs,
-    ) -> Result<Vec<f64>, SpiceError> {
+        backend: &dyn SolverBackend,
+        ws: &mut Workspace,
+    ) -> Result<(), SpiceError> {
         let dim = self.dim();
-        let mut m = Matrix::zeros(dim, dim);
-        let mut rhs = vec![0.0; dim];
+        ws.prepare(dim);
+        let (m, rhs) = ws.assembly_mut();
 
         // gmin to ground on every node (the ladder may inflate it).
         for i in 0..self.n_nodes {
@@ -257,12 +273,12 @@ impl Mna {
         for e in netlist.elements() {
             match e {
                 Element::Resistor { a, b, ohms, .. } => {
-                    self.stamp_conductance(&mut m, *a, *b, 1.0 / ohms);
+                    self.stamp_conductance(m, *a, *b, 1.0 / ohms);
                 }
                 Element::Capacitor { a, b, farads, .. } => {
                     if let (Some(dt), Some(prev)) = (dt, cap_prev) {
                         let geq = farads / dt;
-                        self.stamp_conductance(&mut m, *a, *b, geq);
+                        self.stamp_conductance(m, *a, *b, geq);
                         let va = match self.node_idx(*a) {
                             Some(i) => prev[i],
                             None => 0.0,
@@ -272,8 +288,8 @@ impl Mna {
                             None => 0.0,
                         };
                         let ieq = geq * (va - vb);
-                        self.inject(&mut rhs, *a, ieq);
-                        self.inject(&mut rhs, *b, -ieq);
+                        self.inject(rhs, *a, ieq);
+                        self.inject(rhs, *b, -ieq);
                     }
                     // DC: open circuit (gmin keeps nodes grounded).
                 }
@@ -296,8 +312,8 @@ impl Mna {
                     plus, minus, wave, ..
                 } => {
                     let i = knobs.source_scale * wave.eval(t);
-                    self.inject(&mut rhs, *plus, -i);
-                    self.inject(&mut rhs, *minus, i);
+                    self.inject(rhs, *plus, -i);
+                    self.inject(rhs, *minus, i);
                 }
                 Element::Mosfet {
                     d,
@@ -313,7 +329,7 @@ impl Mna {
                     let op = model.evaluate(geom, vg - vs, vd - vs);
                     // i_d = id0 + gm*(vgs - vgs0) + gds*(vds - vds0)
                     // Stamps: gds between d and s, VCCS gm from (g,s) into (d,s).
-                    self.stamp_conductance(&mut m, *d, *s, op.gds);
+                    self.stamp_conductance(m, *d, *s, op.gds);
                     let (id_, ig, is_) = (self.node_idx(*d), self.node_idx(*g), self.node_idx(*s));
                     if let Some(di) = id_ {
                         if let Some(gi) = ig {
@@ -330,8 +346,8 @@ impl Mna {
                         m.add(si, si, op.gm);
                     }
                     let i0 = op.id - op.gm * (vg - vs) - op.gds * (vd - vs);
-                    self.inject(&mut rhs, *d, -i0);
-                    self.inject(&mut rhs, *s, i0);
+                    self.inject(rhs, *d, -i0);
+                    self.inject(rhs, *s, i0);
                 }
                 Element::Mtj {
                     plus,
@@ -341,15 +357,20 @@ impl Mna {
                 } => {
                     let v = self.voltage(x0, *plus) - self.voltage(x0, *minus);
                     let (g, _) = device.linearize(v);
-                    self.stamp_conductance(&mut m, *plus, *minus, g);
+                    self.stamp_conductance(m, *plus, *minus, g);
                 }
             }
         }
 
-        solve(m, rhs)
+        backend.solve_in_place(ws)
     }
 
     /// Newton loop at time `t` with a bounded iteration budget.
+    ///
+    /// All linear solves run in the caller's workspace: one Newton call —
+    /// and one whole transient — performs O(1) matrix allocations. Damping
+    /// is applied in place on the iterate (values identical to the historic
+    /// clone-and-clamp), so per-iteration allocations are gone too.
     ///
     /// Failure carries the iteration count and the final `max_dv` so the
     /// retry ladder (and the user) can see how close the iterate got.
@@ -364,28 +385,37 @@ impl Mna {
         analysis: &'static str,
         knobs: &SolveKnobs,
         budget: usize,
+        backend: &dyn SolverBackend,
+        ws: &mut Workspace,
     ) -> Result<Vec<f64>, SpiceError> {
         let mut x = x_init.to_vec();
         if !self.has_nonlinear {
-            return self.assemble_and_solve(netlist, t, &x, dt, cap_prev, knobs);
+            self.assemble_and_solve(netlist, t, &x, dt, cap_prev, knobs, backend, ws)?;
+            x.copy_from_slice(ws.solution());
+            return Ok(x);
         }
         mss_obs::counter_add("spice.newton.calls", 1);
         let budget = budget.max(1);
         let mut last_dv = f64::INFINITY;
         for iter in 0..budget {
-            let x_new = self.assemble_and_solve(netlist, t, &x, dt, cap_prev, knobs)?;
+            self.assemble_and_solve(netlist, t, &x, dt, cap_prev, knobs, backend, ws)?;
+            let x_new = ws.solution();
             let mut max_dv: f64 = 0.0;
-            let mut damped = x_new.clone();
-            for i in 0..self.n_nodes {
+            for i in 0..x.len() {
                 let dv = x_new[i] - x[i];
-                max_dv = max_dv.max(dv.abs());
-                if dv.abs() > VSTEP_MAX {
-                    damped[i] = x[i] + dv.signum() * VSTEP_MAX;
+                if i < self.n_nodes {
+                    max_dv = max_dv.max(dv.abs());
+                    x[i] = if dv.abs() > VSTEP_MAX {
+                        x[i] + dv.signum() * VSTEP_MAX
+                    } else {
+                        x_new[i]
+                    };
+                } else {
+                    x[i] = x_new[i];
                 }
             }
             let converged = max_dv < VTOL;
             last_dv = max_dv;
-            x = damped;
             if converged {
                 mss_obs::counter_add("spice.newton.iterations", iter as u64 + 1);
                 return Ok(x);
@@ -402,9 +432,10 @@ impl Mna {
     }
 
     /// DC-like solve with the full convergence retry ladder: plain Newton,
-    /// then gmin stepping, then source stepping.
+    /// then gmin stepping, then source stepping. Every attempt reuses the
+    /// caller's workspace.
     #[allow(clippy::too_many_arguments)]
-    fn solve_static(
+    pub(crate) fn solve_static(
         &self,
         netlist: &Netlist,
         t: f64,
@@ -413,7 +444,9 @@ impl Mna {
         cap_prev: Option<&[f64]>,
         analysis: &'static str,
         opts: &SolverOptions,
+        ws: &mut Workspace,
     ) -> Result<Vec<f64>, SpiceError> {
+        let backend = opts.backend.instance();
         let mut attempts = Vec::new();
         match self.newton(
             netlist,
@@ -424,6 +457,8 @@ impl Mna {
             analysis,
             &SolveKnobs::NOMINAL,
             opts.max_newton,
+            backend,
+            ws,
         ) {
             Ok(x) => return Ok(x),
             Err(e) => record_attempt(&mut attempts, "newton", e)?,
@@ -438,6 +473,7 @@ impl Mna {
                 analysis,
                 opts,
                 &mut attempts,
+                ws,
             )? {
                 mss_obs::counter_add("spice.ladder.gmin_rescued", 1);
                 return Ok(x);
@@ -453,6 +489,7 @@ impl Mna {
                 analysis,
                 opts,
                 &mut attempts,
+                ws,
             )? {
                 mss_obs::counter_add("spice.ladder.source_rescued", 1);
                 return Ok(x);
@@ -477,7 +514,9 @@ impl Mna {
         analysis: &'static str,
         opts: &SolverOptions,
         attempts: &mut Vec<RetryAttempt>,
+        ws: &mut Workspace,
     ) -> Result<Option<Vec<f64>>, SpiceError> {
+        let backend = opts.backend.instance();
         let mut x = x_init.to_vec();
         let mut gmin = GMIN_LADDER_START;
         while gmin > GMIN {
@@ -494,6 +533,8 @@ impl Mna {
                 analysis,
                 &knobs,
                 opts.ladder_newton,
+                backend,
+                ws,
             ) {
                 Ok(next) => x = next,
                 Err(e) => {
@@ -513,6 +554,8 @@ impl Mna {
             analysis,
             &SolveKnobs::NOMINAL,
             opts.ladder_newton,
+            backend,
+            ws,
         ) {
             Ok(x) => Ok(Some(x)),
             Err(e) => {
@@ -537,7 +580,9 @@ impl Mna {
         analysis: &'static str,
         opts: &SolverOptions,
         attempts: &mut Vec<RetryAttempt>,
+        ws: &mut Workspace,
     ) -> Result<Option<Vec<f64>>, SpiceError> {
+        let backend = opts.backend.instance();
         let mut x = x_init.to_vec();
         for level in 1..=SOURCE_LADDER_LEVELS {
             let alpha = level as f64 / SOURCE_LADDER_LEVELS as f64;
@@ -554,6 +599,8 @@ impl Mna {
                 analysis,
                 &knobs,
                 opts.ladder_newton,
+                backend,
+                ws,
             ) {
                 Ok(next) => x = next,
                 Err(e) => {
@@ -579,6 +626,7 @@ impl Mna {
         depth: u32,
         opts: &SolverOptions,
         attempts: &mut Vec<RetryAttempt>,
+        ws: &mut Workspace,
     ) -> Result<Vec<f64>, SpiceError> {
         match self.newton(
             netlist,
@@ -589,6 +637,8 @@ impl Mna {
             "transient",
             &SolveKnobs::NOMINAL,
             opts.max_newton,
+            opts.backend.instance(),
+            ws,
         ) {
             Ok(x) => Ok(x),
             Err(e) => {
@@ -611,8 +661,9 @@ impl Mna {
                     depth + 1,
                     opts,
                     attempts,
+                    ws,
                 )?;
-                self.advance_step(netlist, t_end, half, &x_mid, depth + 1, opts, attempts)
+                self.advance_step(netlist, t_end, half, &x_mid, depth + 1, opts, attempts, ws)
             }
         }
     }
@@ -688,8 +739,18 @@ pub fn dc_operating_point_with(
 ) -> Result<DcSolution, SpiceError> {
     let _span = mss_obs::span("spice.dc");
     let mna = Mna::new(netlist);
+    let mut ws = Workspace::new();
     let x0 = vec![0.0; mna.dim()];
-    let x = mna.solve_static(netlist, 0.0, &x0, None, None, "dc operating point", solver)?;
+    let x = mna.solve_static(
+        netlist,
+        0.0,
+        &x0,
+        None,
+        None,
+        "dc operating point",
+        solver,
+        &mut ws,
+    )?;
     Ok(package_dc(netlist, &mna, &x))
 }
 
@@ -793,6 +854,11 @@ impl Transient {
         let steps = (opts.t_stop / opts.dt).round() as usize;
         mss_obs::counter_add("spice.transient.steps", steps as u64);
 
+        // One workspace for the whole run: the DC init, every step and
+        // every retry-ladder re-solve share it, so a transient performs
+        // O(1) matrix allocations regardless of step count.
+        let mut ws = Workspace::new();
+
         // t = 0: DC operating point (capacitors open), full retry ladder.
         let mut x = mna.solve_static(
             &netlist,
@@ -802,6 +868,7 @@ impl Transient {
             None,
             "transient dc init",
             &opts.solver,
+            &mut ws,
         )?;
 
         let node_names: Vec<String> = (0..netlist.node_count())
@@ -851,7 +918,16 @@ impl Transient {
             let t = k as f64 * opts.dt;
             let prev = x.clone();
             let mut attempts = Vec::new();
-            x = mna.advance_step(&netlist, t, opts.dt, &prev, 0, &opts.solver, &mut attempts)?;
+            x = mna.advance_step(
+                &netlist,
+                t,
+                opts.dt,
+                &prev,
+                0,
+                &opts.solver,
+                &mut attempts,
+                &mut ws,
+            )?;
 
             // Advance MTJ states with the solved currents.
             let mut events = Vec::new();

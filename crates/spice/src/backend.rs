@@ -1,0 +1,304 @@
+//! Pluggable linear-solver backends over a reusable workspace.
+//!
+//! The historic entry point, [`crate::solver::solve`], consumes its matrix
+//! and right-hand side on every call, which forces the Newton loop (and
+//! every Monte Carlo sample) to reallocate the full MNA system per
+//! iteration. This module splits the solver into two pieces:
+//!
+//! * a [`Workspace`] owning the matrix, RHS and solution storage, reused
+//!   across iterations, retry-ladder attempts and batch samples — after the
+//!   first solve of a given dimension, assembling and solving allocates
+//!   nothing;
+//! * a [`SolverBackend`] trait so alternative numeric kernels (today the
+//!   dense LU, tomorrow a sparse or static-pivot-order variant) plug in
+//!   underneath `analysis.rs` without touching the Newton logic.
+//!
+//! **Determinism contract.** Backends are pure functions of the assembled
+//! `(A, b)`: the dense backend performs the *bit-identical* arithmetic of
+//! the historic `solve` (same scale/tolerance computation, same pivot
+//! search order, same elimination and back-substitution loops), so single
+//! and batched paths produce identical bits and identical
+//! [`SpiceError`] classification no matter which path — or how many
+//! threads — ran the sample.
+
+use crate::solver::Matrix;
+use crate::SpiceError;
+
+/// Reusable solve storage: matrix, right-hand side and solution vector.
+///
+/// [`Workspace::prepare`] returns the storage zeroed and correctly sized;
+/// it only (re)allocates when the system dimension changes, and bumps the
+/// `spice.solver.workspace_allocs` counter when it does — the counter is
+/// how tests prove a whole transient runs on O(1) allocations.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    a: Matrix,
+    rhs: Vec<f64>,
+    x: Vec<f64>,
+    dim: usize,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workspace {
+    /// An empty workspace; the first [`prepare`](Self::prepare) sizes it.
+    pub fn new() -> Self {
+        Self {
+            a: Matrix::zeros(0, 0),
+            rhs: Vec::new(),
+            x: Vec::new(),
+            dim: 0,
+        }
+    }
+
+    /// Adopts an existing system as the workspace contents (the legacy
+    /// consuming-`solve` path). Counts as a workspace allocation.
+    pub fn from_parts(a: Matrix, rhs: Vec<f64>) -> Self {
+        let dim = a.n_rows();
+        mss_obs::counter_add("spice.solver.workspace_allocs", 1);
+        Self {
+            a,
+            rhs,
+            x: vec![0.0; dim],
+            dim,
+        }
+    }
+
+    /// Clears the workspace to an all-zero `dim × dim` system, reusing the
+    /// existing storage when the dimension is unchanged.
+    pub fn prepare(&mut self, dim: usize) {
+        if self.dim != dim {
+            self.a = Matrix::zeros(dim, dim);
+            self.rhs = vec![0.0; dim];
+            self.x = vec![0.0; dim];
+            self.dim = dim;
+            mss_obs::counter_add("spice.solver.workspace_allocs", 1);
+        } else {
+            self.a.clear();
+            self.rhs.fill(0.0);
+            self.x.fill(0.0);
+        }
+    }
+
+    /// Current system dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The solution of the last successful [`SolverBackend::solve_in_place`].
+    pub fn solution(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Mutable matrix + RHS for assembly (split borrow).
+    pub fn assembly_mut(&mut self) -> (&mut Matrix, &mut [f64]) {
+        (&mut self.a, &mut self.rhs)
+    }
+
+    /// Moves the solution vector out (legacy consuming-`solve` path).
+    pub(crate) fn take_solution(&mut self) -> Vec<f64> {
+        self.dim = 0; // storage no longer consistent; force re-prepare
+        std::mem::take(&mut self.x)
+    }
+}
+
+/// A numeric kernel solving the assembled system in a [`Workspace`].
+pub trait SolverBackend: Sync {
+    /// Stable backend name (used in spans and reports).
+    fn name(&self) -> &'static str;
+
+    /// Solves `A·x = b` using the workspace's matrix and RHS as scratch,
+    /// leaving the solution in [`Workspace::solution`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::SingularMatrix`] when the system is singular at the
+    /// backend's tolerance or the solution is non-finite.
+    fn solve_in_place(&self, ws: &mut Workspace) -> Result<(), SpiceError>;
+}
+
+/// Dense LU with partial pivoting — the fallback backend, bit-identical to
+/// the historic `solver::solve`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DenseLu;
+
+impl SolverBackend for DenseLu {
+    fn name(&self) -> &'static str {
+        "dense-lu"
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn solve_in_place(&self, ws: &mut Workspace) -> Result<(), SpiceError> {
+        let n = ws.dim;
+        let a = &mut ws.a;
+        let b = &mut ws.rhs;
+        debug_assert_eq!(a.n_rows(), n);
+        debug_assert_eq!(b.len(), n);
+        // Matrix scale for the relative pivot tolerance; the MIN_POSITIVE
+        // floor makes the all-zero matrix (scale 0) singular rather than
+        // tol == 0.
+        let scale = a.max_abs();
+        let tol = (scale * n as f64 * f64::EPSILON).max(f64::MIN_POSITIVE);
+        let mut min_pivot_ratio = f64::INFINITY;
+        for k in 0..n {
+            // Partial pivot.
+            let mut piv = k;
+            let mut max = a.get(k, k).abs();
+            for r in (k + 1)..n {
+                let v = a.get(r, k).abs();
+                if v > max {
+                    max = v;
+                    piv = r;
+                }
+            }
+            if max < tol {
+                mss_obs::counter_add("spice.solver.singular", 1);
+                return Err(SpiceError::SingularMatrix);
+            }
+            min_pivot_ratio = min_pivot_ratio.min(max / scale);
+            if piv != k {
+                for c in 0..n {
+                    let tmp = a.get(k, c);
+                    a.set(k, c, a.get(piv, c));
+                    a.set(piv, c, tmp);
+                }
+                b.swap(k, piv);
+            }
+            let pivot = a.get(k, k);
+            for r in (k + 1)..n {
+                let factor = a.get(r, k) / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                a.set(r, k, 0.0);
+                for c in (k + 1)..n {
+                    let v = a.get(r, c) - factor * a.get(k, c);
+                    a.set(r, c, v);
+                }
+                b[r] -= factor * b[k];
+            }
+        }
+        // Back substitution into the workspace solution vector.
+        let x = &mut ws.x;
+        for k in (0..n).rev() {
+            let mut sum = b[k];
+            for c in (k + 1)..n {
+                sum -= a.get(k, c) * x[c];
+            }
+            x[k] = sum / a.get(k, k);
+        }
+        // Defence in depth: a pivot chain can pass the tolerance yet still
+        // overflow during substitution; never hand back non-finite
+        // "solutions".
+        if x.iter().any(|v| !v.is_finite()) {
+            mss_obs::counter_add("spice.solver.singular", 1);
+            return Err(SpiceError::SingularMatrix);
+        }
+        if mss_obs::enabled() {
+            mss_obs::counter_add("spice.solver.solves", 1);
+            mss_obs::record_value("spice.solver.min_pivot_ratio", min_pivot_ratio);
+        }
+        Ok(())
+    }
+}
+
+/// Selectable backend, carried by value inside `SolverOptions` (which is
+/// `Copy`); [`BackendKind::instance`] resolves it to the shared kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Dense LU with partial pivoting (the fallback, always available).
+    #[default]
+    DenseLu,
+}
+
+impl BackendKind {
+    /// The backend implementation for this kind.
+    pub fn instance(self) -> &'static dyn SolverBackend {
+        match self {
+            BackendKind::DenseLu => &DenseLu,
+        }
+    }
+
+    /// Stable name of the selected backend.
+    pub fn name(self) -> &'static str {
+        self.instance().name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stamp(entries: &[(usize, usize, f64)], rhs: &[f64], ws: &mut Workspace) {
+        ws.prepare(rhs.len());
+        let (a, b) = ws.assembly_mut();
+        for &(r, c, v) in entries {
+            a.add(r, c, v);
+        }
+        b.copy_from_slice(rhs);
+    }
+
+    // NOTE: the `spice.solver.workspace_allocs` counter assertion lives in
+    // `tests/workspace_allocs.rs` — the global obs registry is shared by
+    // every test in a binary, so counter deltas are only meaningful in a
+    // binary that owns the counter.
+    #[test]
+    fn workspace_reuse_solves_repeatedly() {
+        let mut ws = Workspace::new();
+        for _ in 0..10 {
+            stamp(&[(0, 0, 2.0), (1, 1, 4.0)], &[2.0, 8.0], &mut ws);
+            DenseLu.solve_in_place(&mut ws).unwrap();
+            assert_eq!(ws.solution(), &[1.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn prepare_clears_stale_state() {
+        let mut ws = Workspace::new();
+        stamp(&[(0, 0, 1.0), (1, 1, 1.0)], &[3.0, 4.0], &mut ws);
+        DenseLu.solve_in_place(&mut ws).unwrap();
+        // Same dimension again: old matrix/rhs/x must not leak through.
+        stamp(&[(0, 0, 2.0), (1, 1, 2.0)], &[2.0, 2.0], &mut ws);
+        DenseLu.solve_in_place(&mut ws).unwrap();
+        assert_eq!(ws.solution(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn dimension_change_resizes() {
+        let mut ws = Workspace::new();
+        stamp(&[(0, 0, 1.0)], &[5.0], &mut ws);
+        DenseLu.solve_in_place(&mut ws).unwrap();
+        assert_eq!(ws.solution(), &[5.0]);
+        stamp(
+            &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)],
+            &[1.0, 2.0, 3.0],
+            &mut ws,
+        );
+        DenseLu.solve_in_place(&mut ws).unwrap();
+        assert_eq!(ws.solution(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn singular_reported_through_backend() {
+        let mut ws = Workspace::new();
+        stamp(
+            &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 4.0)],
+            &[1.0, 2.0],
+            &mut ws,
+        );
+        assert_eq!(
+            DenseLu.solve_in_place(&mut ws).unwrap_err(),
+            SpiceError::SingularMatrix
+        );
+    }
+
+    #[test]
+    fn backend_kind_resolves() {
+        assert_eq!(BackendKind::default().name(), "dense-lu");
+        assert_eq!(BackendKind::DenseLu.instance().name(), "dense-lu");
+    }
+}

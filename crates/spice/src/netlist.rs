@@ -374,6 +374,101 @@ impl Netlist {
         Ok(())
     }
 
+    /// Index of a named element (for the value setters below).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::UnknownNode`] when no element has that name.
+    pub fn element_index(&self, name: &str) -> Result<usize, SpiceError> {
+        self.elements
+            .iter()
+            .position(|e| e.name() == name)
+            .ok_or_else(|| SpiceError::UnknownNode(name.to_string()))
+    }
+
+    /// Changes the value of the resistor at `index` without touching the
+    /// netlist structure — the mutation primitive of the batched
+    /// same-structure solve path ([`crate::batch::DcBatch`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidElement`] when `index` is out of range, the
+    /// element is not a resistor, or the value is not positive and finite.
+    pub fn set_resistance(&mut self, index: usize, ohms: f64) -> Result<(), SpiceError> {
+        match self.elements.get_mut(index) {
+            Some(Element::Resistor {
+                name, ohms: slot, ..
+            }) => {
+                if !(ohms > 0.0 && ohms.is_finite()) {
+                    return Err(SpiceError::InvalidElement {
+                        name: name.clone(),
+                        reason: format!("resistance {ohms} must be positive"),
+                    });
+                }
+                *slot = ohms;
+                Ok(())
+            }
+            Some(other) => Err(SpiceError::InvalidElement {
+                name: other.name().to_string(),
+                reason: "set_resistance targets a non-resistor".to_string(),
+            }),
+            None => Err(SpiceError::InvalidElement {
+                name: format!("#{index}"),
+                reason: "element index out of range".to_string(),
+            }),
+        }
+    }
+
+    /// Replaces the waveform of the voltage or current source at `index`,
+    /// keeping the netlist structure fixed.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidElement`] when `index` is out of range or the
+    /// element is not a source.
+    pub fn set_source_wave(&mut self, index: usize, wave: Waveform) -> Result<(), SpiceError> {
+        match self.elements.get_mut(index) {
+            Some(Element::VSource { wave: slot, .. })
+            | Some(Element::ISource { wave: slot, .. }) => {
+                *slot = wave;
+                Ok(())
+            }
+            Some(other) => Err(SpiceError::InvalidElement {
+                name: other.name().to_string(),
+                reason: "set_source_wave targets a non-source".to_string(),
+            }),
+            None => Err(SpiceError::InvalidElement {
+                name: format!("#{index}"),
+                reason: "element index out of range".to_string(),
+            }),
+        }
+    }
+
+    /// Resets the stored state of the MTJ at `index` (e.g. to solve the
+    /// same cell in both parallel and antiparallel configurations),
+    /// keeping the netlist structure fixed.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidElement`] when `index` is out of range or the
+    /// element is not an MTJ.
+    pub fn set_mtj_state(&mut self, index: usize, state: MtjState) -> Result<(), SpiceError> {
+        match self.elements.get_mut(index) {
+            Some(Element::Mtj { device, .. }) => {
+                device.set_state(state);
+                Ok(())
+            }
+            Some(other) => Err(SpiceError::InvalidElement {
+                name: other.name().to_string(),
+                reason: "set_mtj_state targets a non-MTJ".to_string(),
+            }),
+            None => Err(SpiceError::InvalidElement {
+                name: format!("#{index}"),
+                reason: "element index out of range".to_string(),
+            }),
+        }
+    }
+
     /// Number of independent voltage sources (extra MNA unknowns).
     pub fn vsource_count(&self) -> usize {
         self.elements

@@ -57,6 +57,11 @@ impl Matrix {
         self.data.fill(0.0);
     }
 
+    /// Largest absolute entry (the matrix scale for pivot tolerances).
+    pub(crate) fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |acc, v| acc.max(v.abs()))
+    }
+
     /// Matrix–vector product.
     ///
     /// # Panics
@@ -72,9 +77,14 @@ impl Matrix {
     }
 }
 
-/// Solves `A·x = b` in place by LU with partial pivoting.
+/// Solves `A·x = b` by LU with partial pivoting.
 ///
-/// `a` and `b` are consumed as scratch.
+/// `a` and `b` are consumed as scratch. This is the legacy one-shot entry
+/// point; it adopts the inputs into a throwaway
+/// [`Workspace`](crate::backend::Workspace) and delegates to the
+/// [`DenseLu`](crate::backend::DenseLu) backend, so hot paths that solve
+/// repeatedly should hold a workspace themselves instead of calling this
+/// in a loop.
 ///
 /// The singularity test is **relative to the matrix scale**: a pivot is
 /// rejected when it falls below `scale · n · ε`, where `scale` is the
@@ -95,74 +105,14 @@ impl Matrix {
 /// # Panics
 ///
 /// Panics if `a` is not square or `b` has the wrong length.
-#[allow(clippy::needless_range_loop)]
-pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>, SpiceError> {
+pub fn solve(a: Matrix, b: Vec<f64>) -> Result<Vec<f64>, SpiceError> {
+    use crate::backend::{DenseLu, SolverBackend, Workspace};
     let n = a.n_rows();
     assert_eq!(a.n_cols(), n, "matrix must be square");
     assert_eq!(b.len(), n, "rhs length mismatch");
-    // Matrix scale for the relative pivot tolerance; the MIN_POSITIVE floor
-    // makes the all-zero matrix (scale 0) singular rather than tol == 0.
-    let scale = a.data.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
-    let tol = (scale * n as f64 * f64::EPSILON).max(f64::MIN_POSITIVE);
-    let mut min_pivot_ratio = f64::INFINITY;
-    for k in 0..n {
-        // Partial pivot.
-        let mut piv = k;
-        let mut max = a.get(k, k).abs();
-        for r in (k + 1)..n {
-            let v = a.get(r, k).abs();
-            if v > max {
-                max = v;
-                piv = r;
-            }
-        }
-        if max < tol {
-            mss_obs::counter_add("spice.solver.singular", 1);
-            return Err(SpiceError::SingularMatrix);
-        }
-        min_pivot_ratio = min_pivot_ratio.min(max / scale);
-        if piv != k {
-            for c in 0..n {
-                let tmp = a.get(k, c);
-                a.set(k, c, a.get(piv, c));
-                a.set(piv, c, tmp);
-            }
-            b.swap(k, piv);
-        }
-        let pivot = a.get(k, k);
-        for r in (k + 1)..n {
-            let factor = a.get(r, k) / pivot;
-            if factor == 0.0 {
-                continue;
-            }
-            a.set(r, k, 0.0);
-            for c in (k + 1)..n {
-                let v = a.get(r, c) - factor * a.get(k, c);
-                a.set(r, c, v);
-            }
-            b[r] -= factor * b[k];
-        }
-    }
-    // Back substitution.
-    let mut x = vec![0.0; n];
-    for k in (0..n).rev() {
-        let mut sum = b[k];
-        for c in (k + 1)..n {
-            sum -= a.get(k, c) * x[c];
-        }
-        x[k] = sum / a.get(k, k);
-    }
-    // Defence in depth: a pivot chain can pass the tolerance yet still
-    // overflow during substitution; never hand back non-finite "solutions".
-    if x.iter().any(|v| !v.is_finite()) {
-        mss_obs::counter_add("spice.solver.singular", 1);
-        return Err(SpiceError::SingularMatrix);
-    }
-    if mss_obs::enabled() {
-        mss_obs::counter_add("spice.solver.solves", 1);
-        mss_obs::record_value("spice.solver.min_pivot_ratio", min_pivot_ratio);
-    }
-    Ok(x)
+    let mut ws = Workspace::from_parts(a, b);
+    DenseLu.solve_in_place(&mut ws)?;
+    Ok(ws.take_solution())
 }
 
 #[cfg(test)]

@@ -17,6 +17,9 @@
 
 use mss_exec::{par_chunks_stats, ParallelConfig, RunStats};
 use mss_mtj::switching::SwitchingModel;
+use mss_spice::batch::DcBatch;
+use mss_spice::netlist::Netlist;
+use mss_spice::waveform::Waveform;
 
 use mss_units::rng::{normal, Rng, Xoshiro256PlusPlus};
 use mss_units::stats::{DistributionSummary, OnlineStats};
@@ -285,6 +288,157 @@ pub fn run_with_stats(
     Ok((report, stats))
 }
 
+/// Options for the circuit-level sense-margin Monte Carlo.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenseBatchOptions {
+    /// Number of cell samples to solve.
+    pub samples: usize,
+    /// RNG seed (runs are fully deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for SenseBatchOptions {
+    fn default() -> Self {
+        Self {
+            samples: 2048,
+            seed: 0x5E4E_B47C,
+        }
+    }
+}
+
+/// Result of a batched SPICE sense-margin run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SenseBatchReport {
+    /// Samples solved.
+    pub samples: u64,
+    /// Read bias applied to the bitline, volts.
+    pub v_read: f64,
+    /// Sense margin (`v_AP − v_P` at the divider taps) distribution, volts.
+    pub margin: DistributionSummary,
+    /// Worst sampled margin, volts.
+    pub min_margin: f64,
+    /// Samples whose margin fell below the 1σ sense-amp offset
+    /// ([`SENSE_OFFSET_SIGMA`]) — the circuit-level read-failure proxy.
+    pub below_offset: u64,
+    /// Samples whose MNA solve failed (counted, never fatal).
+    pub failed_solves: u64,
+}
+
+/// Builds the read-path divider the batch solves: the bitline bias feeds
+/// two matched series resistors (access device + bitline, scaled with the
+/// subarray height) into a parallel-state cell leg and an
+/// antiparallel-state cell leg. The sense margin is the tap difference.
+fn sense_netlist(ctx: &VaetContext, v_read: f64) -> Result<Netlist, VaetError> {
+    let r_ref = 0.5 * (ctx.cell.r_parallel + ctx.cell.r_antiparallel);
+    // Series (access + bitline) resistance: matched to the cell midpoint at
+    // the paper's 1024-row subarray and scaled with the bitline length.
+    let rows = ctx.config.subarray_rows as f64;
+    let r_series = r_ref * (0.75 + 0.25 * rows / 1024.0);
+    let mut nl = Netlist::new();
+    let build = |nl: &mut Netlist| -> Result<(), mss_spice::SpiceError> {
+        nl.add_vsource("vr", "bl", "0", Waveform::dc(v_read))?;
+        nl.add_resistor("rsp", "bl", "sp", r_series)?;
+        nl.add_resistor("rsap", "bl", "sap", r_series)?;
+        nl.add_resistor("rp", "sp", "0", ctx.cell.r_parallel)?;
+        nl.add_resistor("rap", "sap", "0", ctx.cell.r_antiparallel)?;
+        Ok(())
+    };
+    build(&mut nl).map_err(|e| VaetError::InvalidOptions {
+        reason: format!("sense netlist construction failed: {e}"),
+    })?;
+    Ok(nl)
+}
+
+/// Circuit-level read-margin Monte Carlo through the batched SPICE solver:
+/// the netlist topology is analysed once ([`DcBatch`]), then each sample
+/// re-solves it with a freshly sampled MTJ stack (RNG stream split by
+/// *sample index*, so the report is bit-identical at any thread count).
+///
+/// This is the paper's sense-margin distribution computed by actual MNA
+/// solves rather than the analytical divider of [`run`] — and the workload
+/// the `spice_batch_smoke` perf gate times.
+///
+/// # Errors
+///
+/// [`VaetError::InvalidOptions`] on zero samples or when every solve
+/// fails; device-sampling errors propagate.
+pub fn sense_margin_batch(
+    ctx: &VaetContext,
+    opts: &SenseBatchOptions,
+) -> Result<SenseBatchReport, VaetError> {
+    sense_margin_batch_with(ctx, opts, &ParallelConfig::from_env())
+}
+
+/// [`sense_margin_batch`] with an explicit thread/chunk policy.
+///
+/// # Errors
+///
+/// Same as [`sense_margin_batch`].
+pub fn sense_margin_batch_with(
+    ctx: &VaetContext,
+    opts: &SenseBatchOptions,
+    cfg: &ParallelConfig,
+) -> Result<SenseBatchReport, VaetError> {
+    if opts.samples == 0 {
+        return Err(VaetError::InvalidOptions {
+            reason: "samples must be non-zero".into(),
+        });
+    }
+    let _span = mss_obs::span("vaet.mc.sense_batch");
+    let v_read = 0.1; // standard non-disturbing read bias
+    let nl = sense_netlist(ctx, v_read)?;
+    let rp = nl.element_index("rp").expect("rp exists");
+    let rap = nl.element_index("rap").expect("rap exists");
+
+    // Per-sample stack resistances, drawn from per-sample RNG streams so
+    // neither thread count nor chunking can reorder the randomness.
+    let mut cells = Vec::with_capacity(opts.samples);
+    for i in 0..opts.samples {
+        let mut rng = Xoshiro256PlusPlus::stream(opts.seed, i as u64);
+        let stack = ctx
+            .variation
+            .sample_stack(&mut rng, &ctx.stack)
+            .map_err(VaetError::Device)?;
+        cells.push((stack.resistance_parallel(), stack.resistance_antiparallel()));
+    }
+
+    let batch = DcBatch::new(&nl);
+    let result = batch.run_with(opts.samples, cfg, |i, nl| {
+        let (r_p, r_ap) = cells[i];
+        nl.set_resistance(rp, r_p)?;
+        nl.set_resistance(rap, r_ap)
+    });
+
+    let mut stats = OnlineStats::default();
+    let mut min_margin = f64::INFINITY;
+    let mut below_offset = 0u64;
+    for i in 0..opts.samples {
+        if result.outcome(i).is_ok() {
+            let margin = result.node_voltage(i, "sap").expect("solved")
+                - result.node_voltage(i, "sp").expect("solved");
+            stats.push(margin);
+            min_margin = min_margin.min(margin);
+            if margin < SENSE_OFFSET_SIGMA {
+                below_offset += 1;
+            }
+        }
+    }
+    let failed_solves = result.failure_count() as u64;
+    if failed_solves == opts.samples as u64 {
+        return Err(VaetError::InvalidOptions {
+            reason: "every sense solve failed".into(),
+        });
+    }
+    Ok(SenseBatchReport {
+        samples: opts.samples as u64,
+        v_read,
+        margin: DistributionSummary::from(&stats),
+        min_margin,
+        below_offset,
+        failed_solves,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +554,96 @@ mod tests {
                 seed: 0,
                 word_bits: None,
             },
+        )
+        .unwrap_err();
+        assert!(matches!(err, VaetError::InvalidOptions { .. }));
+    }
+
+    #[test]
+    fn sense_batch_margins_are_physical() {
+        let opts = SenseBatchOptions {
+            samples: 300,
+            seed: 11,
+        };
+        let report = sense_margin_batch_with(ctx45(), &opts, &ParallelConfig::serial()).unwrap();
+        assert_eq!(report.samples, 300);
+        assert_eq!(report.failed_solves, 0);
+        // The AP leg always divides higher than the P leg.
+        assert!(report.min_margin > 0.0);
+        assert!(report.margin.mean > report.min_margin);
+        // A healthy cell has margin above the sense offset for the vast
+        // majority of samples.
+        assert!(report.below_offset < report.samples / 10);
+        assert!(report.margin.mean < report.v_read, "margin bounded by bias");
+    }
+
+    #[test]
+    fn sense_batch_bit_identical_across_thread_counts() {
+        let opts = SenseBatchOptions {
+            samples: 400,
+            seed: 0xBEEF,
+        };
+        let base =
+            sense_margin_batch_with(ctx45(), &opts, &ParallelConfig::serial().with_chunk(64))
+                .unwrap();
+        for threads in [2, 8] {
+            let cfg = ParallelConfig::serial()
+                .with_threads(threads)
+                .with_chunk(64);
+            let other = sense_margin_batch_with(ctx45(), &opts, &cfg).unwrap();
+            assert_eq!(base, other, "sense report diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn sense_batch_deterministic_per_seed() {
+        let run = |seed| {
+            sense_margin_batch_with(
+                ctx45(),
+                &SenseBatchOptions { samples: 120, seed },
+                &ParallelConfig::serial(),
+            )
+            .unwrap()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5).margin.mean, run(6).margin.mean);
+    }
+
+    #[test]
+    fn sense_batch_matches_per_sample_dense_solves() {
+        // Cross-layer parity: the vaet wrapper must agree bit-for-bit with
+        // hand-built per-sample netlists through the single-solve path.
+        let ctx = ctx45();
+        let opts = SenseBatchOptions {
+            samples: 16,
+            seed: 77,
+        };
+        let report = sense_margin_batch_with(ctx, &opts, &ParallelConfig::serial()).unwrap();
+        let mut stats = OnlineStats::default();
+        for i in 0..opts.samples {
+            let mut rng = Xoshiro256PlusPlus::stream(opts.seed, i as u64);
+            let stack = ctx.variation.sample_stack(&mut rng, &ctx.stack).unwrap();
+            let mut nl = sense_netlist(ctx, 0.1).unwrap();
+            let rp = nl.element_index("rp").unwrap();
+            let rap = nl.element_index("rap").unwrap();
+            nl.set_resistance(rp, stack.resistance_parallel()).unwrap();
+            nl.set_resistance(rap, stack.resistance_antiparallel())
+                .unwrap();
+            let dc = mss_spice::analysis::dc_operating_point(&nl).unwrap();
+            stats.push(dc.node_voltage("sap").unwrap() - dc.node_voltage("sp").unwrap());
+        }
+        assert_eq!(report.margin, DistributionSummary::from(&stats));
+    }
+
+    #[test]
+    fn sense_batch_zero_samples_rejected() {
+        let err = sense_margin_batch_with(
+            ctx45(),
+            &SenseBatchOptions {
+                samples: 0,
+                seed: 1,
+            },
+            &ParallelConfig::serial(),
         )
         .unwrap_err();
         assert!(matches!(err, VaetError::InvalidOptions { .. }));

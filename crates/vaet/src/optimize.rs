@@ -14,6 +14,7 @@ use mss_nvsim::model::ArrayMetrics;
 
 use crate::context::VaetContext;
 use crate::margins::{ReadMarginSolver, WriteMarginSolver};
+use crate::montecarlo::{sense_margin_batch_with, SenseBatchOptions, SenseBatchReport};
 use crate::VaetError;
 
 /// Word-level reliability requirements a candidate must meet.
@@ -197,6 +198,39 @@ pub fn explore_variation_aware_with(
     }
 }
 
+/// Cross-checks the exploration winner with batched SPICE solves: the
+/// context is re-targeted at the winning organisation and its read path is
+/// Monte-Carlo-solved through [`crate::montecarlo::sense_margin_batch`]
+/// (the symbolic-once/numeric-many `DcBatch` route). The analytical margin
+/// model picked the design; the circuit level verifies it still senses.
+///
+/// # Errors
+///
+/// Array-estimation failures from re-targeting and sense-batch failures
+/// propagate.
+pub fn verify_best_with_spice(
+    base: &VaetContext,
+    exploration: &VariationAwareExploration,
+    opts: &SenseBatchOptions,
+) -> Result<SenseBatchReport, VaetError> {
+    verify_best_with_spice_with(base, exploration, opts, &ParallelConfig::from_env())
+}
+
+/// [`verify_best_with_spice`] with an explicit thread/chunk policy.
+///
+/// # Errors
+///
+/// Same as [`verify_best_with_spice`].
+pub fn verify_best_with_spice_with(
+    base: &VaetContext,
+    exploration: &VariationAwareExploration,
+    opts: &SenseBatchOptions,
+    exec: &ParallelConfig,
+) -> Result<SenseBatchReport, VaetError> {
+    let ctx = base.with_config(exploration.best.config)?;
+    sense_margin_batch_with(&ctx, opts, exec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +306,32 @@ mod tests {
         .unwrap();
         assert!(tight.margined_write_latency > loose.margined_write_latency);
         assert!(tight.margined_read_latency >= loose.margined_read_latency);
+    }
+
+    #[test]
+    fn winner_passes_spice_verification() {
+        let exp = explore_variation_aware(
+            ctx(),
+            VariationAwareTarget::WriteLatency,
+            &ReliabilityRequirements::default(),
+        )
+        .unwrap();
+        let opts = SenseBatchOptions {
+            samples: 200,
+            seed: 9,
+        };
+        let report =
+            verify_best_with_spice_with(ctx(), &exp, &opts, &ParallelConfig::serial()).unwrap();
+        assert_eq!(report.failed_solves, 0);
+        assert!(report.min_margin > 0.0);
+        // Equivalent to running the sense batch on the re-targeted context.
+        let direct = crate::montecarlo::sense_margin_batch_with(
+            &ctx().with_config(exp.best.config).unwrap(),
+            &opts,
+            &ParallelConfig::serial(),
+        )
+        .unwrap();
+        assert_eq!(report, direct);
     }
 
     #[test]
