@@ -1,10 +1,15 @@
-//! CI smoke benchmark for the content-addressed stage pipeline: runs the
-//! MAGPIE flow twice in one process over a shared in-memory cache, then cold
-//! and warm against the on-disk tier — asserting a byte-identical
-//! [`mss_core::flow::MagpieReport`] and 100 % stage hits on
-//! every warm pass. When `MSS_METRICS=1` or `MSS_TRACE=1` the observability
-//! registry (including the `pipe.*` cache counters) is written as an NDJSON
-//! run report CI archives.
+//! CI smoke benchmark for the content-addressed stage pipeline **and the
+//! gemsim hot loop**: runs the MAGPIE flow twice in one process over a
+//! shared in-memory cache, then cold and warm against the on-disk tier —
+//! asserting a byte-identical [`mss_core::flow::MagpieReport`] and 100 %
+//! stage hits on every warm pass — and then times the optimized simulator
+//! against the naive executable specification in `mss_gemsim::reference`,
+//! asserting **bit-identical** [`mss_gemsim::stats::SimReport`]s and a
+//! ≥ 5× throughput win. The win is algorithmic (struct-of-arrays LRU vs
+//! `Vec` shifting, O(1) ring-buffer history vs `remove(0)`), so it must
+//! hold even on a noisy shared runner. When `MSS_METRICS=1` or
+//! `MSS_TRACE=1` the observability registry (including the `pipe.*` cache
+//! counters) is written as an NDJSON run report CI archives.
 //!
 //! ```text
 //! cargo run --release -p mss-bench --bin cache_smoke
@@ -14,15 +19,25 @@
 //! The optional argument overrides the per-thread sampling cap (default
 //! 50 000). `MSS_OBS_OUT` overrides the report path (default
 //! `target/cache_smoke.ndjson`). Exits non-zero on any cache-transparency
-//! violation.
+//! violation, hot-loop parity violation, or a sub-5× speedup.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use mss_core::flow::{MagpieFlow, MagpieInputs, MagpieReport};
 use mss_core::scenario::Scenario;
+use mss_gemsim::reference;
+use mss_gemsim::system::{EpochSkipConfig, Placement, System, SystemConfig};
 use mss_gemsim::workload::Kernel;
 use mss_pdk::tech::TechNode;
 use mss_pipe::{PipeCache, Stage};
+
+/// Fixed timing repetitions per leg (best-of); fixed so the span counts in
+/// the committed baseline are reproducible.
+const REPS: usize = 3;
+
+/// Required optimized-vs-naive hot-loop throughput ratio.
+const MIN_SPEEDUP: f64 = 5.0;
 
 /// Stages the MAGPIE flow exercises (VaetDistributions is owned by the
 /// variation-aware explorer, not this flow).
@@ -126,6 +141,79 @@ fn disk_leg(sample_cap: u64) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Hot-loop perf gate: the optimized simulator (struct-of-arrays cache,
+/// ring-buffer stream, chunked loop) against the naive executable
+/// specification, on the same kernels the flow legs run. Reports must be
+/// bit-identical and the optimized path ≥ [`MIN_SPEEDUP`]× faster.
+fn gemsim_speed_leg(sample_cap: u64) {
+    let mut config = SystemConfig::big_little_default();
+    config.sample_accesses_per_thread = sample_cap;
+    let sys = System::new(config.clone()).expect("default platform");
+    // The same kernel the flow legs above simulate, so the timed span is
+    // the exact workload `pipe.simulate_kernel/gemsim.run` runs.
+    let kernel = Kernel::swaptions();
+
+    let mut fast_t = f64::INFINITY;
+    let mut fast_report = None;
+    for _ in 0..REPS {
+        let _span = mss_obs::span("cache_smoke.gemsim.fast");
+        let t0 = Instant::now();
+        let report = sys.run(&kernel, 2024).expect("fast run");
+        fast_t = fast_t.min(t0.elapsed().as_secs_f64());
+        fast_report = Some(report);
+    }
+
+    let mut naive_t = f64::INFINITY;
+    let mut naive_report = None;
+    for _ in 0..REPS {
+        let _span = mss_obs::span("cache_smoke.gemsim.naive");
+        let t0 = Instant::now();
+        let report = reference::run_placed(&config, &kernel, 2024, &Placement::AllClusters)
+            .expect("naive run");
+        naive_t = naive_t.min(t0.elapsed().as_secs_f64());
+        naive_report = Some(report);
+    }
+
+    assert_eq!(
+        fast_report, naive_report,
+        "optimized hot loop diverged from the reference semantics"
+    );
+    let accesses = sample_cap * u64::from(kernel.threads);
+    let speedup = naive_t / fast_t;
+    println!(
+        "gemsim   : optimized {fast_t:.3} s | naive {naive_t:.3} s | {:.0} vs {:.0} accesses/s | bits == naive",
+        accesses as f64 / fast_t,
+        accesses as f64 / naive_t
+    );
+    println!("speedup  : {speedup:.2}x optimized over naive (gate: >= {MIN_SPEEDUP:.1}x)");
+    mss_obs::counter_add("cache_smoke.gate.accesses", accesses);
+    if speedup < MIN_SPEEDUP {
+        eprintln!(
+            "FAIL: optimized hot loop only {speedup:.2}x the naive reference (need >= {MIN_SPEEDUP:.1}x)"
+        );
+        std::process::exit(1);
+    }
+
+    // Diagnostic (non-gating): the opt-in epoch-skip fast path on the
+    // steady-state streaming kernel — shows how much of the tail it
+    // extrapolates (2048-reference windows, 10 % tolerance: the profile of
+    // a streaming kernel is flat after warm-up at that granularity).
+    let mut skip_cfg = config;
+    skip_cfg.epoch_skip = Some(EpochSkipConfig {
+        window: 2048,
+        converge_windows: 3,
+        tolerance: 0.10,
+    });
+    let skip = System::new(skip_cfg)
+        .expect("epoch-skip platform")
+        .run(&Kernel::streamcluster(), 2024)
+        .expect("epoch-skip run");
+    println!(
+        "epoch    : streamcluster extrapolated {} references (opt-in; default reports stay exact)",
+        skip.extrapolated_accesses
+    );
+}
+
 fn main() {
     let sample_cap: u64 = std::env::args()
         .nth(1)
@@ -135,6 +223,7 @@ fn main() {
     memory_leg(sample_cap);
     disk_leg(sample_cap);
     println!("cache    : warm runs byte-identical with zero recomputation");
+    gemsim_speed_leg(sample_cap);
 
     mss_bench::write_obs_artifacts("cache_smoke");
 }

@@ -69,6 +69,15 @@ impl CacheConfig {
         if !sets.is_power_of_two() {
             return fail(format!("{sets} sets is not a power of two"));
         }
+        if self.associativity > u32::from(u16::MAX) {
+            // The struct-of-arrays store keeps LRU ranks and per-set
+            // occupancy in u16.
+            return fail(format!(
+                "associativity {} exceeds the {}-way limit",
+                self.associativity,
+                u16::MAX
+            ));
+        }
         if self.read_latency < 0.0 || self.write_latency < 0.0 {
             return fail("latencies must be non-negative".into());
         }
@@ -144,6 +153,10 @@ pub struct AccessOutcome {
     pub hit: bool,
     /// A dirty line was evicted and must be written back below.
     pub writeback: bool,
+    /// Line-aligned byte address of the line this access displaced (dirty
+    /// *or* clean); `None` when nothing was evicted. `writeback` implies
+    /// `victim.is_some()`.
+    pub victim: Option<u64>,
 }
 
 /// Result of a prefetch request.
@@ -153,17 +166,38 @@ pub struct PrefetchOutcome {
     pub allocated: bool,
     /// A dirty victim must be written back below.
     pub writeback: bool,
+    /// Line-aligned byte address of the displaced line, as in
+    /// [`AccessOutcome::victim`].
+    pub victim: Option<u64>,
 }
 
 /// One LRU set-associative cache (write-back, write-allocate).
+///
+/// Storage is struct-of-arrays: flat `tags` / `dirty` / `rank` slabs indexed
+/// by `set * associativity + way`, plus a per-set occupancy count. The LRU
+/// order lives in `rank` (0 = MRU, associativity − 1 = LRU), so promoting a
+/// line is a handful of `u16` bumps instead of the `Vec::remove`/`insert`
+/// element shifting of the previous representation, and the whole cache is
+/// exactly four allocations made in [`Cache::new`] — the access path never
+/// allocates.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    /// Per set: (tag, dirty), most recently used last.
-    sets: Vec<Vec<(u64, bool)>>,
+    /// Line tags, `[set][way]` flattened; valid for `way < live[set]`.
+    tags: Box<[u64]>,
+    /// Dirty bits, same indexing as `tags`.
+    dirty: Box<[bool]>,
+    /// LRU ranks (0 = most recently used), same indexing as `tags`; the
+    /// valid ranks of a set are always a permutation of `0..live[set]`.
+    rank: Box<[u16]>,
+    /// Occupied ways per set (ways fill from 0; only [`Cache::flush`]
+    /// resets them).
+    live: Box<[u16]>,
     stats: CacheStats,
     set_mask: u64,
+    set_bits: u32,
     line_shift: u32,
+    assoc: usize,
 }
 
 impl Cache {
@@ -175,11 +209,18 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Result<Self, GemsimError> {
         config.validate()?;
         let sets = config.sets();
+        let assoc = config.associativity as usize;
+        let slots = sets as usize * assoc;
         Ok(Self {
             set_mask: sets - 1,
+            set_bits: (sets - 1).count_ones(),
             line_shift: config.line_bytes.trailing_zeros(),
-            sets: vec![Vec::with_capacity(config.associativity as usize); sets as usize],
+            tags: vec![0; slots].into_boxed_slice(),
+            dirty: vec![false; slots].into_boxed_slice(),
+            rank: vec![0; slots].into_boxed_slice(),
+            live: vec![0; sets as usize].into_boxed_slice(),
             stats: CacheStats::default(),
+            assoc,
             config,
         })
     }
@@ -199,21 +240,40 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    /// Line-aligned byte address of the line currently held in `slot`.
+    fn slot_address(&self, set_idx: usize, slot: usize) -> u64 {
+        ((self.tags[slot] << self.set_bits) | set_idx as u64) << self.line_shift
+    }
+
     /// Performs one access; `write` marks stores.
+    #[inline]
     pub fn access(&mut self, addr: u64, write: bool) -> AccessOutcome {
         let line = addr >> self.line_shift;
         let set_idx = (line & self.set_mask) as usize;
-        let tag = line >> self.set_mask.count_ones();
+        let tag = line >> self.set_bits;
         if write {
             self.stats.writes += 1;
         } else {
             self.stats.reads += 1;
         }
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|(t, _)| *t == tag) {
-            // Hit: move to MRU, possibly mark dirty.
-            let (t, dirty) = set.remove(pos);
-            set.push((t, dirty || write));
+        let base = set_idx * self.assoc;
+        let n = usize::from(self.live[set_idx]);
+        // Branchless probe: tags are unique within a set, so folding the
+        // matching way without an early exit is equivalent to `position`.
+        let mut hit = usize::MAX;
+        for (way, &t) in self.tags[base..base + n].iter().enumerate() {
+            if t == tag {
+                hit = way;
+            }
+        }
+        if hit < n {
+            // Hit: promote to MRU by ageing every younger line one step.
+            let r = self.rank[base + hit];
+            for x in &mut self.rank[base..base + n] {
+                *x += u16::from(*x < r);
+            }
+            self.rank[base + hit] = 0;
+            self.dirty[base + hit] |= write;
             if write {
                 self.stats.write_hits += 1;
             } else {
@@ -222,21 +282,44 @@ impl Cache {
             return AccessOutcome {
                 hit: true,
                 writeback: false,
+                victim: None,
             };
         }
         // Miss: allocate (write-allocate policy), evicting LRU if full.
-        let mut writeback = false;
-        if set.len() == self.config.associativity as usize {
-            let (_, dirty) = set.remove(0);
-            if dirty {
-                writeback = true;
+        let full = n == self.assoc;
+        let (slot, victim, writeback) = if full {
+            let lru = (self.assoc - 1) as u16;
+            let mut v = base;
+            for (i, &r) in self.rank[base..base + n].iter().enumerate() {
+                if r == lru {
+                    v = base + i;
+                }
+            }
+            let wb = self.dirty[v];
+            if wb {
                 self.stats.writebacks += 1;
             }
+            (v, Some(self.slot_address(set_idx, v)), wb)
+        } else {
+            self.live[set_idx] = (n + 1) as u16;
+            (base + n, None, false)
+        };
+        // Age every survivor; the incoming line becomes MRU.
+        let aged = if full {
+            (self.assoc - 1) as u16
+        } else {
+            n as u16
+        };
+        for x in &mut self.rank[base..base + n] {
+            *x += u16::from(*x < aged);
         }
-        set.push((tag, write));
+        self.tags[slot] = tag;
+        self.dirty[slot] = write;
+        self.rank[slot] = 0;
         AccessOutcome {
             hit: false,
             writeback,
+            victim,
         }
     }
 
@@ -245,37 +328,79 @@ impl Cache {
     pub fn prefetch(&mut self, addr: u64) -> PrefetchOutcome {
         let line = addr >> self.line_shift;
         let set_idx = (line & self.set_mask) as usize;
-        let tag = line >> self.set_mask.count_ones();
-        let set = &mut self.sets[set_idx];
-        if set.iter().any(|(t, _)| *t == tag) {
+        let tag = line >> self.set_bits;
+        let base = set_idx * self.assoc;
+        let n = usize::from(self.live[set_idx]);
+        let mut present = false;
+        for &t in &self.tags[base..base + n] {
+            present |= t == tag;
+        }
+        if present {
             return PrefetchOutcome {
                 allocated: false,
                 writeback: false,
+                victim: None,
             };
         }
-        let mut writeback = false;
-        if set.len() == self.config.associativity as usize {
-            let (_, dirty) = set.remove(0);
-            if dirty {
-                writeback = true;
+        let full = n == self.assoc;
+        let (slot, victim, writeback) = if full {
+            let lru = (self.assoc - 1) as u16;
+            let mut v = base;
+            for (i, &r) in self.rank[base..base + n].iter().enumerate() {
+                if r == lru {
+                    v = base + i;
+                }
+            }
+            let wb = self.dirty[v];
+            if wb {
                 self.stats.writebacks += 1;
             }
-        }
+            (v, Some(self.slot_address(set_idx, v)), wb)
+        } else {
+            self.live[set_idx] = (n + 1) as u16;
+            (base + n, None, false)
+        };
         // Insert at LRU+1 (conservative): prefetched lines should not evict
-        // the hot working set if they are never used.
-        let pos = set.len().min(1);
-        set.insert(pos, (tag, false));
+        // the hot working set if they are never used. In rank terms the new
+        // line takes the second-worst rank, demoting that rank's previous
+        // holder to LRU; every other rank is untouched.
+        let survivors = if full { self.assoc - 1 } else { n };
+        if survivors == 0 {
+            self.rank[slot] = 0;
+        } else {
+            let demoted = (survivors - 1) as u16;
+            for x in &mut self.rank[base..base + n] {
+                *x += u16::from(*x == demoted);
+            }
+            self.rank[slot] = demoted;
+        }
+        self.tags[slot] = tag;
+        self.dirty[slot] = false;
         PrefetchOutcome {
             allocated: true,
             writeback,
+            victim,
         }
     }
 
-    /// Invalidates everything (contents and nothing else).
-    pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
+    /// Invalidates everything (contents, not counters), returning the
+    /// number of dirty lines dropped.
+    ///
+    /// Policy: flushed dirty lines are **not** added to
+    /// [`CacheStats::writebacks`] — that counter tracks capacity/conflict
+    /// evictions observed by the access path. A caller modelling an explicit
+    /// flush (say, a power-collapse of the cluster) charges the returned
+    /// count as write-back traffic itself.
+    pub fn flush(&mut self) -> u64 {
+        let mut dirty_lines = 0u64;
+        for (set_idx, live) in self.live.iter_mut().enumerate() {
+            let base = set_idx * self.assoc;
+            for way in 0..usize::from(*live) {
+                dirty_lines += u64::from(self.dirty[base + way]);
+            }
+            *live = 0;
         }
+        dirty_lines
     }
 }
 
@@ -442,6 +567,58 @@ mod tests {
         c.flush();
         assert_eq!(*c.stats(), before);
         assert!(!c.access(0, false).hit);
+    }
+
+    #[test]
+    fn flush_counts_dirty_lines() {
+        let mut c = Cache::new(small_config()).unwrap();
+        c.access(0, true); // dirty, set 0
+        c.access(64, false); // clean, set 1
+        c.access(2 * 64, true); // dirty, set 2
+        let before = *c.stats();
+        assert_eq!(c.flush(), 2, "two dirty lines were resident");
+        // The count is returned, never folded into the counters.
+        assert_eq!(*c.stats(), before);
+        assert_eq!(c.flush(), 0, "an empty cache has nothing dirty");
+    }
+
+    #[test]
+    fn eviction_reports_real_victim_address() {
+        let mut c = Cache::new(small_config()).unwrap();
+        // 8 sets, 2 ways; lines 0, 8, 16 all map to set 0.
+        let a = 0u64;
+        let b = 8 * 64;
+        let d = 16 * 64;
+        assert_eq!(c.access(a, true).victim, None);
+        assert_eq!(c.access(b, false).victim, None);
+        // Hits never evict.
+        assert_eq!(c.access(b, false).victim, None);
+        // The miss evicts LRU line `a` and must name it, dirty and all.
+        let out = c.access(d, false);
+        assert!(!out.hit && out.writeback);
+        assert_eq!(out.victim, Some(a));
+        // Offsets within a line do not leak into the victim address.
+        let out = c.access(b + 17, false); // hit, b promoted at d's expense? no: hit
+        assert!(out.hit);
+        let out = c.access(a + 8, true); // miss, evicts clean d
+        assert!(!out.writeback, "d was clean");
+        assert_eq!(out.victim, Some(d), "victim is line-aligned");
+    }
+
+    #[test]
+    fn prefetch_reports_real_victim_address() {
+        let mut c = Cache::new(small_config()).unwrap();
+        let a = 0u64;
+        let b = 8 * 64;
+        c.access(a, true);
+        c.access(b, false); // b is MRU, a is LRU (and dirty)
+        let pf = c.prefetch(16 * 64);
+        assert!(pf.allocated && pf.writeback);
+        assert_eq!(pf.victim, Some(a));
+        // Allocating into a non-full set displaces nothing.
+        let pf = c.prefetch(3 * 64);
+        assert!(pf.allocated && !pf.writeback);
+        assert_eq!(pf.victim, None);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //!   correct/detect/scrub, graceful degradation),
 //! - [`system`] — the big.LITTLE platform: per-core L1s, per-cluster shared
 //!   L2s, DRAM,
-//! - [`stats`] — the activity report consumed by `mss-mcpat`.
+//! - [`stats`] — the activity report consumed by `mss-mcpat`,
+//! - [`mod@reference`] — deliberately naive executable specification of the
+//!   hot-loop semantics, used by the parity tests and the performance gate.
 //!
 //! # Example
 //!
@@ -43,6 +45,7 @@ pub mod core;
 pub mod dram;
 mod error;
 pub mod faultmem;
+pub mod reference;
 pub mod stats;
 pub mod system;
 pub mod workload;

@@ -51,6 +51,10 @@ pub struct SimReport {
     pub dram_row_hits: u64,
     /// Fraction of memory accesses actually simulated (sampling factor).
     pub simulated_fraction: f64,
+    /// Sampled references extrapolated (not simulated) by the opt-in
+    /// epoch-skip fast path; always 0 when
+    /// [`crate::system::SystemConfig::epoch_skip`] is `None`.
+    pub extrapolated_accesses: u64,
     /// Fault/ECC activity of the memory array (unscaled simulated counts),
     /// `None` when the run modelled a perfect array.
     pub fault: Option<FaultMemStats>,
@@ -104,6 +108,7 @@ mod tests {
             dram_writes: 2,
             dram_row_hits: 0,
             simulated_fraction: 1.0,
+            extrapolated_accesses: 0,
             fault: None,
         };
         assert_eq!(r.total_instructions(), 150);

@@ -264,18 +264,39 @@ impl Kernel {
 }
 
 /// Seeded generator of one thread's memory-access stream.
+///
+/// The recent-line history is a fixed-size ring buffer: pushing the
+/// 4097th line overwrites the oldest slot in O(1), where the previous
+/// `Vec` representation paid a 4096-element shift (`remove(0)`) on every
+/// single generated access — the dominant cost of the whole simulator.
+/// The draw sequence is bit-identical to the `Vec` version.
 #[derive(Debug, Clone)]
 pub struct AccessStream {
     rng: Xoshiro256PlusPlus,
-    history: Vec<u64>,
+    /// Ring of the last [`HISTORY`] line numbers; slot `hist_head` is
+    /// written next, so the most recent line sits at `hist_head - 1`.
+    history: Box<[u64]>,
+    /// Occupied ring slots (saturates at [`HISTORY`]).
+    hist_len: u32,
+    /// Next ring slot to write.
+    hist_head: u32,
     cursor: u64,
     line: u64,
     working_lines: u64,
-    write_ratio: f64,
-    reuse_probability: f64,
-    reuse_p_geom: f64,
-    stream_probability: f64,
-    far_reuse_probability: f64,
+    /// Bernoulli draws as integer thresholds on the raw 53-bit draw
+    /// (see [`coin_threshold`]): `gen_bool(write_ratio)` etc., minus the
+    /// per-draw int→f64 conversion. Several of these run per access.
+    write_coin: u64,
+    reuse_coin: u64,
+    /// Integer form of the geometric continue-test: drawing `u` from
+    /// [`Rng::next_u64`], `next_f64() > reuse_p_geom` ⟺
+    /// `(u >> 11) >= geom_threshold` — exact, because `u >> 11` has 53
+    /// bits, so its f64 image and the 2⁻⁵³ scaling are both lossless.
+    /// This loop runs `mean_reuse_distance` times per reuse access, so it
+    /// dominates stream synthesis.
+    geom_threshold: u64,
+    stream_coin: u64,
+    far_coin: u64,
     base: u64,
 }
 
@@ -290,6 +311,16 @@ pub struct MemoryAccess {
 
 const LINE: u64 = 64;
 const HISTORY: usize = 4096;
+const HISTORY_MASK: u32 = HISTORY as u32 - 1;
+
+/// Integer image of [`Rng::gen_bool`]\(p\): with `u53 = next_u64() >> 11`,
+/// `next_f64() < p` ⟺ `u53 < ⌈p·2⁵³⌉`. Exact — `u53` has 53 bits, so its
+/// f64 image and the 2⁻⁵³ scaling are lossless — which keeps the draw
+/// sequence bit-identical to calling `gen_bool` while the hot loop compares
+/// integers.
+fn coin_threshold(p: f64) -> u64 {
+    (p * (1u64 << 53) as f64).ceil() as u64
+}
 
 impl AccessStream {
     /// Creates a stream for `kernel`, thread `tid`, with a global seed.
@@ -299,23 +330,38 @@ impl AccessStream {
             rng: Xoshiro256PlusPlus::seed_from_u64(
                 seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tid as u64 + 1),
             ),
-            history: Vec::with_capacity(HISTORY),
+            history: vec![0; HISTORY].into_boxed_slice(),
+            hist_len: 0,
+            hist_head: 0,
             cursor: 0,
             line: 0,
             working_lines: (per_thread / LINE).max(4),
-            write_ratio: kernel.write_ratio,
-            reuse_probability: kernel.reuse_probability,
-            reuse_p_geom: 1.0 / kernel.mean_reuse_distance.max(1.0),
-            stream_probability: kernel.stream_probability,
-            far_reuse_probability: kernel.far_reuse_probability,
+            write_coin: coin_threshold(kernel.write_ratio),
+            reuse_coin: coin_threshold(kernel.reuse_probability),
+            geom_threshold: {
+                // `u53 > p·2⁵³` ⟺ `u53 ≥ ⌊p·2⁵³⌋ + 1` (exact: p·2⁵³ is a
+                // plain f64 product, u53 is an integer).
+                let p_geom = 1.0 / kernel.mean_reuse_distance.max(1.0);
+                (p_geom * (1u64 << 53) as f64) as u64 + 1
+            },
+            stream_coin: coin_threshold(kernel.stream_probability),
+            far_coin: coin_threshold(kernel.far_reuse_probability),
             base: (tid as u64) << 32,
         }
     }
 
+    /// One Bernoulli draw against a [`coin_threshold`] — the integer twin
+    /// of `self.rng.gen_bool(p)`, consuming exactly one `next_u64`.
+    #[inline]
+    fn coin(&mut self, threshold: u64) -> bool {
+        (self.rng.next_u64() >> 11) < threshold
+    }
+
     /// Draws the next access.
+    #[inline]
     pub fn next_access(&mut self) -> MemoryAccess {
-        let write = self.rng.gen_bool(self.write_ratio);
-        if self.rng.gen_bool(self.far_reuse_probability) && self.cursor > 0 {
+        let write = self.coin(self.write_coin);
+        if self.coin(self.far_coin) && self.cursor > 0 {
             // Far re-reference: log-uniform distance in [64 lines, working
             // set], i.e. 4 KiB up to the full per-thread partition. Whether
             // it hits depends entirely on how much cache sits below.
@@ -330,31 +376,46 @@ impl AccessStream {
                 write,
             };
         }
-        let reuse = !self.history.is_empty() && self.rng.gen_bool(self.reuse_probability);
+        let reuse = self.hist_len > 0 && self.coin(self.reuse_coin);
         let line = if reuse {
-            // Geometric stack distance over the recent-history buffer.
-            let mut d = 0usize;
-            while self.rng.next_f64() > self.reuse_p_geom && d + 1 < self.history.len() {
+            // Geometric stack distance over the recent-history ring; the
+            // continue-test is the integer image of `next_f64() > p_geom`
+            // (see [`AccessStream::geom_threshold`]).
+            let mut d = 0u32;
+            while (self.rng.next_u64() >> 11) >= self.geom_threshold && d + 1 < self.hist_len {
                 d += 1;
             }
-            self.history[self.history.len() - 1 - d]
-        } else if self.rng.gen_bool(self.stream_probability) {
+            // d lines back from the most recent entry (at hist_head - 1).
+            self.history[((self.hist_head.wrapping_sub(1 + d)) & HISTORY_MASK) as usize]
+        } else if self.coin(self.stream_coin) {
             // Sequential streaming within the working set.
-            self.line = (self.line + 1) % self.working_lines;
+            self.line += 1;
+            if self.line == self.working_lines {
+                self.line = 0;
+            }
             self.line
         } else {
             // Random jump within the working set.
             self.line = self.rng.gen_range_u64(0, self.working_lines);
             self.line
         };
-        if self.history.len() == HISTORY {
-            self.history.remove(0);
-        }
-        self.history.push(line);
+        self.history[self.hist_head as usize] = line;
+        self.hist_head = (self.hist_head + 1) & HISTORY_MASK;
+        self.hist_len = (self.hist_len + 1).min(HISTORY as u32);
         self.cursor += 1;
         MemoryAccess {
             address: self.base + line * LINE + self.rng.gen_range_u64(0, LINE / 8) * 8,
             write,
+        }
+    }
+
+    /// Fills `out` with the next `out.len()` accesses — bit-identical to
+    /// calling [`AccessStream::next_access`] that many times. This is the
+    /// batch entry the system hot loop uses to synthesize addresses in
+    /// chunks instead of one virtual call per reference.
+    pub fn fill(&mut self, out: &mut [MemoryAccess]) {
+        for slot in out {
+            *slot = self.next_access();
         }
     }
 }

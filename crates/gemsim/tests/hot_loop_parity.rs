@@ -1,0 +1,191 @@
+//! Hot-loop parity: the optimized simulator (struct-of-arrays cache,
+//! ring-buffer stream, chunked system loop) must be **bit-for-bit
+//! identical** to the naive executable specification in
+//! `mss_gemsim::reference` whenever the epoch-skip fast path is off (the
+//! default). Any drift — a reordered RNG draw, a different f64 accumulation
+//! order, an off-by-one in LRU rank math — fails these tests.
+
+use mss_exec::ParallelConfig;
+use mss_gemsim::cache::{Cache, CacheConfig};
+use mss_gemsim::reference::{self, NaiveCache, NaiveStream};
+use mss_gemsim::system::{Placement, System, SystemConfig};
+use mss_gemsim::workload::{AccessStream, Kernel};
+use mss_units::rng::{Rng, Xoshiro256PlusPlus};
+
+/// Small sampling cap: parity is a per-access property, so a few thousand
+/// references per thread exercise every code path (misses, write-backs,
+/// prefetches, row hits) while keeping the debug-profile suite fast.
+const SAMPLE_CAP: u64 = 6_000;
+
+fn parity_config() -> SystemConfig {
+    let mut c = SystemConfig::big_little_default();
+    c.sample_accesses_per_thread = SAMPLE_CAP;
+    c
+}
+
+#[test]
+fn stream_matches_naive_stream() {
+    for kernel in [Kernel::bodytrack(), Kernel::streamcluster()] {
+        for tid in [0u32, 5] {
+            let mut fast = AccessStream::new(&kernel, tid, 42);
+            let mut naive = NaiveStream::new(&kernel, tid, 42);
+            // Run far past the 4096-entry history capacity so the ring
+            // wrap-around is compared against the Vec's remove(0) regime.
+            for i in 0..10_000 {
+                assert_eq!(
+                    fast.next_access(),
+                    naive.next_access(),
+                    "{}: tid {tid} diverged at access {i}",
+                    kernel.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_kernel_and_placement_matches_the_reference() {
+    let config = parity_config();
+    let sys = System::new(config.clone()).unwrap();
+    let placements = [
+        Placement::AllClusters,
+        Placement::Cluster("big".into()),
+        Placement::Cluster("LITTLE".into()),
+    ];
+    for (i, kernel) in Kernel::parsec_extended().iter().enumerate() {
+        let placement = &placements[i % placements.len()];
+        let fast = sys.run_placed(kernel, 2024, placement).unwrap();
+        let naive = reference::run_placed(&config, kernel, 2024, placement).unwrap();
+        assert_eq!(fast, naive, "{} @ {placement:?}", kernel.name);
+    }
+}
+
+#[test]
+fn parity_holds_with_prefetch_and_fault_model() {
+    use mss_fault::{FaultModel, FaultPlan};
+    use mss_gemsim::faultmem::FaultMemConfig;
+    use mss_vaet::ecc::EccScheme;
+    let mut config = parity_config();
+    config.l2_next_line_prefetch = true;
+    let mut m = FaultModel::none();
+    m.write_fail_rate = 0.002;
+    m.read_disturb_rate = 0.0005;
+    config.fault = Some(FaultMemConfig::new(
+        FaultPlan::new(77, m).unwrap(),
+        EccScheme::bch(2, 512),
+    ));
+    let sys = System::new(config.clone()).unwrap();
+    let k = Kernel::streamcluster();
+    let fast = sys.run(&k, 7).unwrap();
+    let naive = reference::run_placed(&config, &k, 7, &Placement::AllClusters).unwrap();
+    assert_eq!(fast, naive);
+    assert!(
+        fast.fault.is_some(),
+        "the fault model must have been active"
+    );
+}
+
+#[test]
+fn two_cluster_row_buffer_hits_match_the_reference() {
+    // Regression for the dram_row_hits_scaled accounting bug: the hit
+    // counter is cumulative across clusters, but the old code assigned the
+    // *total* scaled by the *last* cluster's factor instead of accumulating
+    // per-cluster deltas at per-cluster scales. With two active clusters of
+    // different weights (big/LITTLE scale differently) the reference and
+    // the old formula disagree; bit-equality here pins the fix.
+    let mut config = parity_config();
+    config.row_buffer = Some(mss_gemsim::dram::RowBufferConfig::lpddr_default());
+    let sys = System::new(config.clone()).unwrap();
+    let k = Kernel::streamcluster();
+    let fast = sys.run(&k, 6).unwrap();
+    let naive = reference::run_placed(&config, &k, 6, &Placement::AllClusters).unwrap();
+    assert_eq!(fast, naive);
+    assert!(
+        fast.dram_row_hits > 0,
+        "streaming kernel must produce open-row hits"
+    );
+    // Both clusters saw DRAM traffic, so both contributed deltas.
+    assert!(fast.dram_reads > 0);
+}
+
+#[test]
+fn run_many_is_bit_identical_across_thread_counts() {
+    let config = parity_config();
+    let sys = System::new(config.clone()).unwrap();
+    let kernels = Kernel::parsec_extended();
+    let reference: Vec<_> = kernels
+        .iter()
+        .map(|k| reference::run_placed(&config, k, 9, &Placement::AllClusters).unwrap())
+        .collect();
+    for threads in [1usize, 2, 8] {
+        let batch = sys
+            .run_many(&kernels, 9, &ParallelConfig::serial().with_threads(threads))
+            .unwrap();
+        assert_eq!(batch, reference, "thread count {threads} changed results");
+    }
+}
+
+/// One randomized op against both cache implementations.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Access { addr: u64, write: bool },
+    Prefetch { addr: u64 },
+    Flush,
+}
+
+#[test]
+fn lru_cache_property_matches_naive_on_random_streams() {
+    // Exhaustive-ish equivalence: every outcome (hit/writeback/victim) and
+    // the counters must agree after every single operation, across
+    // direct-mapped, 2-way and 4-way shapes, under a mix of demand
+    // accesses, prefetches and flushes.
+    for (assoc, capacity, seed) in [(1u32, 512u64, 1u64), (2, 1024, 2), (4, 4096, 3)] {
+        let cfg = CacheConfig {
+            name: format!("prop-{assoc}w"),
+            capacity,
+            associativity: assoc,
+            line_bytes: 64,
+            read_latency: 1e-9,
+            write_latency: 1e-9,
+            read_energy: 1e-12,
+            write_energy: 1e-12,
+            leakage_power: 1e-3,
+        };
+        let mut fast = Cache::new(cfg.clone()).unwrap();
+        let mut naive = NaiveCache::new(cfg).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        for step in 0..30_000 {
+            // Address space ~4x the capacity: plenty of conflicts.
+            let addr = rng.gen_range_u64(0, 4 * capacity);
+            let op = if rng.gen_bool(0.02) {
+                Op::Flush
+            } else if rng.gen_bool(0.15) {
+                Op::Prefetch { addr }
+            } else {
+                Op::Access {
+                    addr,
+                    write: rng.gen_bool(0.3),
+                }
+            };
+            match op {
+                Op::Access { addr, write } => {
+                    let a = fast.access(addr, write);
+                    let b = naive.access(addr, write);
+                    assert_eq!(a, b, "{assoc}-way step {step}: access {addr:#x}");
+                }
+                Op::Prefetch { addr } => {
+                    let a = fast.prefetch(addr);
+                    let b = naive.prefetch(addr);
+                    assert_eq!(a, b, "{assoc}-way step {step}: prefetch {addr:#x}");
+                }
+                Op::Flush => {
+                    assert_eq!(fast.flush(), naive.flush(), "{assoc}-way step {step}");
+                }
+            }
+            assert_eq!(fast.stats(), naive.stats(), "{assoc}-way step {step}");
+        }
+        // The streams must have actually exercised the interesting paths.
+        assert!(fast.stats().writebacks > 0, "{assoc}-way: no writebacks");
+        assert!(fast.stats().hits() > 0, "{assoc}-way: no hits");
+    }
+}

@@ -85,11 +85,14 @@ fn fig12_shape_energy_improves_in_every_stt_scenario() {
 #[test]
 fn fig12_shape_little_speedup_and_big_slowdown() {
     let r = report();
-    // Capacity-sensitive kernel: iso-area LITTLE STT L2 is faster.
+    // Capacity-sensitive kernel: iso-area LITTLE STT L2 is faster. (The
+    // margin tightened when L1 victim write-backs started landing on their
+    // real L2 lines: the earlier address-aliasing hack polluted the L2 and
+    // overstated how much extra capacity helps.)
     let (t_little, _, _) = r
         .normalized("bodytrack", Scenario::LittleL2Stt)
         .expect("result");
-    assert!(t_little < 0.9, "LITTLE speedup ratio {t_little}");
+    assert!(t_little < 0.93, "LITTLE speedup ratio {t_little}");
     // Iso-capacity big STT L2 never speeds anything up.
     for kernel in r.kernels() {
         let (t_big, _, _) = r.normalized(&kernel, Scenario::BigL2Stt).expect("result");
