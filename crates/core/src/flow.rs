@@ -7,12 +7,13 @@
 //! every stage computation is pure, so the report is bit-identical at any
 //! thread count and any cache temperature.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use mss_exec::{par_map, ParallelConfig};
+use mss_exec::supervise::{CancelToken, SupervisorConfig};
+use mss_exec::{par_map, ParallelConfig, TaskFailure};
 use mss_gemsim::cache::CacheConfig;
 use mss_gemsim::stats::SimReport;
-use mss_gemsim::system::{System, SystemConfig};
+use mss_gemsim::system::{Placement, System, SystemConfig};
 use mss_gemsim::workload::Kernel;
 use mss_mcpat::{evaluate as mcpat_evaluate, McpatConfig, PowerReport};
 use mss_mtj::MssStack;
@@ -20,6 +21,7 @@ use mss_nvsim::config::MemoryConfig;
 use mss_nvsim::model::{estimate_cached, ArrayMetrics, MemoryTechnology};
 use mss_pdk::charlib::{characterize_with_cached, CellLibrary};
 use mss_pdk::tech::{TechNode, TechParams};
+use mss_pipe::checkpoint::{SweepJournal, TaskState};
 use mss_pipe::{digest_of, PipeCache, Stage};
 
 use crate::scenario::Scenario;
@@ -338,45 +340,245 @@ impl MagpieFlow {
             .flat_map(|s| (0..self.inputs.kernels.len()).map(move |k| (s, k)))
             .collect();
         let evaluated = par_map(exec, &pairs, |_, &(s, k)| {
-            let scenario = self.inputs.scenarios[s];
-            let kernel = &self.inputs.kernels[k];
-            // The platform configuration fully determines the (deterministic)
-            // simulation, so the key is (system, kernel, seed) — scenarios
-            // that build identical platforms share the activity report.
-            let sim_key = digest_of(&(systems[s].config(), kernel, self.inputs.seed));
-            let activity = self
-                .cache
-                .get_or_compute(Stage::SimulateKernel, &sim_key, || {
-                    systems[s]
-                        .run(kernel, self.inputs.seed)
-                        .map_err(MagpieError::from)
-                })?;
-            let label = format!("{} / {}", kernel.name, scenario);
-            // The label is part of the key: a shared activity report must not
-            // leak another scenario's label into this one's power report.
-            let power_key = digest_of(&(sim_key.as_str(), &mcpat_cfg, label.as_str()));
-            let power = self
-                .cache
-                .get_or_compute(Stage::McpatAccount, &power_key, || {
-                    let mut power = mcpat_evaluate(&mcpat_cfg, &activity);
-                    power.label = label.clone();
-                    Ok::<_, MagpieError>(power)
-                })?;
-            let power = (*power).clone();
-            let activity = (*activity).clone();
-            Ok::<_, MagpieError>(KernelScenarioResult {
-                scenario,
-                kernel: kernel.name.clone(),
-                runtime: activity.runtime_seconds,
-                energy: power.total_energy(),
-                edp: power.edp(),
-                power,
-                activity,
-            })
+            self.evaluate_pair(&systems, &mcpat_cfg, s, k, None)
         });
         let results = evaluated.into_iter().collect::<Result<Vec<_>, _>>()?;
         drop(simulate_span);
         Ok(MagpieReport { results, areas })
+    }
+
+    /// [`run_with`](Self::run_with) under the sweep supervisor: each
+    /// (scenario, kernel) simulation is panic-isolated, deadline-bounded,
+    /// and retried per `sup`, and a failure removes only its own pair from
+    /// the report instead of aborting the sweep.
+    ///
+    /// Completed pairs are bit-identical to the corresponding
+    /// [`run_with`](Self::run_with) results at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Only preparation failures (characterisation/estimation/platform
+    /// build) are hard errors; simulation failures are returned in the
+    /// partial report's failure manifest.
+    pub fn run_supervised(
+        &self,
+        exec: &ParallelConfig,
+        sup: &SupervisorConfig,
+    ) -> Result<PartialMagpieReport, MagpieError> {
+        self.run_supervised_inner(exec, sup, None)
+    }
+
+    /// [`run_supervised`](Self::run_supervised) with a checkpoint journal:
+    /// every terminal task outcome (done with its stage digest, or failed
+    /// with its cause) is durably appended to `journal` as it happens, so a
+    /// killed process leaves an accurate manifest behind and a resumed run
+    /// finds every completed pair's artifacts in the disk cache.
+    ///
+    /// The journal should be opened against
+    /// [`sweep_digest`](Self::sweep_digest) so manifests from different
+    /// sweep configurations never alias.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_supervised`](Self::run_supervised); journal append
+    /// failures are non-fatal (the sweep's results are still returned).
+    pub fn run_supervised_journaled(
+        &self,
+        exec: &ParallelConfig,
+        sup: &SupervisorConfig,
+        journal: &mut SweepJournal,
+    ) -> Result<PartialMagpieReport, MagpieError> {
+        self.run_supervised_inner(exec, sup, Some(journal))
+    }
+
+    fn run_supervised_inner(
+        &self,
+        exec: &ParallelConfig,
+        sup: &SupervisorConfig,
+        journal: Option<&mut SweepJournal>,
+    ) -> Result<PartialMagpieReport, MagpieError> {
+        let _flow_span = mss_obs::span("flow.run");
+        let mcpat_cfg = McpatConfig::default();
+        let prepare_span = mss_obs::span("flow.prepare");
+        let prepared = par_map(exec, &self.inputs.scenarios, |_, &scenario| {
+            let area = self.scenario_area(scenario)?;
+            let system = System::new(self.system_config(scenario)?)?;
+            Ok::<_, MagpieError>((area, system))
+        });
+        let mut areas = Vec::new();
+        let mut systems = Vec::new();
+        for item in prepared {
+            let (area, system) = item?;
+            areas.push(area);
+            systems.push(system);
+        }
+        drop(prepare_span);
+        let simulate_span = mss_obs::span("flow.simulate");
+
+        let pairs: Vec<(usize, usize)> = (0..self.inputs.scenarios.len())
+            .flat_map(|s| (0..self.inputs.kernels.len()).map(move |k| (s, k)))
+            .collect();
+        let journal = journal.map(Mutex::new);
+        let sweep = mss_exec::supervised_map(exec, sup, &pairs, |ctx, &(s, k)| {
+            let result = self.evaluate_pair(&systems, &mcpat_cfg, s, k, Some(ctx.token()))?;
+            if let Some(journal) = &journal {
+                // Journal appends are best-effort: losing a checkpoint line
+                // costs a future resume one cheap disk-cache hit, which is
+                // not worth failing a completed simulation over.
+                let digest = self.pair_sim_key(&systems, s, k);
+                if let Ok(mut j) = journal.lock() {
+                    let _ = j.record(&self.pair_task_name(s, k), TaskState::Done { digest });
+                }
+            }
+            Ok::<_, MagpieError>(result)
+        });
+        drop(simulate_span);
+        if let Some(journal) = journal {
+            if let Ok(j) = &mut journal.lock() {
+                for failure in &sweep.failures {
+                    let (s, k) = pairs[failure.index];
+                    let _ = j.record(
+                        &self.pair_task_name(s, k),
+                        TaskState::Failed {
+                            cause: failure.kind.to_string(),
+                        },
+                    );
+                }
+            }
+        }
+        let results = sweep.results.into_iter().flatten().collect();
+        Ok(PartialMagpieReport {
+            report: MagpieReport { results, areas },
+            failures: sweep.failures,
+        })
+    }
+
+    /// The structural digest identifying this flow's sweep: open checkpoint
+    /// journals against it so manifests from different inputs never alias.
+    pub fn sweep_digest(&self) -> String {
+        let kernels: Vec<&str> = self
+            .inputs
+            .kernels
+            .iter()
+            .map(|k| k.name.as_str())
+            .collect();
+        let scenarios: Vec<String> = self
+            .inputs
+            .scenarios
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        digest_of(&(
+            format!("{:?}", self.inputs.node),
+            kernels.join(","),
+            scenarios.join(","),
+            (self.inputs.seed, self.inputs.sample_cap),
+        ))
+    }
+
+    /// Stable journal key of one (scenario, kernel) task.
+    fn pair_task_name(&self, s: usize, k: usize) -> String {
+        format!(
+            "{}/{}",
+            self.inputs.scenarios[s], self.inputs.kernels[k].name
+        )
+    }
+
+    /// The simulate-stage cache key of one (scenario, kernel) pair.
+    ///
+    /// The platform configuration fully determines the (deterministic)
+    /// simulation, so the key is (system, kernel, seed) — scenarios that
+    /// build identical platforms share the activity report.
+    fn pair_sim_key(&self, systems: &[System], s: usize, k: usize) -> String {
+        digest_of(&(
+            systems[s].config(),
+            &self.inputs.kernels[k],
+            self.inputs.seed,
+        ))
+    }
+
+    /// Evaluates one (scenario, kernel) pair through the cached simulate and
+    /// account stages, optionally honouring a cancellation token at the
+    /// simulator's chunk boundaries.
+    fn evaluate_pair(
+        &self,
+        systems: &[System],
+        mcpat_cfg: &McpatConfig,
+        s: usize,
+        k: usize,
+        token: Option<&CancelToken>,
+    ) -> Result<KernelScenarioResult, MagpieError> {
+        let scenario = self.inputs.scenarios[s];
+        let kernel = &self.inputs.kernels[k];
+        let sim_key = self.pair_sim_key(systems, s, k);
+        // SimReport is a disk-capable artifact, so completed simulations
+        // survive a process kill and a resumed sweep reloads them instead
+        // of recomputing.
+        let activity =
+            self.cache
+                .get_or_compute_artifact(Stage::SimulateKernel, &sim_key, || {
+                    match token {
+                        Some(token) => systems[s].run_cancellable(
+                            kernel,
+                            self.inputs.seed,
+                            &Placement::AllClusters,
+                            token,
+                        ),
+                        None => systems[s].run(kernel, self.inputs.seed),
+                    }
+                    .map_err(MagpieError::from)
+                })?;
+        let label = format!("{} / {}", kernel.name, scenario);
+        // The label is part of the key: a shared activity report must not
+        // leak another scenario's label into this one's power report.
+        let power_key = digest_of(&(sim_key.as_str(), mcpat_cfg, label.as_str()));
+        let power = self
+            .cache
+            .get_or_compute(Stage::McpatAccount, &power_key, || {
+                let mut power = mcpat_evaluate(mcpat_cfg, &activity);
+                power.label = label.clone();
+                Ok::<_, MagpieError>(power)
+            })?;
+        let power = (*power).clone();
+        let activity = (*activity).clone();
+        Ok(KernelScenarioResult {
+            scenario,
+            kernel: kernel.name.clone(),
+            runtime: activity.runtime_seconds,
+            energy: power.total_energy(),
+            edp: power.edp(),
+            power,
+            activity,
+        })
+    }
+}
+
+/// Outcome of a supervised flow run: the completed pairs plus the terminal
+/// failures that were isolated away from them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialMagpieReport {
+    /// The report over completed pairs only, in scenario-major order. All
+    /// [`MagpieReport`] renderers tolerate the holes (missing pairs render
+    /// as absent rows, not zeros).
+    pub report: MagpieReport,
+    /// Terminal failures, sorted by task index.
+    pub failures: Vec<TaskFailure>,
+}
+
+impl PartialMagpieReport {
+    /// True when every pair completed.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The failure manifest as NDJSON, one line per failed pair (empty
+    /// string when complete).
+    pub fn failure_manifest(&self) -> String {
+        self.failures
+            .iter()
+            .map(TaskFailure::to_json_line)
+            .map(|l| l + "\n")
+            .collect()
     }
 }
 
@@ -838,6 +1040,40 @@ mod tests {
         let row = csv.lines().find(|l| l.starts_with(&dropped)).unwrap();
         assert!(row.contains(",n/a"), "{row}");
         assert!(!row.contains(",0.000000e0"), "{row}");
+    }
+
+    #[test]
+    fn supervised_run_is_bit_identical_and_journals_every_pair() {
+        let (flow, report) = flow_report();
+        let dir = std::env::temp_dir().join(format!("mss-flow-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("sweep.ndjson");
+        let digest = flow.sweep_digest();
+
+        let mut journal = SweepJournal::open(&path, &digest).unwrap();
+        let partial = flow
+            .run_supervised_journaled(
+                &ParallelConfig::serial().with_threads(3),
+                &SupervisorConfig::disabled(),
+                &mut journal,
+            )
+            .unwrap();
+        assert!(partial.is_complete());
+        assert!(partial.failure_manifest().is_empty());
+        assert_eq!(&partial.report, report);
+
+        // Every pair left a durable done record that a resumed process sees.
+        assert_eq!(journal.len(), report.results.len());
+        let reopened = SweepJournal::open(&path, &digest).unwrap();
+        assert_eq!(reopened.done().count(), report.results.len());
+        for r in &report.results {
+            assert!(reopened.is_done(&format!("{}/{}", r.scenario, r.kernel)));
+        }
+        // A different sweep configuration sees none of it.
+        assert!(SweepJournal::open(&path, "0000000000000000")
+            .unwrap()
+            .is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

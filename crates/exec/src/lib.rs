@@ -36,6 +36,13 @@
 
 #![deny(missing_docs)]
 
+pub mod supervise;
+
+pub use supervise::{
+    supervised_chunks, supervised_map, supervised_map_with, CancelToken, FailureKind, PartialSweep,
+    SupervisorConfig, TaskCtx, TaskFailure,
+};
+
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -14,6 +14,10 @@
 //!   decision is a pure hash of `(seed, site, epoch, bit)`, so injection is
 //!   bit-identical at any `MSS_THREADS`, any chunking, and any access
 //!   interleaving,
+//! - [`chaos`] — the runtime chaos harness: stateless seeded decisions to
+//!   panic, fail, or stall supervised sweep tasks (attempt-bounded so
+//!   bounded retry provably converges) plus deterministic on-disk cache
+//!   poisoning, exercising `mss-exec`'s supervisor end to end,
 //! - [`campaign`] — seeded Monte Carlo campaigns that inject bit errors into
 //!   ECC blocks and compare the empirical word-error and block-uncorrectable
 //!   rates against the analytical binomial model
@@ -37,12 +41,14 @@
 #![deny(clippy::unwrap_used)]
 
 pub mod campaign;
+pub mod chaos;
 pub mod inject;
 pub mod plan;
 
 mod error;
 
 pub use campaign::{run_ecc_campaign, CampaignOptions, CampaignReport};
+pub use chaos::{poison_cache_dir, ChaosPlan};
 pub use error::FaultError;
 pub use inject::FaultInjector;
 pub use plan::{FaultModel, FaultPlan, MtjOperatingPoint};

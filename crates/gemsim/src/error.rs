@@ -22,6 +22,9 @@ pub enum GemsimError {
         /// What is wrong.
         reason: String,
     },
+    /// The run observed its cancellation token (deadline or external
+    /// cancel) and bailed out at a chunk boundary before completing.
+    Cancelled,
 }
 
 impl fmt::Display for GemsimError {
@@ -32,6 +35,7 @@ impl fmt::Display for GemsimError {
             }
             GemsimError::InvalidSystem { reason } => write!(f, "invalid system: {reason}"),
             GemsimError::InvalidWorkload { reason } => write!(f, "invalid workload: {reason}"),
+            GemsimError::Cancelled => write!(f, "simulation cancelled"),
         }
     }
 }

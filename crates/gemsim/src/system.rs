@@ -17,6 +17,7 @@
 //! - dirty evictions from L1 write the L2 array too, mostly hidden behind
 //!   buffers ([`WRITEBACK_EXPOSURE`]).
 
+use mss_exec::supervise::{CancelToken, PartialSweep, SupervisorConfig};
 use mss_exec::{par_map, ParallelConfig};
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
@@ -434,6 +435,44 @@ impl System {
             .collect()
     }
 
+    /// Runs a batch of kernels under the sweep supervisor: each kernel is
+    /// isolated (a panic or failure becomes a [`mss_exec::TaskFailure`]),
+    /// bounded by the supervisor's per-task deadline (observed at access
+    /// chunk boundaries), retried deterministically, and the batch returns
+    /// a [`PartialSweep`] with completed reports in kernel order.
+    ///
+    /// Completed reports are bit-identical to [`System::run_many`] output
+    /// for the same kernels at any thread count.
+    pub fn run_many_supervised(
+        &self,
+        kernels: &[Kernel],
+        seed: u64,
+        exec: &ParallelConfig,
+        sup: &SupervisorConfig,
+    ) -> PartialSweep<SimReport> {
+        let _span = mss_obs::span("gemsim.run_many");
+        mss_exec::supervised_map(exec, sup, kernels, |ctx, kernel| {
+            self.run_cancellable(kernel, seed, &Placement::AllClusters, ctx.token())
+        })
+    }
+
+    /// [`System::run_placed`] with a cooperative cancellation token checked
+    /// at every access-chunk boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`GemsimError::Cancelled`] when the token trips mid-run, plus every
+    /// [`System::run_placed`] error.
+    pub fn run_cancellable(
+        &self,
+        kernel: &Kernel,
+        seed: u64,
+        placement: &Placement,
+        token: &CancelToken,
+    ) -> Result<SimReport, GemsimError> {
+        self.run_inner(kernel, seed, placement, Some(token))
+    }
+
     /// Runs one kernel with an explicit thread placement and reports system
     /// activity.
     ///
@@ -447,6 +486,16 @@ impl System {
         kernel: &Kernel,
         seed: u64,
         placement: &Placement,
+    ) -> Result<SimReport, GemsimError> {
+        self.run_inner(kernel, seed, placement, None)
+    }
+
+    fn run_inner(
+        &self,
+        kernel: &Kernel,
+        seed: u64,
+        placement: &Placement,
+        token: Option<&CancelToken>,
     ) -> Result<SimReport, GemsimError> {
         let _span = mss_obs::span("gemsim.run");
         kernel.validate()?;
@@ -581,6 +630,12 @@ impl System {
                     let mut prev_delta: Option<EpochSnap> = None;
                     let mut streak = 0u32;
                     while done < sim_per_thread {
+                        // Cancellation checkpoint: one poll per synthesis
+                        // chunk keeps the hot loop tight while bounding the
+                        // reaction latency to ~a thousand accesses.
+                        if token.is_some_and(|t| t.is_cancelled()) {
+                            return Err(GemsimError::Cancelled);
+                        }
                         let n = chunk.min((sim_per_thread - done) as usize);
                         stream.fill(&mut buf[..n]);
                         let before = epoch.map(|_| EpochSnap {
@@ -1078,6 +1133,49 @@ mod tests {
         plan.model.stuck_at_rate = -1.0;
         c.fault = Some(FaultMemConfig::new(plan, EccScheme::bch(1, 64)));
         assert!(System::new(c).is_err());
+    }
+
+    #[test]
+    fn cancelled_token_aborts_at_chunk_boundary() {
+        let sys = System::new(quick_config()).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            sys.run_cancellable(&Kernel::bodytrack(), 1, &Placement::AllClusters, &token),
+            Err(GemsimError::Cancelled)
+        );
+        // A live token changes nothing: the run equals the plain path.
+        let live = CancelToken::new();
+        let r = sys
+            .run_cancellable(&Kernel::bodytrack(), 1, &Placement::AllClusters, &live)
+            .unwrap();
+        assert_eq!(r, sys.run(&Kernel::bodytrack(), 1).unwrap());
+    }
+
+    #[test]
+    fn supervised_batch_isolates_a_poisoned_kernel() {
+        let sys = System::new(quick_config()).unwrap();
+        let mut bad = Kernel::swaptions();
+        bad.threads = 0; // fails validation
+        let kernels = [Kernel::bodytrack(), bad, Kernel::streamcluster()];
+        let sweep = sys.run_many_supervised(
+            &kernels,
+            9,
+            &ParallelConfig::serial().with_threads(2),
+            &SupervisorConfig::disabled(),
+        );
+        assert_eq!(sweep.completed_count(), 2);
+        assert_eq!(sweep.failures.len(), 1);
+        assert_eq!(sweep.failures[0].index, 1);
+        // Survivors equal the plain per-kernel runs.
+        assert_eq!(
+            sweep.results[0].as_ref().unwrap(),
+            &sys.run(&kernels[0], 9).unwrap()
+        );
+        assert_eq!(
+            sweep.results[2].as_ref().unwrap(),
+            &sys.run(&kernels[2], 9).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Thread-count invariance of faultmem uncorrectable-error reporting.
+//!
+//! The fault-aware memory array degrades gracefully: uncorrectable read
+//! patterns are *reported*, never panicked on. For that report to be
+//! trustworthy in a supervised sweep it must also be reproducible — the
+//! per-kernel uncorrectable manifest has to come out bit-identical whether
+//! the batch ran on 1, 2 or 8 worker threads, through `run_many` or through
+//! the supervised path.
+
+use mss_exec::{ParallelConfig, SupervisorConfig};
+use mss_fault::{FaultModel, FaultPlan};
+use mss_gemsim::faultmem::FaultMemConfig;
+use mss_gemsim::stats::SimReport;
+use mss_gemsim::system::{System, SystemConfig};
+use mss_gemsim::workload::Kernel;
+use mss_vaet::ecc::EccScheme;
+
+/// A platform whose memory array is stressed hard enough that weak ECC
+/// leaves detected and uncorrectable residue in every report.
+fn stressed_config() -> SystemConfig {
+    let mut c = SystemConfig::big_little_default();
+    c.sample_accesses_per_thread = 12_000;
+    let mut model = FaultModel::none();
+    model.write_fail_rate = 0.01;
+    model.read_disturb_rate = 0.004;
+    model.transient_flip_rate = 0.002;
+    // Single-error-correcting code over long words: multi-bit patterns
+    // escape correction routinely at these rates.
+    c.fault = Some(FaultMemConfig::new(
+        FaultPlan::new(1234, model).expect("valid plan"),
+        EccScheme::bch(1, 512),
+    ));
+    c
+}
+
+fn kernels() -> Vec<Kernel> {
+    vec![
+        Kernel::bodytrack(),
+        Kernel::streamcluster(),
+        Kernel::fluidanimate(),
+        Kernel::freqmine(),
+    ]
+}
+
+/// One manifest line per kernel: every fault counter that feeds the
+/// uncorrectable verdict, rendered exactly.
+fn uncorrectable_manifest(reports: &[SimReport]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        let f = r.fault.expect("fault stats present under a fault config");
+        out.push_str(&format!(
+            "{} reads={} clean={} corrected={} detected={} uncorrectable={} \
+             injected={} residual={} scrubbed={}\n",
+            r.kernel,
+            f.reads,
+            f.reads_clean,
+            f.reads_corrected,
+            f.reads_detected,
+            f.reads_uncorrectable,
+            f.injected_bits,
+            f.write_residual_bits,
+            f.scrubbed_words,
+        ));
+    }
+    out
+}
+
+#[test]
+fn uncorrectable_manifest_is_thread_count_invariant() {
+    let sys = System::new(stressed_config()).expect("valid system");
+    let kernels = kernels();
+    let run = |threads: usize| {
+        let exec = ParallelConfig::serial().with_threads(threads);
+        let reports = sys.run_many(&kernels, 42, &exec).expect("batch runs");
+        uncorrectable_manifest(&reports)
+    };
+    let serial = run(1);
+    // The stress rates must actually exercise the uncorrectable path,
+    // otherwise this test pins nothing.
+    assert!(
+        serial.lines().any(|l| !l.contains("uncorrectable=0 ")),
+        "stress config produced no uncorrectable reads:\n{serial}"
+    );
+    assert_eq!(serial, run(2), "manifest differs at 2 threads");
+    assert_eq!(serial, run(8), "manifest differs at 8 threads");
+}
+
+#[test]
+fn supervised_batch_reports_the_same_manifest() {
+    let sys = System::new(stressed_config()).expect("valid system");
+    let kernels = kernels();
+    let plain = uncorrectable_manifest(
+        &sys.run_many(&kernels, 42, &ParallelConfig::serial())
+            .expect("batch runs"),
+    );
+    for threads in [1, 2, 8] {
+        let exec = ParallelConfig::serial().with_threads(threads);
+        let sweep = sys.run_many_supervised(&kernels, 42, &exec, &SupervisorConfig::disabled());
+        assert!(sweep.is_complete(), "healthy sweep completes");
+        let reports: Vec<SimReport> = sweep.into_results().expect("complete");
+        assert_eq!(
+            uncorrectable_manifest(&reports),
+            plain,
+            "supervised manifest differs at {threads} threads"
+        );
+    }
+}

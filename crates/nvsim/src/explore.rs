@@ -7,7 +7,8 @@
 //! subarray tiling and pick the organisation minimising a target metric,
 //! optionally under constraints.
 
-use mss_exec::{par_map, ParallelConfig};
+use mss_exec::supervise::SupervisorConfig;
+use mss_exec::{par_map, ParallelConfig, TaskFailure};
 use mss_pdk::tech::TechParams;
 
 use crate::config::MemoryConfig;
@@ -174,6 +175,79 @@ pub fn explore_with(
     }
 }
 
+/// A design-space exploration that degrades gracefully: candidates whose
+/// estimation panicked, failed or overran the supervisor's deadline are
+/// dropped from the ranking and reported in `failures`, instead of tearing
+/// down the whole sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedExploration {
+    /// The best among the candidates that completed (the full
+    /// [`Exploration`] shape, sorted by ascending score).
+    pub exploration: Exploration,
+    /// Grid points that produced no metrics, with the failure cause.
+    pub failures: Vec<TaskFailure>,
+}
+
+/// [`explore_with`] under the sweep supervisor: each grid point is
+/// estimated in an isolated supervised task, and the exploration ranks
+/// whatever completed.
+///
+/// With healthy estimation this returns exactly the [`explore_with`]
+/// result plus an empty failure list.
+///
+/// # Errors
+///
+/// [`NvsimError::NoFeasibleDesign`] when no *completed* tiling satisfies
+/// the constraints (including the case where every task failed).
+pub fn explore_supervised(
+    tech: &TechParams,
+    base: &MemoryConfig,
+    technology: &MemoryTechnology,
+    target: OptimizationTarget,
+    constraints: &DesignConstraints,
+    exec: &ParallelConfig,
+    sup: &SupervisorConfig,
+) -> Result<SupervisedExploration, NvsimError> {
+    let sizes = [64u32, 128, 256, 512, 1024, 2048];
+    let grid: Vec<MemoryConfig> = sizes
+        .iter()
+        .flat_map(|&rows| sizes.iter().map(move |&cols| (rows, cols)))
+        .filter_map(|(rows, cols)| base.with_subarray(rows, cols).ok())
+        .collect();
+    let _span = mss_obs::span("nvsim.explore");
+    let cache = mss_pipe::global();
+    let sweep = mss_exec::supervised_map(exec, sup, &grid, |_, cfg| {
+        estimate_cached(tech, cfg, technology, &cache).map(|m| (*m).clone())
+    });
+    mss_obs::counter_add("nvsim.explore.candidates", grid.len() as u64);
+    let mut candidates = Vec::new();
+    for (cfg, metrics) in grid.iter().zip(&sweep.results) {
+        let Some(metrics) = metrics else { continue };
+        if !constraints.accepts(metrics) {
+            continue;
+        }
+        let score = target.score(metrics);
+        if !score.is_finite() {
+            mss_obs::counter_add("nvsim.explore.nonfinite_scores", 1);
+            continue;
+        }
+        candidates.push(Candidate {
+            config: *cfg,
+            metrics: metrics.clone(),
+            score,
+        });
+    }
+    mss_obs::counter_add("nvsim.explore.feasible", candidates.len() as u64);
+    candidates.sort_by(|a, b| a.score.total_cmp(&b.score));
+    match candidates.first().cloned() {
+        Some(best) => Ok(SupervisedExploration {
+            exploration: Exploration { best, candidates },
+            failures: sweep.failures,
+        }),
+        None => Err(NvsimError::NoFeasibleDesign),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +350,32 @@ mod tests {
         };
         let serial = run(1);
         assert_eq!(serial, run(4));
+    }
+
+    #[test]
+    fn supervised_exploration_matches_plain_when_healthy() {
+        let (tech, cfg, technology) = setup();
+        let plain = explore_with(
+            &tech,
+            &cfg,
+            &technology,
+            OptimizationTarget::ReadEdp,
+            &DesignConstraints::default(),
+            &ParallelConfig::serial().with_threads(2),
+        )
+        .unwrap();
+        let supervised = explore_supervised(
+            &tech,
+            &cfg,
+            &technology,
+            OptimizationTarget::ReadEdp,
+            &DesignConstraints::default(),
+            &ParallelConfig::serial().with_threads(2),
+            &SupervisorConfig::disabled(),
+        )
+        .unwrap();
+        assert!(supervised.failures.is_empty());
+        assert_eq!(supervised.exploration, plain);
     }
 
     #[test]

@@ -514,7 +514,10 @@ fn write_entry<T: Artifact>(dir: &Path, stage: Stage, key: &str, value: &T) -> s
     if !text.ends_with('\n') {
         text.push('\n');
     }
-    // Write-then-rename so concurrent readers never observe a torn entry.
+    // Write-then-rename so concurrent readers never observe a torn entry,
+    // with an fsync before the rename so a crash (or power loss) right
+    // after the rename can never publish a truncated entry under the final
+    // name — the entry either exists complete or not at all.
     static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
     let tmp = dir.join(format!(
         ".tmp-{}-{}-{}-{key}",
@@ -522,8 +525,13 @@ fn write_entry<T: Artifact>(dir: &Path, stage: Stage, key: &str, value: &T) -> s
         TMP_SEQ.fetch_add(1, Ordering::Relaxed),
         stage.name(),
     ));
-    std::fs::write(&tmp, text)?;
-    let renamed = std::fs::rename(&tmp, entry_path(dir, stage, key));
+    let written = (|| {
+        use std::io::Write;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        file.sync_all()
+    })();
+    let renamed = written.and_then(|()| std::fs::rename(&tmp, entry_path(dir, stage, key)));
     if renamed.is_err() {
         let _ = std::fs::remove_file(&tmp);
     }
@@ -789,6 +797,59 @@ mod tests {
                 (s.load_failures, s.misses, s.disk_hits),
                 (1, 1, 0),
                 "case {i}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_final_line_is_a_miss_never_an_error() {
+        // The crash-safety regression: a mid-write kill may leave any
+        // prefix of an entry on disk (if the temp-file + fsync + rename
+        // protocol were ever weakened). Every such prefix must degrade to
+        // a counted load-failure and a recompute — never an error, never
+        // stale data.
+        let dir = temp_dir("truncated");
+        let key = "cafe";
+        {
+            let cache = PipeCache::with_disk(&dir);
+            let _ = cache
+                .get_or_compute_artifact(Stage::EstimateArray, key, || {
+                    Ok::<_, ()>(Probe {
+                        x: 2.25,
+                        tag: "whole".into(),
+                    })
+                })
+                .unwrap();
+        }
+        let path = entry_path(&dir, Stage::EstimateArray, key);
+        let full = std::fs::read_to_string(&path).unwrap();
+        let header_end = full.find('\n').unwrap() + 1;
+        // Cut inside the header, at an empty payload, mid-payload, and one
+        // byte short of a complete payload line.
+        let cuts = [
+            header_end / 2,
+            header_end,
+            header_end + (full.len() - header_end) / 2,
+            full.len() - 2,
+        ];
+        for cut in cuts {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let cache = PipeCache::with_disk(&dir);
+            let got = cache
+                .get_or_compute_artifact(Stage::EstimateArray, key, || {
+                    Ok::<_, ()>(Probe {
+                        x: 9.0,
+                        tag: "recomputed".into(),
+                    })
+                })
+                .unwrap();
+            assert_eq!(got.tag, "recomputed", "cut at {cut} was served from disk");
+            let s = cache.stats(Stage::EstimateArray);
+            assert_eq!(
+                (s.load_failures, s.misses, s.disk_hits),
+                (1, 1, 0),
+                "cut at {cut}"
             );
         }
         let _ = std::fs::remove_dir_all(&dir);

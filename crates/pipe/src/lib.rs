@@ -17,7 +17,9 @@
 //! - [`cache`] — the two-tier memoization cache: a bounded in-memory store
 //!   plus an opt-in on-disk store under `target/mss-cache/` (`MSS_CACHE`,
 //!   `MSS_CACHE_DIR`), validated on load so corruption degrades to a
-//!   recompute, never an error.
+//!   recompute, never an error;
+//! - [`checkpoint`] — append-only, crash-tolerant sweep journals so a
+//!   killed run resumes from its completed tasks instead of from scratch.
 //!
 //! Memoization here is semantically transparent by construction: every
 //! stage computation in the workspace is a pure deterministic function of
@@ -28,6 +30,7 @@
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod codec;
 pub mod hash;
 
@@ -35,4 +38,5 @@ pub use cache::{
     global, init_global_with, parse_cache_dir, parse_cache_mode, Artifact, PipeCache, Stage,
     StageStats, CACHE_DIR_ENV, CACHE_ENV, DEFAULT_CACHE_DIR,
 };
+pub use checkpoint::{SweepJournal, TaskState};
 pub use hash::{digest_of, StableHash, StableHasher};

@@ -520,6 +520,9 @@ impl Mna {
         let mut x = x_init.to_vec();
         let mut gmin = GMIN_LADDER_START;
         while gmin > GMIN {
+            // Attempt history for chaos/robustness runs: one count per
+            // ladder level actually tried, win or lose.
+            mss_obs::counter_add("spice.retry.gmin_steps", 1);
             let knobs = SolveKnobs {
                 gmin,
                 source_scale: 1.0,
@@ -585,6 +588,7 @@ impl Mna {
         let backend = opts.backend.instance();
         let mut x = x_init.to_vec();
         for level in 1..=SOURCE_LADDER_LEVELS {
+            mss_obs::counter_add("spice.retry.source_steps", 1);
             let alpha = level as f64 / SOURCE_LADDER_LEVELS as f64;
             let knobs = SolveKnobs {
                 gmin: GMIN,
@@ -652,6 +656,7 @@ impl Mna {
                     ));
                 }
                 mss_obs::counter_add("spice.ladder.step_halvings", 1);
+                mss_obs::counter_add("spice.retry.step_halvings", 1);
                 let half = dt / 2.0;
                 let x_mid = self.advance_step(
                     netlist,

@@ -24,6 +24,7 @@
 //! caller: derive it from the *sample index* (RNG stream splitting), never
 //! from the worker.
 
+use mss_exec::supervise::CancelToken;
 use mss_exec::{par_chunks_stats, ParallelConfig};
 
 use crate::analysis::{Mna, SolverOptions};
@@ -128,10 +129,47 @@ impl DcBatch {
     where
         F: Fn(usize, &mut Netlist) -> Result<(), SpiceError> + Sync,
     {
+        self.run_inner(samples, cfg, None, edit)
+    }
+
+    /// [`run_with`](Self::run_with) with a cooperative cancellation token
+    /// checked at every chunk boundary. A tripped token marks the remaining
+    /// samples of each chunk as failed with [`SpiceError::Cancelled`]; the
+    /// samples already solved keep their (bit-exact) solutions.
+    pub fn run_cancellable<F>(
+        &self,
+        samples: usize,
+        cfg: &ParallelConfig,
+        token: &CancelToken,
+        edit: F,
+    ) -> BatchDcResult
+    where
+        F: Fn(usize, &mut Netlist) -> Result<(), SpiceError> + Sync,
+    {
+        self.run_inner(samples, cfg, Some(token), edit)
+    }
+
+    fn run_inner<F>(
+        &self,
+        samples: usize,
+        cfg: &ParallelConfig,
+        token: Option<&CancelToken>,
+        edit: F,
+    ) -> BatchDcResult
+    where
+        F: Fn(usize, &mut Netlist) -> Result<(), SpiceError> + Sync,
+    {
         let _span = mss_obs::span("spice.batch.dc");
         let x0 = vec![0.0; self.dim];
         let (chunks, stats) = par_chunks_stats(cfg, samples, |_chunk, range| {
             let _span = mss_obs::span("spice.batch.chunk");
+            // Cancellation checkpoint: a tripped token fails the whole
+            // chunk cheaply (the SoA stays rectangular, slots are dead).
+            if token.is_some_and(|t| t.is_cancelled()) {
+                let solutions = vec![0.0; range.len() * self.dim];
+                let failures = range.map(|i| (i, SpiceError::Cancelled)).collect();
+                return (solutions, failures);
+            }
             let mut nl = self.base.clone();
             let mut ws = Workspace::new();
             let mut solutions = Vec::with_capacity(range.len() * self.dim);
@@ -353,6 +391,32 @@ mod tests {
             assert_eq!(base.solutions, other.solutions, "{threads} threads");
             assert_eq!(base.failures, other.failures);
         }
+    }
+
+    #[test]
+    fn cancelled_token_fails_remaining_chunks_not_the_batch() {
+        let nl = divider();
+        let r2 = nl.element_index("r2").unwrap();
+        let batch = DcBatch::new(&nl);
+        let token = CancelToken::new();
+        token.cancel();
+        let result = batch.run_cancellable(10, &ParallelConfig::serial(), &token, |i, nl| {
+            nl.set_resistance(r2, 100.0 + i as f64)
+        });
+        assert_eq!(result.failure_count(), 10);
+        for i in 0..10 {
+            assert!(matches!(result.outcome(i), Err(SpiceError::Cancelled)));
+        }
+        // A live token is transparent: same bits as the plain path.
+        let live = CancelToken::new();
+        let a = batch.run_cancellable(10, &ParallelConfig::serial(), &live, |i, nl| {
+            nl.set_resistance(r2, 100.0 + i as f64)
+        });
+        let b = batch.run_with(10, &ParallelConfig::serial(), |i, nl| {
+            nl.set_resistance(r2, 100.0 + i as f64)
+        });
+        assert_eq!(a.solutions, b.solutions);
+        assert_eq!(a.failures, b.failures);
     }
 
     #[test]

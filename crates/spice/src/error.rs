@@ -81,6 +81,9 @@ pub enum SpiceError {
         /// What went wrong.
         reason: String,
     },
+    /// The run observed its cancellation token (deadline or external
+    /// cancel) and bailed out at a chunk boundary before completing.
+    Cancelled,
 }
 
 impl fmt::Display for SpiceError {
@@ -138,6 +141,7 @@ impl fmt::Display for SpiceError {
             SpiceError::Measurement { name, reason } => {
                 write!(f, "measurement '{name}' failed: {reason}")
             }
+            SpiceError::Cancelled => write!(f, "solve cancelled"),
         }
     }
 }

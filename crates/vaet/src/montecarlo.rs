@@ -15,6 +15,7 @@
 //! value in the paper's Table 1: the max over a 1024-bit word sits deep in
 //! the exponential tail of the per-bit switching-time distribution.
 
+use mss_exec::supervise::CancelToken;
 use mss_exec::{par_chunks_stats, ParallelConfig, RunStats};
 use mss_mtj::switching::SwitchingModel;
 use mss_spice::batch::DcBatch;
@@ -211,6 +212,32 @@ pub fn run_with_stats(
     opts: &MonteCarloOptions,
     cfg: &ParallelConfig,
 ) -> Result<(VaetReport, RunStats), VaetError> {
+    run_with_stats_inner(ctx, opts, cfg, None)
+}
+
+/// [`run_with_stats`] with a cooperative cancellation token checked at
+/// every sample-batch boundary — the hook the sweep supervisor's per-task
+/// deadline uses to bound a Monte Carlo run.
+///
+/// # Errors
+///
+/// [`VaetError::Cancelled`] when the token trips mid-run, plus every
+/// [`run`] error.
+pub fn run_with_stats_cancellable(
+    ctx: &VaetContext,
+    opts: &MonteCarloOptions,
+    cfg: &ParallelConfig,
+    token: &CancelToken,
+) -> Result<(VaetReport, RunStats), VaetError> {
+    run_with_stats_inner(ctx, opts, cfg, Some(token))
+}
+
+fn run_with_stats_inner(
+    ctx: &VaetContext,
+    opts: &MonteCarloOptions,
+    cfg: &ParallelConfig,
+    token: Option<&CancelToken>,
+) -> Result<(VaetReport, RunStats), VaetError> {
     if opts.samples == 0 {
         return Err(VaetError::InvalidOptions {
             reason: "samples must be non-zero".into(),
@@ -258,6 +285,12 @@ pub fn run_with_stats(
             // only on `samples` and the chunk size, so the span count stays
             // deterministic across thread counts.
             let _span = mss_obs::span("vaet.mc.batch");
+            // Cancellation checkpoint: one poll per batch bounds the
+            // reaction latency to a chunk of samples without touching the
+            // per-sample hot path.
+            if token.is_some_and(|t| t.is_cancelled()) {
+                return Err(VaetError::Cancelled);
+            }
             let mut rng = Xoshiro256PlusPlus::stream(opts.seed, batch as u64);
             let mut acc = BatchAcc::default();
             for _ in range {
@@ -647,6 +680,21 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, VaetError::InvalidOptions { .. }));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_and_live_token_is_transparent() {
+        let token = CancelToken::new();
+        token.cancel();
+        let err =
+            run_with_stats_cancellable(ctx45(), &small_opts(1), &ParallelConfig::serial(), &token)
+                .unwrap_err();
+        assert!(matches!(err, VaetError::Cancelled));
+        let live = CancelToken::new();
+        let (report, _) =
+            run_with_stats_cancellable(ctx45(), &small_opts(1), &ParallelConfig::serial(), &live)
+                .unwrap();
+        assert_eq!(report, run(ctx45(), &small_opts(1)).unwrap());
     }
 
     #[test]
