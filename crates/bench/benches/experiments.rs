@@ -59,6 +59,7 @@ fn main() {
         scenarios: Scenario::ALL.to_vec(),
         seed: 1,
         sample_cap: 20_000,
+        ..MagpieInputs::defaults()
     })
     .expect("flow");
     h.bench("fig11_12/magpie_flow_1_kernel_4_scenarios", || {

@@ -55,6 +55,7 @@ fn inputs(sample_cap: u64) -> MagpieInputs {
         scenarios: Scenario::ALL.to_vec(),
         seed: 2024,
         sample_cap,
+        ..MagpieInputs::defaults()
     }
 }
 

@@ -213,6 +213,7 @@ fn poison_leg(sample_cap: u64, chaos_seed: u64) {
         scenarios: Scenario::ALL.to_vec(),
         seed: 7,
         sample_cap,
+        ..MagpieInputs::defaults()
     };
     let cold_flow =
         MagpieFlow::new_with_cache(inputs.clone(), Arc::new(PipeCache::with_disk(&dir)))
@@ -260,6 +261,7 @@ fn resume_leg(sample_cap: u64) {
         scenarios: vec![Scenario::FullSram, Scenario::LittleL2Stt],
         seed: 7,
         sample_cap,
+        ..MagpieInputs::defaults()
     };
     let after = MagpieInputs {
         node: TechNode::N45,
@@ -267,6 +269,7 @@ fn resume_leg(sample_cap: u64) {
         scenarios: Scenario::ALL.to_vec(),
         seed: 7,
         sample_cap,
+        ..MagpieInputs::defaults()
     };
 
     // "Before the kill": half the scenario grid completes and checkpoints.

@@ -19,7 +19,7 @@ use mss_gemsim::workload::Kernel;
 use mss_mtj::llg::{LlgOptions, LlgSimulator};
 use mss_mtj::resistance::MtjState;
 use mss_mtj::switching::SwitchingModel;
-use mss_mtj::{MssDevice, MssStack};
+use mss_mtj::{MssDevice, MssStack, SotMechanism, SotParams, SwitchingMechanism};
 use mss_pdk::tech::TechNode;
 use mss_spice::analysis::{Transient, TransientOptions};
 use mss_spice::netlist::Netlist;
@@ -110,6 +110,68 @@ fn spice_smoke() {
     );
 }
 
+/// The SOT mechanism leg: the three-terminal cell written through the
+/// heavy-metal channel, solved by the same MNA transient engine — asserts
+/// the channel write actually switches the junction and that the SHE write
+/// is far faster than the STT damping-limited one.
+fn sot_smoke() {
+    let _span = mss_obs::span("mc_smoke.sot");
+    let stack = MssStack::builder().build().expect("reference stack");
+    let params = SotParams::default();
+    let sot = SotMechanism::new(&stack, params.clone()).expect("SOT mechanism");
+    let stt = SwitchingModel::new(&stack);
+
+    // Device layer: the channel write constant is the damping-scaled
+    // precession time — orders of magnitude under the STT one.
+    let t_sot = sot
+        .mean_switching_time(1.5 * sot.critical_current())
+        .expect("overdriven");
+    let t_stt = stt
+        .mean_switching_time(1.5 * stt.critical_current())
+        .expect("overdriven");
+    assert!(
+        t_sot < 0.05 * t_stt,
+        "SOT write {t_sot:.3e} s not clearly under STT write {t_stt:.3e} s"
+    );
+
+    // Circuit layer: a channel current pulse through the three-terminal
+    // element must flip the free layer to Parallel.
+    let i_write = 1.5 * sot.critical_current();
+    let v_write = i_write * sot.channel_resistance();
+    let mut nl = Netlist::new();
+    nl.add_vsource(
+        "vw",
+        "wr",
+        "0",
+        Waveform::pulse(0.0, v_write, 0.2e-9, 0.02e-9, 0.02e-9, 2e-9, 0.0),
+    )
+    .expect("vsource");
+    nl.add_mtj_sot(
+        "x1",
+        "rd",
+        "wr",
+        "0",
+        &stack,
+        &params,
+        MtjState::Antiparallel,
+    )
+    .expect("sot element");
+    let res = Transient::new(&nl)
+        .expect("transient setup")
+        .run(&TransientOptions::new(0.01e-9, 3e-9))
+        .expect("transient run");
+    assert!(
+        !res.events().is_empty(),
+        "SOT channel pulse never switched the junction"
+    );
+    println!(
+        "sot      : channel write {:.0} ps vs STT {:.1} ns at 1.5x overdrive | {} switch event(s)",
+        t_sot * 1e12,
+        t_stt * 1e9,
+        res.events().len()
+    );
+}
+
 /// One Parsec-like kernel on the big.LITTLE platform (system layer).
 fn gemsim_smoke() {
     let _span = mss_obs::span("mc_smoke.gemsim");
@@ -134,6 +196,7 @@ fn main() {
     vaet_smoke(samples);
     llg_smoke();
     spice_smoke();
+    sot_smoke();
     gemsim_smoke();
 
     mss_bench::write_obs_artifacts("mc_smoke");

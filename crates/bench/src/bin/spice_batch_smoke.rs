@@ -4,8 +4,9 @@
 //! full [`dc_operating_point_with`]) and the symbolic-once/numeric-many
 //! [`DcBatch`] path at 1/2/8 threads — asserting
 //! **bit-identical** tap voltages everywhere, identical `SpiceError`
-//! classification on a structurally singular deck, and a ≥ 3× batched
-//! throughput win (solves/sec). The win is per-solve overhead elimination
+//! classification on a structurally singular deck, the same parity for a
+//! batched three-terminal SOT read divider, and a ≥ 3× batched throughput
+//! win (solves/sec). The win is per-solve overhead elimination
 //! (one symbolic analysis, one workspace, no per-sample report packaging),
 //! so it must hold even on a single-core runner.
 //!
@@ -24,6 +25,8 @@
 use std::time::Instant;
 
 use mss_exec::ParallelConfig;
+use mss_mtj::resistance::MtjState;
+use mss_mtj::{MssStack, SotParams};
 use mss_pdk::tech::TechNode;
 use mss_spice::analysis::{dc_operating_point_with, SolverOptions};
 use mss_spice::batch::DcBatch;
@@ -155,6 +158,80 @@ fn singular_leg() {
     println!("singular : 8/8 samples classified SingularMatrix; batch survives");
 }
 
+/// The three-terminal SOT cell through the batched solver: a read-path
+/// divider around an `MTJSOT` element (series resistor into the read
+/// terminal, heavy-metal channel grounded at the write terminal), batching
+/// over junction state *and* series resistance at the pinned thread counts.
+/// Every sample must match the one-shot `dc_operating_point_with` solve
+/// bitwise, and the AP junction must divide higher than the P one at the
+/// read tap.
+fn sot_leg() {
+    let _span = mss_obs::span("spice_batch_smoke.sot");
+    const SOT_SAMPLES: usize = 64;
+    let stack = MssStack::builder().build().expect("reference stack");
+    let params = SotParams::default();
+    let build = || {
+        let mut nl = Netlist::new();
+        nl.add_vsource("vr", "bl", "0", Waveform::dc(0.1)).unwrap();
+        nl.add_resistor("rs", "bl", "rd", 3.0e3).unwrap();
+        nl.add_mtj_sot("x1", "rd", "sh", "0", &stack, &params, MtjState::Parallel)
+            .unwrap();
+        nl
+    };
+    let nl = build();
+    let rs = nl.element_index("rs").unwrap();
+    let x1 = nl.element_index("x1").unwrap();
+    let state = |i: usize| {
+        if i.is_multiple_of(2) {
+            MtjState::Parallel
+        } else {
+            MtjState::Antiparallel
+        }
+    };
+    let ohms = |i: usize| {
+        let mut rng = Xoshiro256PlusPlus::stream(SEED ^ 0x507, i as u64);
+        3.0e3 * 10f64.powf(rng.gen_range_f64(-0.2, 0.2))
+    };
+
+    // Reference: the historic one-shot solve per sample.
+    let mut single_taps = Vec::with_capacity(SOT_SAMPLES);
+    for i in 0..SOT_SAMPLES {
+        let mut single = build();
+        single.set_mtj_state(x1, state(i)).unwrap();
+        single.set_resistance(rs, ohms(i)).unwrap();
+        let dc = dc_operating_point_with(&single, &SolverOptions::default())
+            .expect("SOT read divider solves");
+        single_taps.push(dc.node_voltage("rd").unwrap());
+    }
+
+    let batch = DcBatch::new(&nl);
+    for threads in [1usize, 2, 8] {
+        let cfg = ParallelConfig::serial()
+            .with_threads(threads)
+            .with_chunk(16);
+        let run = batch.run_with(SOT_SAMPLES, &cfg, |i, nl| {
+            nl.set_mtj_state(x1, state(i))?;
+            nl.set_resistance(rs, ohms(i))
+        });
+        assert_eq!(run.failure_count(), 0, "SOT divider must solve everywhere");
+        for (i, &tap) in single_taps.iter().enumerate() {
+            assert_eq!(
+                run.node_voltage(i, "rd").unwrap(),
+                tap,
+                "SOT sample {i} at {threads} threads diverged from the single solve"
+            );
+        }
+        // AP junction divides higher than P at the read tap.
+        assert!(
+            run.node_voltage(1, "rd").unwrap() > run.node_voltage(0, "rd").unwrap(),
+            "AP read tap must sit above the P one"
+        );
+    }
+    println!(
+        "sot      : {SOT_SAMPLES} three-terminal solves | bits == single at 1/2/8 threads | AP > P at read tap"
+    );
+}
+
 /// The paper-level consumer: the VAET sense-margin Monte Carlo through the
 /// batched solver, bit-identical across thread counts.
 fn vaet_leg() {
@@ -223,6 +300,7 @@ fn main() {
     }
 
     singular_leg();
+    sot_leg();
     vaet_leg();
 
     mss_bench::write_obs_artifacts("spice_batch_smoke");

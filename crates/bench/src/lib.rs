@@ -11,6 +11,8 @@
 
 pub mod harness;
 
+use mss_mtj::{MssStack, SotParams};
+use mss_nvsim::config::MemoryConfig;
 use mss_pdk::tech::TechNode;
 use mss_vaet::context::VaetContext;
 
@@ -22,6 +24,29 @@ use mss_vaet::context::VaetContext;
 /// fatal setup error.
 pub fn standard_context(node: TechNode) -> VaetContext {
     VaetContext::standard(node).expect("standard VAET context must build")
+}
+
+/// The SOT twin of [`standard_context`]: the same 1024×1024 array on the
+/// three-terminal SOT/SHE cell with the default β-W channel — the
+/// mechanism comparison rows of the Table-1 experiment.
+///
+/// # Panics
+///
+/// Panics when the nominal flow fails — experiment binaries treat that as a
+/// fatal setup error.
+pub fn standard_sot_context(node: TechNode) -> VaetContext {
+    let stack = MssStack::builder().build().expect("reference stack");
+    let config = MemoryConfig::new(
+        1024 * 1024 / 8,
+        1024,
+        1,
+        1024,
+        1024,
+        mss_nvsim::config::MemoryKind::Ram,
+    )
+    .expect("standard array organisation");
+    VaetContext::build_sot(node, stack, config, SotParams::default())
+        .expect("standard SOT VAET context must build")
 }
 
 /// The error-rate targets swept in Fig. 7.

@@ -1,0 +1,76 @@
+//! Golden regression for the default-STT path after the mechanism
+//! refactor: rebuilding the committed figure exports from scratch (fresh
+//! memory-only stage cache, so nothing replays) must reproduce
+//! `results/fig11.csv` and `results/fig12.csv` **byte-identically** at 1,
+//! 2 and 8 worker threads. The thread sweep is the determinism half of the
+//! contract — the batched kernels must not let scheduling order leak into
+//! the exported bytes. (The `BENCH_*` smoke outputs get the same treatment
+//! in-bin: `spice_batch_smoke` asserts bitwise 1/2/8-thread parity itself,
+//! and `mss_report check` pins its committed baseline in CI.)
+
+use std::sync::Arc;
+
+use mss_core::flow::{MagpieFlow, MagpieInputs};
+use mss_core::scenario::Scenario;
+use mss_exec::ParallelConfig;
+use mss_gemsim::workload::Kernel;
+use mss_pdk::tech::TechNode;
+use mss_pipe::PipeCache;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/../../results/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read golden {path}: {e}"))
+}
+
+/// Runs the flow with a fresh (memory-only) cache so every stage actually
+/// recomputes at the requested thread count.
+fn run_cold(inputs: &MagpieInputs, threads: usize) -> mss_core::flow::MagpieReport {
+    let flow = MagpieFlow::new_with_cache(inputs.clone(), Arc::new(PipeCache::memory_only()))
+        .expect("flow setup");
+    flow.run_with(&ParallelConfig::serial().with_threads(threads))
+        .expect("flow run")
+}
+
+#[test]
+fn fig11_csv_is_byte_identical_at_1_2_8_threads() {
+    let inputs = MagpieInputs {
+        node: TechNode::N45,
+        kernels: vec![Kernel::bodytrack()],
+        scenarios: Scenario::ALL.to_vec(),
+        seed: 0x000F_1611,
+        sample_cap: 250_000,
+        ..MagpieInputs::defaults()
+    };
+    let golden = golden("fig11.csv");
+    for threads in THREADS {
+        let report = run_cold(&inputs, threads);
+        assert_eq!(
+            report.fig11_csv("bodytrack"),
+            golden,
+            "fig11.csv diverged from the committed golden at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn fig12_csv_is_byte_identical_at_1_2_8_threads() {
+    let inputs = MagpieInputs {
+        node: TechNode::N45,
+        kernels: Kernel::parsec_extended(),
+        scenarios: Scenario::ALL.to_vec(),
+        seed: 0x000F_1612,
+        sample_cap: 250_000,
+        ..MagpieInputs::defaults()
+    };
+    let golden = golden("fig12.csv");
+    for threads in THREADS {
+        let report = run_cold(&inputs, threads);
+        assert_eq!(
+            report.fig12_csv(),
+            golden,
+            "fig12.csv diverged from the committed golden at {threads} threads"
+        );
+    }
+}

@@ -13,24 +13,36 @@ use mss_exec::supervise::{CancelToken, SupervisorConfig};
 use mss_exec::{par_map, ParallelConfig, TaskFailure};
 use mss_gemsim::cache::CacheConfig;
 use mss_gemsim::stats::SimReport;
-use mss_gemsim::system::{Placement, System, SystemConfig};
+use mss_gemsim::system::{EpochSkipConfig, Placement, System, SystemConfig};
 use mss_gemsim::workload::Kernel;
 use mss_mcpat::{evaluate as mcpat_evaluate, McpatConfig, PowerReport};
-use mss_mtj::MssStack;
+use mss_mtj::{MechanismConfig, MssStack, SotParams};
 use mss_nvsim::config::MemoryConfig;
 use mss_nvsim::model::{estimate_cached, ArrayMetrics, MemoryTechnology};
-use mss_pdk::charlib::{characterize_with_cached, CellLibrary};
+use mss_pdk::charlib::{
+    characterize_sot_with_cached, characterize_with_cached, CellLibrary, SotCellLibrary,
+};
 use mss_pdk::tech::{TechNode, TechParams};
 use mss_pipe::checkpoint::{SweepJournal, TaskState};
 use mss_pipe::{digest_of, PipeCache, Stage};
 
-use crate::scenario::Scenario;
+use crate::scenario::{CacheTech, Scenario};
 use crate::MagpieError;
 
 /// STT-MRAM over SRAM density advantage used for iso-area replacement.
 ///
 /// `146 F² / 40 F²` rounds to 4× when keeping power-of-two cache sets.
 pub const ISO_AREA_CAPACITY_FACTOR: u64 = 4;
+
+/// SOT-MRAM over SRAM density advantage used for iso-area replacement.
+///
+/// The characterised three-terminal cell — its write access device sized
+/// for the channel's SHE critical current (~20 F wide at 45 nm) plus the
+/// 1.5× routing overhead of the second terminal — lands at ~154 F²,
+/// essentially the 6T SRAM footprint. The iso-area LITTLE replacement is
+/// therefore **capacity-neutral**: SOT's win is write latency and energy,
+/// not density (that is STT's trade).
+pub const ISO_AREA_CAPACITY_FACTOR_SOT: u64 = 1;
 
 /// Inputs of one flow evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,16 +57,54 @@ pub struct MagpieInputs {
     pub seed: u64,
     /// Per-thread memory-access sampling cap for `mss-gemsim`.
     pub sample_cap: u64,
+    /// Switching-mechanism configuration for the MRAM cells. The default
+    /// [`MechanismConfig::Stt`] reproduces the paper exactly;
+    /// [`MechanismConfig::Sot`] overrides the channel parameters the SOT
+    /// scenarios are characterised with (SOT scenarios run with
+    /// [`SotParams::default`] otherwise).
+    pub mechanism: MechanismConfig,
+    /// Opt-in steady-state extrapolation for the gemsim hot loop (the
+    /// epoch-skip knob). `None` — the default — simulates every sampled
+    /// access exactly, keeping reports and digests byte-identical to the
+    /// historic flow; `Some` trades tail accuracy for speed and reports
+    /// the skipped references per result via
+    /// [`SimReport::extrapolated_accesses`].
+    pub epoch_skip: Option<EpochSkipConfig>,
 }
 
 impl MagpieInputs {
+    /// The paper-default knobs for the fields beyond the sweep grid:
+    /// STT mechanism, exact (no epoch-skip) simulation. Construction sites
+    /// that only care about the grid spread this.
+    pub fn defaults() -> Self {
+        Self {
+            node: TechNode::N45,
+            kernels: Vec::new(),
+            scenarios: Vec::new(),
+            seed: 0,
+            sample_cap: 50_000,
+            mechanism: MechanismConfig::Stt,
+            epoch_skip: None,
+        }
+    }
+
+    /// The SOT channel parameters SOT scenarios characterise with: the
+    /// override carried by [`MechanismConfig::Sot`], or the β-W defaults.
+    pub fn sot_params(&self) -> SotParams {
+        match &self.mechanism {
+            MechanismConfig::Sot(p) => p.clone(),
+            MechanismConfig::Stt => SotParams::default(),
+        }
+    }
+
     /// Validates the inputs before any stage runs.
     ///
     /// # Errors
     ///
     /// [`MagpieError::InvalidInputs`] with a distinct reason per defect:
-    /// empty kernel list, empty scenario list, zero sampling cap, or a
-    /// kernel whose own [`Kernel::validate`] rejects it.
+    /// empty kernel list, empty scenario list, zero sampling cap, a kernel
+    /// whose own [`Kernel::validate`] rejects it, out-of-range SOT channel
+    /// parameters, or an invalid epoch-skip configuration.
     pub fn validate(&self) -> Result<(), MagpieError> {
         if self.kernels.is_empty() {
             return Err(MagpieError::InvalidInputs {
@@ -74,6 +124,16 @@ impl MagpieInputs {
         for kernel in &self.kernels {
             kernel.validate().map_err(|e| MagpieError::InvalidInputs {
                 reason: format!("kernel {}: {e}", kernel.name),
+            })?;
+        }
+        if let MechanismConfig::Sot(p) = &self.mechanism {
+            p.validate().map_err(|e| MagpieError::InvalidInputs {
+                reason: format!("SOT mechanism: {e}"),
+            })?;
+        }
+        if let Some(es) = &self.epoch_skip {
+            es.validate().map_err(|e| MagpieError::InvalidInputs {
+                reason: format!("epoch-skip: {e}"),
             })?;
         }
         Ok(())
@@ -137,6 +197,10 @@ pub struct MagpieFlow {
     inputs: MagpieInputs,
     tech: TechParams,
     stt_lib: CellLibrary,
+    /// The three-terminal SOT cell library — characterised only when the
+    /// grid contains a SOT scenario, so pure-STT flows never pay for (or
+    /// key on) the second characterisation.
+    sot_lib: Option<SotCellLibrary>,
     cache: Arc<PipeCache>,
 }
 
@@ -169,9 +233,17 @@ impl MagpieFlow {
             let _span = mss_obs::span("flow.characterize");
             (*characterize_with_cached(&tech, &stack, &cache)?).clone()
         };
+        let sot_lib = if inputs.scenarios.iter().any(|s| s.uses_sot()) {
+            let _span = mss_obs::span("flow.characterize_sot");
+            let params = inputs.sot_params();
+            Some((*characterize_sot_with_cached(&tech, &stack, &params, &cache)?).clone())
+        } else {
+            None
+        };
         Ok(Self {
             tech,
             stt_lib,
+            sot_lib,
             inputs,
             cache,
         })
@@ -180,6 +252,12 @@ impl MagpieFlow {
     /// The characterised STT cell library (cell configuration file).
     pub fn cell_library(&self) -> &CellLibrary {
         &self.stt_lib
+    }
+
+    /// The characterised SOT cell library; `None` when the scenario grid
+    /// contains no SOT scenario.
+    pub fn sot_cell_library(&self) -> Option<&SotCellLibrary> {
+        self.sot_lib.as_ref()
     }
 
     /// The stage cache this flow memoizes through.
@@ -194,7 +272,7 @@ impl MagpieFlow {
         name: &str,
         capacity: u64,
         associativity: u32,
-        stt: bool,
+        tech_kind: CacheTech,
     ) -> Result<(CacheConfig, ArrayMetrics), MagpieError> {
         let line = 64u32;
         let mem_cfg = MemoryConfig::new(
@@ -208,10 +286,20 @@ impl MagpieFlow {
                 line_bytes: line,
             },
         )?;
-        let technology = if stt {
-            MemoryTechnology::SttMram(self.stt_lib.clone())
-        } else {
-            MemoryTechnology::Sram
+        let technology = match tech_kind {
+            CacheTech::Sram => MemoryTechnology::Sram,
+            CacheTech::Stt => MemoryTechnology::SttMram(self.stt_lib.clone()),
+            CacheTech::Sot => {
+                let lib = self
+                    .sot_lib
+                    .as_ref()
+                    .ok_or_else(|| MagpieError::InvalidInputs {
+                        reason: format!(
+                            "{name}: SOT macro requested but no SOT scenario in the grid"
+                        ),
+                    })?;
+                MemoryTechnology::SotMram(lib.clone())
+            }
         };
         let m = (*estimate_cached(&self.tech, &mem_cfg, &technology, &self.cache)?).clone();
         Ok((
@@ -239,26 +327,26 @@ impl MagpieFlow {
     pub fn system_config(&self, scenario: Scenario) -> Result<SystemConfig, MagpieError> {
         let mut base = SystemConfig::big_little_default();
         base.sample_accesses_per_thread = self.inputs.sample_cap;
+        base.epoch_skip = self.inputs.epoch_skip;
 
         // L1s: always SRAM, re-estimated from the node for consistency.
         for cluster in &mut base.clusters {
-            let (l1, _) = self.cache_config(&cluster.l1d.name.clone(), 32 << 10, 4, false)?;
+            let (l1, _) =
+                self.cache_config(&cluster.l1d.name.clone(), 32 << 10, 4, CacheTech::Sram)?;
             cluster.l1d = l1;
         }
 
-        // big L2: 2 MiB; iso-capacity replacement when STT.
-        let big_stt = scenario.big_l2_is_stt();
-        let (big_l2, _) = self.cache_config("big.L2", 2 << 20, 16, big_stt)?;
+        // big L2: 2 MiB; iso-capacity replacement when MRAM.
+        let big_tech = scenario.big_l2_tech();
+        let (big_l2, _) = self.cache_config("big.L2", 2 << 20, 16, big_tech)?;
         base.clusters[0].l2 = big_l2;
 
-        // LITTLE L2: 512 KiB SRAM; iso-area (4x capacity) when STT.
-        let little_stt = scenario.little_l2_is_stt();
-        let little_capacity = if little_stt {
-            (512 << 10) * ISO_AREA_CAPACITY_FACTOR
-        } else {
-            512 << 10
-        };
-        let (little_l2, _) = self.cache_config("LITTLE.L2", little_capacity, 8, little_stt)?;
+        // LITTLE L2: 512 KiB SRAM; iso-area replacement when MRAM (4x
+        // capacity for the STT cell, 2x for the larger three-terminal SOT
+        // cell).
+        let little_tech = scenario.little_l2_tech();
+        let little_capacity = (512 << 10) * little_iso_area_factor(little_tech);
+        let (little_l2, _) = self.cache_config("LITTLE.L2", little_capacity, 8, little_tech)?;
         base.clusters[1].l2 = little_l2;
 
         Ok(base)
@@ -275,16 +363,12 @@ impl MagpieFlow {
         let base = SystemConfig::big_little_default();
         let cores = base.clusters[0].cores as f64 * mcpat_cfg.big.area
             + base.clusters[1].cores as f64 * mcpat_cfg.little.area;
-        let (_, l1m) = self.cache_config("l1.probe", 32 << 10, 4, false)?;
+        let (_, l1m) = self.cache_config("l1.probe", 32 << 10, 4, CacheTech::Sram)?;
         let l1 = l1m.area * base.clusters.iter().map(|c| c.cores as f64).sum::<f64>();
-        let (_, big) = self.cache_config("big.L2", 2 << 20, 16, scenario.big_l2_is_stt())?;
-        let little_capacity = if scenario.little_l2_is_stt() {
-            (512 << 10) * ISO_AREA_CAPACITY_FACTOR
-        } else {
-            512 << 10
-        };
-        let (_, little) =
-            self.cache_config("LITTLE.L2", little_capacity, 8, scenario.little_l2_is_stt())?;
+        let (_, big) = self.cache_config("big.L2", 2 << 20, 16, scenario.big_l2_tech())?;
+        let little_tech = scenario.little_l2_tech();
+        let little_capacity = (512 << 10) * little_iso_area_factor(little_tech);
+        let (_, little) = self.cache_config("LITTLE.L2", little_capacity, 8, little_tech)?;
         Ok(ScenarioArea {
             scenario,
             cores,
@@ -455,6 +539,10 @@ impl MagpieFlow {
 
     /// The structural digest identifying this flow's sweep: open checkpoint
     /// journals against it so manifests from different inputs never alias.
+    ///
+    /// The mechanism and epoch-skip knobs are folded in **only when set**:
+    /// a default-STT exact sweep hashes exactly as it did before those
+    /// knobs existed, so historic journals and disk caches stay valid.
     pub fn sweep_digest(&self) -> String {
         let kernels: Vec<&str> = self
             .inputs
@@ -468,12 +556,17 @@ impl MagpieFlow {
             .iter()
             .map(ToString::to_string)
             .collect();
-        digest_of(&(
+        let base = (
             format!("{:?}", self.inputs.node),
             kernels.join(","),
             scenarios.join(","),
             (self.inputs.seed, self.inputs.sample_cap),
-        ))
+        );
+        if self.inputs.mechanism.is_default() && self.inputs.epoch_skip.is_none() {
+            digest_of(&base)
+        } else {
+            digest_of(&(base, self.inputs.mechanism.clone(), self.inputs.epoch_skip))
+        }
     }
 
     /// Stable journal key of one (scenario, kernel) task.
@@ -582,6 +675,16 @@ impl PartialMagpieReport {
     }
 }
 
+/// Iso-area capacity multiplier of the LITTLE L2 replacement for a cell
+/// technology (1× for SRAM itself).
+fn little_iso_area_factor(tech: CacheTech) -> u64 {
+    match tech {
+        CacheTech::Sram => 1,
+        CacheTech::Stt => ISO_AREA_CAPACITY_FACTOR,
+        CacheTech::Sot => ISO_AREA_CAPACITY_FACTOR_SOT,
+    }
+}
+
 /// Picks a subarray row count that divides the capacity sensibly.
 fn subarray_rows_for(capacity: u64) -> u32 {
     let bits = capacity * 8;
@@ -636,7 +739,7 @@ impl MagpieReport {
             "== Fig.10 outputs: performance / energy / area, kernel {kernel} ==\n{:<20} | {:>12} | {:>12} | {:>12}\n",
             "scenario", "runtime", "energy", "area"
         );
-        for s in Scenario::ALL {
+        for s in Scenario::ALL_WITH_SOT {
             let Some(r) = self.result(kernel, s) else {
                 continue;
             };
@@ -661,7 +764,7 @@ impl MagpieReport {
     pub fn fig11_table(&self, kernel: &str) -> String {
         use mss_units::fmt::Eng;
         let mut out = format!("== Fig.11: energy breakdown by component, kernel {kernel} ==\n");
-        let scenarios: Vec<Scenario> = Scenario::ALL
+        let scenarios: Vec<Scenario> = Scenario::ALL_WITH_SOT
             .into_iter()
             .filter(|s| self.result(kernel, *s).is_some())
             .collect();
@@ -701,7 +804,7 @@ impl MagpieReport {
     /// Serialises the Fig. 11 breakdown as CSV (component, one column per
     /// scenario; values in joules).
     pub fn fig11_csv(&self, kernel: &str) -> String {
-        let scenarios: Vec<Scenario> = Scenario::ALL
+        let scenarios: Vec<Scenario> = Scenario::ALL_WITH_SOT
             .into_iter()
             .filter(|s| self.result(kernel, *s).is_some())
             .collect();
@@ -734,11 +837,10 @@ impl MagpieReport {
     pub fn fig12_csv(&self) -> String {
         let mut out = String::from("kernel,scenario,time,energy,edp\n");
         for kernel in self.kernels() {
-            for s in [
-                Scenario::LittleL2Stt,
-                Scenario::BigL2Stt,
-                Scenario::FullL2Stt,
-            ] {
+            for s in Scenario::ALL_WITH_SOT {
+                if s == Scenario::FullSram {
+                    continue;
+                }
                 if let Some((t, e, edp)) = self.normalized(&kernel, s) {
                     out.push_str(&format!("{kernel},{s},{t:.6},{e:.6},{edp:.6}\n"));
                 }
@@ -757,11 +859,10 @@ impl MagpieReport {
             "kernel", "scenario", "time", "energy", "EDP"
         ));
         for kernel in self.kernels() {
-            for s in [
-                Scenario::LittleL2Stt,
-                Scenario::BigL2Stt,
-                Scenario::FullL2Stt,
-            ] {
+            for s in Scenario::ALL_WITH_SOT {
+                if s == Scenario::FullSram {
+                    continue;
+                }
                 if let Some((t, e, edp)) = self.normalized(&kernel, s) {
                     out.push_str(&format!(
                         "{:<14} | {:<20} | {:>8.3} | {:>8.3} | {:>8.3}\n",
@@ -775,6 +876,148 @@ impl MagpieReport {
             }
         }
         out
+    }
+
+    /// Total gemsim references that were extrapolated (not simulated)
+    /// across every completed pair — 0 unless the flow opted into
+    /// [`MagpieInputs::epoch_skip`].
+    pub fn total_extrapolated_accesses(&self) -> u64 {
+        self.results
+            .iter()
+            .map(|r| r.activity.extrapolated_accesses)
+            .sum()
+    }
+
+    /// Figure metadata as `key,value` CSV: grid shape, the simulation
+    /// fidelity knobs, and the extrapolated-access count — written next to
+    /// the figure CSVs so a consumer can tell an exact report from an
+    /// epoch-skip-accelerated one without re-running the flow.
+    pub fn metadata_csv(&self, figure: &str) -> String {
+        let mut out = String::from("key,value\n");
+        out.push_str(&format!("figure,{figure}\n"));
+        out.push_str(&format!("kernels,{}\n", self.kernels().len()));
+        out.push_str(&format!("scenarios,{}\n", self.areas.len()));
+        out.push_str(&format!("results,{}\n", self.results.len()));
+        out.push_str(&format!(
+            "extrapolated_accesses,{}\n",
+            self.total_extrapolated_accesses()
+        ));
+        out
+    }
+
+    /// The STT-vs-SOT mechanism comparison: for every kernel and every
+    /// replacement shape present in *both* mechanisms, the normalised
+    /// (time, energy, EDP) of the STT scenario next to its SOT twin.
+    ///
+    /// Empty when the report contains no SOT scenario — the comparison is
+    /// only rendered for grids that asked for it.
+    pub fn mechanism_comparison(&self) -> Vec<MechanismComparison> {
+        let mut rows = Vec::new();
+        for kernel in self.kernels() {
+            for stt in [
+                Scenario::LittleL2Stt,
+                Scenario::BigL2Stt,
+                Scenario::FullL2Stt,
+            ] {
+                let Some(sot) = stt.sot_counterpart() else {
+                    continue;
+                };
+                let (Some(stt_m), Some(sot_m)) =
+                    (self.normalized(&kernel, stt), self.normalized(&kernel, sot))
+                else {
+                    continue;
+                };
+                rows.push(MechanismComparison {
+                    kernel: kernel.clone(),
+                    stt,
+                    sot,
+                    stt_merits: stt_m,
+                    sot_merits: sot_m,
+                });
+            }
+        }
+        rows
+    }
+
+    /// Renders [`mechanism_comparison`](Self::mechanism_comparison) as a
+    /// table (merits normalised to Full-SRAM; the `EDP gain` column is
+    /// STT-EDP / SOT-EDP, > 1 when SOT wins).
+    pub fn mechanism_comparison_table(&self) -> String {
+        let rows = self.mechanism_comparison();
+        let mut out =
+            String::from("== STT vs SOT: time / energy / EDP normalised to Full-SRAM ==\n");
+        if rows.is_empty() {
+            return out + "(no SOT scenarios in this report)\n";
+        }
+        out.push_str(&format!(
+            "{:<14} | {:<20} | {:>23} | {:>23} | {:>8}\n",
+            "kernel", "replacement", "STT time/energy/EDP", "SOT time/energy/EDP", "EDP gain"
+        ));
+        for r in &rows {
+            let (st, se, sd) = r.stt_merits;
+            let (ot, oe, od) = r.sot_merits;
+            out.push_str(&format!(
+                "{:<14} | {:<20} | {:>23} | {:>23} | {:>8.3}\n",
+                r.kernel,
+                r.replacement(),
+                format!("{st:.3} / {se:.3} / {sd:.3}"),
+                format!("{ot:.3} / {oe:.3} / {od:.3}"),
+                r.edp_gain(),
+            ));
+        }
+        out
+    }
+
+    /// Serialises the STT-vs-SOT comparison as CSV
+    /// (`kernel,replacement,stt_time,stt_energy,stt_edp,sot_time,sot_energy,sot_edp,edp_gain`).
+    pub fn mechanism_comparison_csv(&self) -> String {
+        let mut out = String::from(
+            "kernel,replacement,stt_time,stt_energy,stt_edp,sot_time,sot_energy,sot_edp,edp_gain\n",
+        );
+        for r in self.mechanism_comparison() {
+            let (st, se, sd) = r.stt_merits;
+            let (ot, oe, od) = r.sot_merits;
+            out.push_str(&format!(
+                "{},{},{st:.6},{se:.6},{sd:.6},{ot:.6},{oe:.6},{od:.6},{:.6}\n",
+                r.kernel,
+                r.replacement(),
+                r.edp_gain(),
+            ));
+        }
+        out
+    }
+}
+
+/// One row of the STT-vs-SOT comparison: the same replacement shape under
+/// both mechanisms, merits normalised to the Full-SRAM reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MechanismComparison {
+    /// Kernel name.
+    pub kernel: String,
+    /// The STT scenario of the pair.
+    pub stt: Scenario,
+    /// Its SOT twin.
+    pub sot: Scenario,
+    /// STT (time, energy, EDP) normalised to Full-SRAM.
+    pub stt_merits: (f64, f64, f64),
+    /// SOT (time, energy, EDP) normalised to Full-SRAM.
+    pub sot_merits: (f64, f64, f64),
+}
+
+impl MechanismComparison {
+    /// The mechanism-neutral replacement-shape label (`LITTLE-L2`,
+    /// `big-L2`, `Full-L2`).
+    pub fn replacement(&self) -> &'static str {
+        match self.stt {
+            Scenario::LittleL2Stt => "LITTLE-L2",
+            Scenario::BigL2Stt => "big-L2",
+            _ => "Full-L2",
+        }
+    }
+
+    /// STT EDP over SOT EDP: > 1 when the SOT replacement wins.
+    pub fn edp_gain(&self) -> f64 {
+        self.stt_merits.2 / self.sot_merits.2
     }
 }
 
@@ -792,6 +1035,7 @@ mod tests {
                 scenarios: Scenario::ALL.to_vec(),
                 seed: 7,
                 sample_cap: 150_000,
+                ..MagpieInputs::defaults()
             })
             .unwrap();
             let report = flow.run().unwrap();
@@ -807,6 +1051,7 @@ mod tests {
             scenarios: Scenario::ALL.to_vec(),
             seed: 0,
             sample_cap: 1000,
+            ..MagpieInputs::defaults()
         })
         .is_err());
     }
@@ -819,6 +1064,7 @@ mod tests {
             scenarios: Scenario::ALL.to_vec(),
             seed: 0,
             sample_cap: 1000,
+            ..MagpieInputs::defaults()
         };
         let reason = |inputs: MagpieInputs| match inputs.validate() {
             Err(MagpieError::InvalidInputs { reason }) => reason,
@@ -843,6 +1089,24 @@ mod tests {
         let r = reason(inputs);
         assert!(r.starts_with("kernel bodytrack:"), "{r}");
         assert!(r.contains("memory_ratio"), "{r}");
+
+        // Out-of-range SOT channel parameters are rejected up front.
+        let mut inputs = base.clone();
+        inputs.mechanism = MechanismConfig::Sot(SotParams {
+            spin_hall_angle: 0.0,
+            ..SotParams::default()
+        });
+        let r = reason(inputs);
+        assert!(r.starts_with("SOT mechanism:"), "{r}");
+
+        // So is a broken epoch-skip configuration.
+        let mut inputs = base.clone();
+        inputs.epoch_skip = Some(EpochSkipConfig {
+            window: 0,
+            ..EpochSkipConfig::steady_default()
+        });
+        let r = reason(inputs);
+        assert!(r.starts_with("epoch-skip:"), "{r}");
 
         assert!(base.validate().is_ok());
     }
@@ -1074,6 +1338,180 @@ mod tests {
             .unwrap()
             .is_empty());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The STT-vs-SOT comparison grid over the same kernels/seed/cap as
+    /// [`flow_report`], sharing the process-global cache so the four STT
+    /// scenarios are pure cache hits.
+    fn sot_flow_report() -> &'static (MagpieFlow, MagpieReport) {
+        static CELL: OnceLock<(MagpieFlow, MagpieReport)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let flow = MagpieFlow::new(MagpieInputs {
+                node: TechNode::N45,
+                kernels: vec![Kernel::bodytrack(), Kernel::streamcluster()],
+                scenarios: Scenario::ALL_WITH_SOT.to_vec(),
+                seed: 7,
+                sample_cap: 150_000,
+                ..MagpieInputs::defaults()
+            })
+            .unwrap();
+            let report = flow.run().unwrap();
+            (flow, report)
+        })
+    }
+
+    #[test]
+    fn sot_grid_leaves_stt_rows_byte_identical() {
+        // Adding the SOT scenarios to the grid must not perturb a single
+        // STT byte: every fig12 row of the pure-STT report reappears
+        // verbatim in the extended report's CSV.
+        let (_, stt_report) = flow_report();
+        let (_, sot_report) = sot_flow_report();
+        let extended = sot_report.fig12_csv();
+        for line in stt_report.fig12_csv().lines() {
+            assert!(
+                extended.lines().any(|l| l == line),
+                "STT row lost or perturbed by the SOT grid: {line}"
+            );
+        }
+        // And the extended grid actually carries the SOT rows.
+        assert!(extended.contains("big-L2-SOT-MRAM"));
+        assert_eq!(sot_report.results.len(), 2 * 7);
+    }
+
+    #[test]
+    fn sot_scenarios_write_faster_than_stt() {
+        let (flow, report) = sot_flow_report();
+        // The platform view: the SOT big L2 macro writes much faster than
+        // the STT one (channel write, no damping limit).
+        let stt = flow.system_config(Scenario::BigL2Stt).unwrap();
+        let sot = flow.system_config(Scenario::BigL2Sot).unwrap();
+        assert!(
+            sot.clusters[0].l2.write_latency < 0.5 * stt.clusters[0].l2.write_latency,
+            "SOT write {} vs STT write {}",
+            sot.clusters[0].l2.write_latency,
+            stt.clusters[0].l2.write_latency
+        );
+        // The system view: for the iso-capacity big-L2 replacement, SOT
+        // never runs slower than its STT twin.
+        for kernel in ["bodytrack", "streamcluster"] {
+            let (t_stt, _, _) = report.normalized(kernel, Scenario::BigL2Stt).unwrap();
+            let (t_sot, _, _) = report.normalized(kernel, Scenario::BigL2Sot).unwrap();
+            assert!(t_sot <= t_stt, "{kernel}: SOT {t_sot} vs STT {t_stt}");
+        }
+        // Iso-area LITTLE replacement factors differ per mechanism.
+        assert_eq!(
+            flow.system_config(Scenario::LittleL2Sot).unwrap().clusters[1]
+                .l2
+                .capacity,
+            (512 << 10) * ISO_AREA_CAPACITY_FACTOR_SOT
+        );
+    }
+
+    #[test]
+    fn mechanism_comparison_pairs_every_replacement() {
+        let (_, report) = sot_flow_report();
+        let rows = report.mechanism_comparison();
+        // 2 kernels x 3 replacement shapes.
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert_eq!(r.stt.sot_counterpart(), Some(r.sot));
+            assert!(r.edp_gain().is_finite() && r.edp_gain() > 0.0);
+        }
+        let table = report.mechanism_comparison_table();
+        assert!(table.contains("EDP gain"), "{table}");
+        let csv = report.mechanism_comparison_csv();
+        assert!(csv.starts_with("kernel,replacement,stt_time"));
+        assert_eq!(csv.lines().count(), 1 + 6);
+        // A pure-STT report renders an empty comparison, not a panic.
+        let (_, stt_report) = flow_report();
+        assert!(stt_report.mechanism_comparison().is_empty());
+        assert_eq!(stt_report.mechanism_comparison_csv().lines().count(), 1);
+    }
+
+    #[test]
+    fn sot_areas_follow_the_replacement_policy() {
+        let (flow, _) = sot_flow_report();
+        let sram = flow.scenario_area(Scenario::FullSram).unwrap();
+        let stt = flow.scenario_area(Scenario::FullL2Stt).unwrap();
+        let sot = flow.scenario_area(Scenario::FullL2Sot).unwrap();
+        // SOT's three-terminal cell is far bigger than STT's 1T-1MTJ (the
+        // channel write device) and lands back at roughly the 6T SRAM
+        // footprint: the iso-capacity big L2 stays in the SRAM area class.
+        assert!(sot.l2_big > 1.5 * stt.l2_big);
+        let ratio = sot.l2_big / sram.l2_big;
+        assert!((0.8..1.3).contains(&ratio), "big L2 area ratio {ratio}");
+        // Chip-level area stays within a few percent of the SRAM reference
+        // (capacity-neutral LITTLE, ~iso-area big).
+        assert!(sot.total() < sram.total() * 1.05);
+        assert!(sot.total() > stt.total());
+    }
+
+    #[test]
+    fn sweep_digest_gates_the_new_knobs() {
+        // Default mechanism + exact simulation hash exactly as the
+        // pre-mechanism flow did: the digest is reproducible from the old
+        // four-field shape.
+        let (flow, _) = flow_report();
+        let kernels = "bodytrack,streamcluster";
+        let scenarios = Scenario::ALL.map(|s| s.to_string()).join(",");
+        let old_shape = digest_of(&(
+            "N45".to_string(),
+            kernels.to_string(),
+            scenarios,
+            (7u64, 150_000u64),
+        ));
+        assert_eq!(flow.sweep_digest(), old_shape);
+
+        // Setting either knob forks the digest.
+        let mut inputs = flow.inputs.clone();
+        inputs.mechanism = MechanismConfig::Sot(SotParams::default());
+        let sot_flow = MagpieFlow::new(inputs).unwrap();
+        assert_ne!(sot_flow.sweep_digest(), old_shape);
+
+        let mut inputs = flow.inputs.clone();
+        inputs.epoch_skip = Some(EpochSkipConfig::steady_default());
+        let skip_flow = MagpieFlow::new(inputs).unwrap();
+        assert_ne!(skip_flow.sweep_digest(), old_shape);
+        assert_ne!(skip_flow.sweep_digest(), sot_flow.sweep_digest());
+    }
+
+    #[test]
+    fn epoch_skip_knob_reaches_gemsim_and_the_metadata() {
+        // Exact default: the shared report extrapolated nothing and says so.
+        let (_, exact) = flow_report();
+        assert_eq!(exact.total_extrapolated_accesses(), 0);
+        assert!(exact
+            .metadata_csv("fig12")
+            .contains("extrapolated_accesses,0\n"));
+
+        // Opt-in epoch skip on a steady streaming kernel: the knob reaches
+        // the simulator and the skipped references surface in the metadata.
+        let flow = MagpieFlow::new_with_cache(
+            MagpieInputs {
+                node: TechNode::N45,
+                kernels: vec![Kernel::streamcluster()],
+                scenarios: vec![Scenario::FullSram],
+                seed: 7,
+                sample_cap: 150_000,
+                epoch_skip: Some(EpochSkipConfig {
+                    window: 2048,
+                    converge_windows: 3,
+                    tolerance: 0.10,
+                }),
+                ..MagpieInputs::defaults()
+            },
+            Arc::new(PipeCache::memory_only()),
+        )
+        .unwrap();
+        let report = flow.run().unwrap();
+        let skipped = report.total_extrapolated_accesses();
+        assert!(skipped > 0, "steady kernel extrapolated nothing");
+        let meta = report.metadata_csv("fig12");
+        assert!(
+            meta.contains(&format!("extrapolated_accesses,{skipped}\n")),
+            "{meta}"
+        );
     }
 
     #[test]

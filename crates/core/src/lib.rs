@@ -30,6 +30,8 @@
 //!     scenarios: Scenario::ALL.to_vec(),
 //!     seed: 42,
 //!     sample_cap: 50_000,
+//!     // STT mechanism, exact simulation — the paper defaults.
+//!     ..MagpieInputs::defaults()
 //! })?;
 //! let report = flow.run()?;
 //! println!("{}", report.fig12_table());

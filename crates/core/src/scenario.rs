@@ -14,8 +14,28 @@
 //! L2 is already capacity-generous, so its replacement is **iso-capacity**
 //! (the area/energy saving is taken instead), which exposes the STT write
 //! latency — the paper's observed slowdown.
+//!
+//! On top of the paper's grid, each STT replacement has a **SOT twin**
+//! ([`Scenario::SOT`]) backed by the three-terminal SOT/SHE cell: same
+//! replacement shape, but the write goes through the heavy-metal channel
+//! (no damping limit, so far lower write latency/energy) at the cost of a
+//! cell that lands back at roughly the 6T SRAM footprint — the iso-area
+//! LITTLE replacement is capacity-neutral instead of 4×. The SOT variants
+//! never appear in [`Scenario::ALL`], so every historic digest and golden
+//! stays stable.
 
-/// Which caches are replaced with STT-MRAM.
+/// The memory technology backing one L2 macro in a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheTech {
+    /// 6T SRAM.
+    Sram,
+    /// Two-terminal 1T-1MTJ STT-MRAM.
+    Stt,
+    /// Three-terminal SOT/SHE-MRAM (separate read and write paths).
+    Sot,
+}
+
+/// Which caches are replaced with MRAM, and with which switching mechanism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scenario {
     /// Reference: every cache is SRAM.
@@ -26,15 +46,44 @@ pub enum Scenario {
     BigL2Stt,
     /// Both L2s are STT-MRAM.
     FullL2Stt,
+    /// Only the LITTLE cluster's L2 is SOT-MRAM (iso-area; the
+    /// three-terminal cell sits at ~the SRAM footprint, so the replacement
+    /// is capacity-neutral — the win is write speed, not capacity).
+    LittleL2Sot,
+    /// Only the big cluster's L2 is SOT-MRAM (iso-capacity).
+    BigL2Sot,
+    /// Both L2s are SOT-MRAM.
+    FullL2Sot,
 }
 
 impl Scenario {
-    /// All four scenarios, reference first.
+    /// The paper's four scenarios, reference first. Deliberately does NOT
+    /// include the SOT variants, so every historic grid, figure and cache
+    /// digest built from `ALL` is untouched by the mechanism refactor.
     pub const ALL: [Scenario; 4] = [
         Scenario::FullSram,
         Scenario::LittleL2Stt,
         Scenario::BigL2Stt,
         Scenario::FullL2Stt,
+    ];
+
+    /// The three SOT replacement scenarios, mirroring the STT triple.
+    pub const SOT: [Scenario; 3] = [
+        Scenario::LittleL2Sot,
+        Scenario::BigL2Sot,
+        Scenario::FullL2Sot,
+    ];
+
+    /// The full STT-vs-SOT comparison grid: the paper's four scenarios
+    /// followed by the three SOT twins.
+    pub const ALL_WITH_SOT: [Scenario; 7] = [
+        Scenario::FullSram,
+        Scenario::LittleL2Stt,
+        Scenario::BigL2Stt,
+        Scenario::FullL2Stt,
+        Scenario::LittleL2Sot,
+        Scenario::BigL2Sot,
+        Scenario::FullL2Sot,
     ];
 
     /// True when the big cluster's L2 is STT-MRAM.
@@ -46,6 +95,43 @@ impl Scenario {
     pub fn little_l2_is_stt(self) -> bool {
         matches!(self, Scenario::LittleL2Stt | Scenario::FullL2Stt)
     }
+
+    /// The technology backing the big cluster's L2.
+    pub fn big_l2_tech(self) -> CacheTech {
+        match self {
+            Scenario::BigL2Stt | Scenario::FullL2Stt => CacheTech::Stt,
+            Scenario::BigL2Sot | Scenario::FullL2Sot => CacheTech::Sot,
+            _ => CacheTech::Sram,
+        }
+    }
+
+    /// The technology backing the LITTLE cluster's L2.
+    pub fn little_l2_tech(self) -> CacheTech {
+        match self {
+            Scenario::LittleL2Stt | Scenario::FullL2Stt => CacheTech::Stt,
+            Scenario::LittleL2Sot | Scenario::FullL2Sot => CacheTech::Sot,
+            _ => CacheTech::Sram,
+        }
+    }
+
+    /// True when any cache in this scenario is SOT-MRAM (the flow only
+    /// characterises the three-terminal cell when this is set somewhere in
+    /// its grid).
+    pub fn uses_sot(self) -> bool {
+        self.big_l2_tech() == CacheTech::Sot || self.little_l2_tech() == CacheTech::Sot
+    }
+
+    /// The SOT twin of an STT scenario (`None` for the reference and for
+    /// scenarios that are already SOT) — the pairing the STT-vs-SOT
+    /// comparison figures walk.
+    pub fn sot_counterpart(self) -> Option<Scenario> {
+        match self {
+            Scenario::LittleL2Stt => Some(Scenario::LittleL2Sot),
+            Scenario::BigL2Stt => Some(Scenario::BigL2Sot),
+            Scenario::FullL2Stt => Some(Scenario::FullL2Sot),
+            _ => None,
+        }
+    }
 }
 
 impl mss_pipe::StableHash for Scenario {
@@ -55,6 +141,9 @@ impl mss_pipe::StableHash for Scenario {
             Scenario::LittleL2Stt => 1,
             Scenario::BigL2Stt => 2,
             Scenario::FullL2Stt => 3,
+            Scenario::LittleL2Sot => 4,
+            Scenario::BigL2Sot => 5,
+            Scenario::FullL2Sot => 6,
         });
     }
 }
@@ -66,6 +155,9 @@ impl std::fmt::Display for Scenario {
             Scenario::LittleL2Stt => write!(f, "LITTLE-L2-STT-MRAM"),
             Scenario::BigL2Stt => write!(f, "big-L2-STT-MRAM"),
             Scenario::FullL2Stt => write!(f, "Full-L2-STT-MRAM"),
+            Scenario::LittleL2Sot => write!(f, "LITTLE-L2-SOT-MRAM"),
+            Scenario::BigL2Sot => write!(f, "big-L2-SOT-MRAM"),
+            Scenario::FullL2Sot => write!(f, "Full-L2-SOT-MRAM"),
         }
     }
 }
@@ -88,5 +180,38 @@ mod tests {
     fn display_matches_paper_names() {
         assert_eq!(Scenario::FullSram.to_string(), "Full-SRAM");
         assert_eq!(Scenario::LittleL2Stt.to_string(), "LITTLE-L2-STT-MRAM");
+        assert_eq!(Scenario::BigL2Sot.to_string(), "big-L2-SOT-MRAM");
+    }
+
+    #[test]
+    fn sot_scenarios_mirror_the_stt_triple() {
+        // The historic grid is untouched by the SOT extension.
+        assert_eq!(Scenario::ALL.len(), 4);
+        assert!(Scenario::ALL.iter().all(|s| !s.uses_sot()));
+        assert_eq!(Scenario::ALL_WITH_SOT[..4], Scenario::ALL);
+        assert_eq!(Scenario::ALL_WITH_SOT[4..], Scenario::SOT);
+        for s in Scenario::SOT {
+            assert!(s.uses_sot());
+            assert!(!s.big_l2_is_stt() && !s.little_l2_is_stt());
+        }
+        // Each STT replacement has exactly one SOT twin with the same
+        // replacement shape.
+        for stt in [
+            Scenario::LittleL2Stt,
+            Scenario::BigL2Stt,
+            Scenario::FullL2Stt,
+        ] {
+            let sot = stt.sot_counterpart().unwrap();
+            assert_eq!(
+                stt.big_l2_tech() == CacheTech::Stt,
+                sot.big_l2_tech() == CacheTech::Sot
+            );
+            assert_eq!(
+                stt.little_l2_tech() == CacheTech::Stt,
+                sot.little_l2_tech() == CacheTech::Sot
+            );
+        }
+        assert_eq!(Scenario::FullSram.sot_counterpart(), None);
+        assert_eq!(Scenario::FullL2Sot.sot_counterpart(), None);
     }
 }

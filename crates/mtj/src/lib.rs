@@ -51,6 +51,7 @@
 pub mod astroid;
 mod error;
 pub mod llg;
+pub mod mechanism;
 pub mod modes;
 pub mod reliability;
 pub mod resistance;
@@ -60,5 +61,9 @@ pub mod validate;
 pub mod veriloga;
 
 pub use error::MtjError;
+pub use mechanism::{
+    MechanismConfig, MechanismKind, MechanismModel, SotMechanism, SotParams, SttMechanism,
+    SwitchingMechanism,
+};
 pub use modes::{BiasMagnet, MssDevice, MssMode};
 pub use stack::{MssStack, MssStackBuilder};

@@ -29,6 +29,7 @@ use mss_units::rng::{standard_normal, Rng, Xoshiro256PlusPlus};
 use mss_units::stats::{DistributionSummary, OnlineStats};
 use mss_units::Vec3;
 
+use crate::mechanism::SotParams;
 use crate::modes::MssDevice;
 
 /// Integration options for an LLG run.
@@ -88,6 +89,9 @@ pub struct LlgSimulator {
     applied_field: Vec3,
     current: f64,
     reference: Vec3,
+    sot_field: f64,
+    sot_polarization: Vec3,
+    sot_field_like_ratio: f64,
 }
 
 impl LlgSimulator {
@@ -107,6 +111,9 @@ impl LlgSimulator {
             applied_field: Vec3::zero(),
             current: 0.0,
             reference: Vec3::unit_z(),
+            sot_field: 0.0,
+            sot_polarization: Vec3::unit_y(),
+            sot_field_like_ratio: 0.0,
         }
     }
 
@@ -119,6 +126,31 @@ impl LlgSimulator {
     /// Sets the DC tunnel current in amperes (positive writes parallel).
     pub fn with_current(mut self, i: f64) -> Self {
         self.current = i;
+        self
+    }
+
+    /// Configures the SOT/SHE torque for a heavy-metal channel current
+    /// `i_channel` (amperes, +x flow) through the channel described by
+    /// `params`.
+    ///
+    /// The spin Hall effect injects spins polarised along σ = ±ŷ (sign of
+    /// the channel current) with damping-like amplitude
+    /// `a_SOT = ħ·θ_SH·|J_ch|/(2·e·μ₀·M_s·t_f)` and an optional field-like
+    /// component `params.field_like_ratio · a_SOT`. The default simulator
+    /// leaves all SOT fields at zero, so plain STT runs are bit-identical
+    /// to the pre-SOT integrator.
+    pub fn with_sot_current(mut self, i_channel: f64, params: &SotParams) -> Self {
+        // Recover the pillar diameter from the stored junction area.
+        let d = (4.0 * self.area / std::f64::consts::PI).sqrt();
+        let j = i_channel / params.channel_cross_section(d);
+        self.sot_field = HBAR * params.spin_hall_angle * j.abs()
+            / (2.0 * QE * MU0 * self.ms * self.free_layer_thickness);
+        self.sot_polarization = if i_channel >= 0.0 {
+            Vec3::unit_y()
+        } else {
+            Vec3::new(0.0, -1.0, 0.0)
+        };
+        self.sot_field_like_ratio = params.field_like_ratio;
         self
     }
 
@@ -147,6 +179,17 @@ impl LlgSimulator {
             let mxp = m.cross(self.reference);
             let mxmxp = m.cross(mxp);
             dm += -pre * aj * mxmxp;
+        }
+        // SOT: damping-like torque toward the spin-Hall polarisation σ plus
+        // an optional field-like term. Zero amplitude (the default) adds
+        // nothing, keeping STT-only runs bit-identical.
+        if self.sot_field != 0.0 {
+            let mxs = m.cross(self.sot_polarization);
+            let mxmxs = m.cross(mxs);
+            dm += -pre * self.sot_field * mxmxs;
+            if self.sot_field_like_ratio != 0.0 {
+                dm += -pre * self.sot_field * self.sot_field_like_ratio * mxs;
+            }
         }
         dm
     }
@@ -680,6 +723,95 @@ mod tests {
         assert!(traj.len() >= 2);
         assert_eq!(traj.times().len(), traj.magnetization().len());
         assert!(traj.times().windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn sot_torque_pulls_magnetization_toward_sigma() {
+        use crate::mechanism::{SotMechanism, SotParams, SwitchingMechanism};
+        let dev = memory_device();
+        let params = SotParams::default();
+        let sot = SotMechanism::new(dev.stack(), params.clone()).unwrap();
+        let i_ch = 3.0 * sot.critical_current();
+        let sim = LlgSimulator::new(&dev).with_sot_current(i_ch, &params);
+        // Start near -z; a strong damping-like SOT torque rotates m toward
+        // +y, destabilising the easy axis (the precursor to a switch).
+        let theta0 = std::f64::consts::PI - dev.stack().thermal_angle();
+        let m0 = Vec3::from_spherical(theta0, 0.0);
+        let traj = sim.run(
+            m0,
+            2e-9,
+            &LlgOptions {
+                dt: 0.2e-12,
+                record_every: 1,
+                ..LlgOptions::default()
+            },
+        );
+        let pulled = traj
+            .magnetization()
+            .iter()
+            .map(|m| m.y)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(pulled > 0.5, "max m_y = {pulled}");
+        assert!(
+            traj.final_m().z > -0.99,
+            "easy axis should be destabilised: mz = {}",
+            traj.final_m().z
+        );
+    }
+
+    #[test]
+    fn negative_channel_current_flips_sigma() {
+        use crate::mechanism::{SotMechanism, SotParams, SwitchingMechanism};
+        let dev = memory_device();
+        let params = SotParams::default();
+        let sot = SotMechanism::new(dev.stack(), params.clone()).unwrap();
+        let i_ch = 3.0 * sot.critical_current();
+        let m0 = Vec3::from_spherical(std::f64::consts::PI - dev.stack().thermal_angle(), 0.0);
+        let opts = LlgOptions {
+            dt: 0.2e-12,
+            record_every: 1,
+            ..LlgOptions::default()
+        };
+        let pos = LlgSimulator::new(&dev)
+            .with_sot_current(i_ch, &params)
+            .run(m0, 1e-9, &opts);
+        let neg = LlgSimulator::new(&dev)
+            .with_sot_current(-i_ch, &params)
+            .run(m0, 1e-9, &opts);
+        let max_y = |t: &Trajectory| {
+            t.magnetization()
+                .iter()
+                .map(|m| m.y)
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        let min_y = |t: &Trajectory| {
+            t.magnetization()
+                .iter()
+                .map(|m| m.y)
+                .fold(f64::INFINITY, f64::min)
+        };
+        assert!(max_y(&pos) > 0.5, "positive current pulls +y");
+        assert!(min_y(&neg) < -0.5, "negative current pulls -y");
+    }
+
+    #[test]
+    fn zero_sot_field_is_bit_identical_to_plain_run() {
+        // The SOT fields default to zero; the rhs must be numerically
+        // untouched so historic STT trajectories do not move.
+        let dev = memory_device();
+        let sw = SwitchingModel::new(dev.stack());
+        let i = 2.0 * sw.critical_current();
+        let m0 = Vec3::from_spherical(std::f64::consts::PI - dev.stack().thermal_angle(), 0.2);
+        let plain = LlgSimulator::new(&dev)
+            .with_current(i)
+            .run(m0, 5e-9, &LlgOptions::default());
+        let with_zero_sot = {
+            let mut sim = LlgSimulator::new(&dev).with_current(i);
+            sim.sot_field_like_ratio = 0.7; // irrelevant while sot_field == 0
+            sim.run(m0, 5e-9, &LlgOptions::default())
+        };
+        assert_eq!(plain.final_m(), with_zero_sot.final_m());
+        assert_eq!(plain.magnetization(), with_zero_sot.magnetization());
     }
 
     #[test]

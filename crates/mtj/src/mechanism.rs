@@ -1,0 +1,760 @@
+//! Switching-mechanism abstraction: STT and SOT/SHE write backends behind
+//! one trait.
+//!
+//! The paper treats the MSS as a *universal* spintronic stack, but the
+//! original flow hard-coded the two-terminal STT write path. This module
+//! factors the write physics behind [`SwitchingMechanism`] so every
+//! downstream layer (mss-spice three-terminal cells, mss-nvsim read/write
+//! path accounting, mss-vaet margins, the MAGPIE flow) can run either
+//! backend:
+//!
+//! - **STT** — the existing analytic model ([`crate::switching`]); the
+//!   trait impl delegates to [`SwitchingModel`]'s inherent methods, so the
+//!   default path is bit-identical to the pre-refactor code.
+//! - **SOT/SHE** — a three-terminal cell ([`SotMechanism`]): the write
+//!   current flows through a heavy-metal channel under the pillar and the
+//!   spin Hall effect injects a transverse spin current into the free
+//!   layer. The compact relations follow the macrospin antidamping-SOT
+//!   treatment used by the NGSPICE-compatible STT/SHE compact model
+//!   (arXiv:2208.14055):
+//!
+//! ```text
+//! J_c0,SOT = (2e/ħ) · μ₀·M_s·t_f · H_k,eff / (2·θ_SH)      (channel density)
+//! I_c0,SOT = J_c0,SOT · w_ch · t_ch                        (charge current)
+//! τ_SOT    = α · τ_D = (1+α²)/(γ·μ₀·H_k,eff)               (no damping limit)
+//! ```
+//!
+//! Two qualitative SOT advantages fall out: the critical current carries no
+//! Gilbert-damping factor (STT's `I_c0 ∝ α`), and the characteristic time
+//! constant is the bare precession time `τ_SOT = α·τ_D`, enabling sub-ns
+//! writes. The WER/pulse/current closed forms are *shared* with STT — the
+//! precessional escape statistics are torque-agnostic once `(Δ, I_c0, τ)`
+//! are fixed — so [`SotMechanism`] reuses [`SwitchingModel::from_parts`]
+//! with the SOT constants instead of duplicating the math.
+//!
+//! Reads are unchanged in both mechanisms: the TMR read path always goes
+//! through the tunnel barrier. Only the write path differs — SOT writes
+//! through the low-resistance channel (`R_ch = ρ·L/(w·t_ch)`, hundreds of
+//! ohms against the ~4 kΩ junction), which is where the write-energy win
+//! comes from.
+
+use crate::stack::MssStack;
+use crate::switching::SwitchingModel;
+use crate::MtjError;
+use mss_units::consts::{HBAR, MU0, QE};
+
+/// Which write mechanism a device/config uses.
+///
+/// Hashes stably (`Stt = 0`, `Sot = 1`) so pipe-cache keys distinguish the
+/// backends; the STT discriminant is pinned by `tests/stable_digests.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MechanismKind {
+    /// Spin-transfer torque: two-terminal write through the junction.
+    Stt,
+    /// Spin-orbit torque (spin Hall effect): three-terminal write through a
+    /// heavy-metal channel.
+    Sot,
+}
+
+impl MechanismKind {
+    /// Short lowercase token used in CLI arguments and CSV metadata.
+    pub fn token(&self) -> &'static str {
+        match self {
+            MechanismKind::Stt => "stt",
+            MechanismKind::Sot => "sot",
+        }
+    }
+
+    /// Parses the token produced by [`MechanismKind::token`]
+    /// (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.eq_ignore_ascii_case("stt") {
+            Some(MechanismKind::Stt)
+        } else if s.eq_ignore_ascii_case("sot") || s.eq_ignore_ascii_case("she") {
+            Some(MechanismKind::Sot)
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for MechanismKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MechanismKind::Stt => write!(f, "STT"),
+            MechanismKind::Sot => write!(f, "SOT"),
+        }
+    }
+}
+
+impl mss_pipe::StableHash for MechanismKind {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_u8(match self {
+            MechanismKind::Stt => 0,
+            MechanismKind::Sot => 1,
+        });
+    }
+}
+
+/// Heavy-metal channel parameters of the three-terminal SOT cell.
+///
+/// Geometry is tied to the pillar: the channel is `width_factor·d` wide and
+/// `length_factor·d` long between the two write terminals, `thickness`
+/// thick. Defaults describe a β-W channel (θ_SH ≈ 0.3, ρ ≈ 200 µΩ·cm).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SotParams {
+    /// Spin Hall angle θ_SH of the channel material (dimensionless).
+    pub spin_hall_angle: f64,
+    /// Channel (heavy-metal) thickness t_ch in metres.
+    pub channel_thickness: f64,
+    /// Channel resistivity ρ in Ω·m (200 µΩ·cm = `2e-6`).
+    pub channel_resistivity: f64,
+    /// Channel length between write terminals, as a multiple of the pillar
+    /// diameter.
+    pub channel_length_factor: f64,
+    /// Channel width as a multiple of the pillar diameter.
+    pub channel_width_factor: f64,
+    /// Field-like torque amplitude relative to the damping-like term
+    /// (0 = pure antidamping SOT). Only the LLG integrator uses this.
+    pub field_like_ratio: f64,
+}
+
+impl Default for SotParams {
+    fn default() -> Self {
+        Self {
+            spin_hall_angle: 0.30,
+            channel_thickness: 3e-9,
+            channel_resistivity: 2.0e-6,
+            channel_length_factor: 1.5,
+            channel_width_factor: 1.2,
+            field_like_ratio: 0.0,
+        }
+    }
+}
+
+impl mss_pipe::StableHash for SotParams {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        h.write_f64(self.spin_hall_angle);
+        h.write_f64(self.channel_thickness);
+        h.write_f64(self.channel_resistivity);
+        h.write_f64(self.channel_length_factor);
+        h.write_f64(self.channel_width_factor);
+        h.write_f64(self.field_like_ratio);
+    }
+}
+
+impl SotParams {
+    /// Validates the parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// [`MtjError::InvalidParameter`] when any parameter is out of range.
+    pub fn validate(&self) -> Result<(), MtjError> {
+        fn check(
+            name: &'static str,
+            value: f64,
+            ok: bool,
+            constraint: &'static str,
+        ) -> Result<(), MtjError> {
+            if ok && value.is_finite() {
+                Ok(())
+            } else {
+                Err(MtjError::InvalidParameter {
+                    name,
+                    value,
+                    constraint,
+                })
+            }
+        }
+        check(
+            "spin_hall_angle",
+            self.spin_hall_angle,
+            self.spin_hall_angle > 0.0 && self.spin_hall_angle <= 1.0,
+            "must be in (0, 1]",
+        )?;
+        check(
+            "channel_thickness",
+            self.channel_thickness,
+            self.channel_thickness > 0.5e-9 && self.channel_thickness < 50e-9,
+            "must be in (0.5 nm, 50 nm)",
+        )?;
+        check(
+            "channel_resistivity",
+            self.channel_resistivity,
+            self.channel_resistivity > 0.0,
+            "must be positive",
+        )?;
+        check(
+            "channel_length_factor",
+            self.channel_length_factor,
+            self.channel_length_factor >= 1.0 && self.channel_length_factor < 100.0,
+            "must be in [1, 100)",
+        )?;
+        check(
+            "channel_width_factor",
+            self.channel_width_factor,
+            self.channel_width_factor >= 1.0 && self.channel_width_factor < 100.0,
+            "must be in [1, 100)",
+        )?;
+        check(
+            "field_like_ratio",
+            self.field_like_ratio,
+            (-5.0..=5.0).contains(&self.field_like_ratio),
+            "must be in [-5, 5]",
+        )?;
+        Ok(())
+    }
+
+    /// Channel width in metres for pillar diameter `d`.
+    pub fn channel_width(&self, d: f64) -> f64 {
+        self.channel_width_factor * d
+    }
+
+    /// Channel length in metres for pillar diameter `d`.
+    pub fn channel_length(&self, d: f64) -> f64 {
+        self.channel_length_factor * d
+    }
+
+    /// Channel cross-section `w·t_ch` in m² for pillar diameter `d`.
+    pub fn channel_cross_section(&self, d: f64) -> f64 {
+        self.channel_width(d) * self.channel_thickness
+    }
+
+    /// Channel resistance `ρ·L/(w·t_ch)` in ohms for pillar diameter `d`.
+    pub fn channel_resistance(&self, d: f64) -> f64 {
+        self.channel_resistivity * self.channel_length(d) / self.channel_cross_section(d)
+    }
+}
+
+/// The write-physics interface every device backend provides.
+///
+/// `i_write` is the current through the *write path*: the junction for STT,
+/// the heavy-metal channel for SOT. Pulse/WER/energy semantics are shared
+/// so array models and margin solvers are mechanism-agnostic.
+pub trait SwitchingMechanism {
+    /// Which backend this is.
+    fn kind(&self) -> MechanismKind;
+
+    /// Thermal stability factor Δ (retention is mechanism-independent).
+    fn delta(&self) -> f64;
+
+    /// Critical write-path current I_c0 in amperes.
+    fn critical_current(&self) -> f64;
+
+    /// Characteristic switching time constant in seconds (τ_D for STT,
+    /// α·τ_D for SOT).
+    fn time_constant(&self) -> f64;
+
+    /// Write-error rate for a pulse of width `t_pulse` at write-path
+    /// current `i_write`.
+    fn write_error_rate(&self, t_pulse: f64, i_write: f64) -> f64;
+
+    /// Mean (deterministic) switching time at `i_write`.
+    ///
+    /// # Errors
+    ///
+    /// [`MtjError::NoOperatingPoint`] for subcritical currents.
+    fn mean_switching_time(&self, i_write: f64) -> Result<f64, MtjError>;
+
+    /// Minimum pulse width achieving `wer` at `i_write`.
+    ///
+    /// # Errors
+    ///
+    /// [`MtjError::NoOperatingPoint`] for unreachable targets.
+    fn pulse_for_wer(&self, wer: f64, i_write: f64) -> Result<f64, MtjError>;
+
+    /// Write-path current needed to reach `wer` within `t_pulse`.
+    ///
+    /// # Errors
+    ///
+    /// [`MtjError::NoOperatingPoint`] for unreachable targets.
+    fn current_for_wer(&self, wer: f64, t_pulse: f64) -> Result<f64, MtjError>;
+
+    /// Probability the device switches during `t_pulse` at `i_write`.
+    fn switch_probability(&self, t_pulse: f64, i_write: f64) -> f64 {
+        1.0 - self.write_error_rate(t_pulse, i_write)
+    }
+
+    /// Write energy `I²·R·t` over the write path.
+    fn write_energy(&self, i_write: f64, t_pulse: f64, resistance: f64) -> f64 {
+        i_write * i_write * resistance * t_pulse
+    }
+
+    /// Resistance of the write path in ohms, given the junction resistance
+    /// the write would otherwise see (STT returns it unchanged; SOT returns
+    /// the channel resistance).
+    fn write_path_resistance(&self, junction_resistance: f64) -> f64;
+}
+
+/// The STT backend *is* the historic analytic model; the alias names it in
+/// mechanism-generic code. Behaviour is bit-identical by construction — the
+/// trait impl below delegates to the same inherent methods every caller
+/// already used.
+pub type SttMechanism = SwitchingModel;
+
+impl SwitchingMechanism for SwitchingModel {
+    fn kind(&self) -> MechanismKind {
+        MechanismKind::Stt
+    }
+
+    fn delta(&self) -> f64 {
+        SwitchingModel::delta(self)
+    }
+
+    fn critical_current(&self) -> f64 {
+        SwitchingModel::critical_current(self)
+    }
+
+    fn time_constant(&self) -> f64 {
+        SwitchingModel::tau_d(self)
+    }
+
+    fn write_error_rate(&self, t_pulse: f64, i_write: f64) -> f64 {
+        SwitchingModel::write_error_rate(self, t_pulse, i_write)
+    }
+
+    fn mean_switching_time(&self, i_write: f64) -> Result<f64, MtjError> {
+        SwitchingModel::mean_switching_time(self, i_write)
+    }
+
+    fn pulse_for_wer(&self, wer: f64, i_write: f64) -> Result<f64, MtjError> {
+        SwitchingModel::pulse_for_wer(self, wer, i_write)
+    }
+
+    fn current_for_wer(&self, wer: f64, t_pulse: f64) -> Result<f64, MtjError> {
+        SwitchingModel::current_for_wer(self, wer, t_pulse)
+    }
+
+    fn switch_probability(&self, t_pulse: f64, i_write: f64) -> f64 {
+        SwitchingModel::switch_probability(self, t_pulse, i_write)
+    }
+
+    fn write_energy(&self, i_write: f64, t_pulse: f64, resistance: f64) -> f64 {
+        SwitchingModel::write_energy(self, i_write, t_pulse, resistance)
+    }
+
+    fn write_path_resistance(&self, junction_resistance: f64) -> f64 {
+        junction_resistance
+    }
+}
+
+/// The SOT/SHE backend: antidamping spin-Hall switching of the same pillar
+/// through a heavy-metal channel.
+///
+/// Internally this reuses [`SwitchingModel::from_parts`] with the SOT
+/// constants `(Δ, I_c0,SOT, τ_SOT)` — the precessional/thermal escape
+/// closed forms are torque-agnostic — plus the channel resistance for the
+/// write path.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), mss_mtj::MtjError> {
+/// use mss_mtj::mechanism::{SotMechanism, SotParams, SwitchingMechanism};
+/// let stack = mss_mtj::MssStack::builder().build()?;
+/// let sot = SotMechanism::new(&stack, SotParams::default())?;
+/// // No damping limit: SOT switches in well under a nanosecond at 2x Ic.
+/// let t = sot.mean_switching_time(2.0 * sot.critical_current())?;
+/// assert!(t < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SotMechanism {
+    inner: SwitchingModel,
+    params: SotParams,
+    channel_resistance: f64,
+    pillar_diameter: f64,
+}
+
+impl SotMechanism {
+    /// Builds the SOT evaluator for a stack + channel description.
+    ///
+    /// # Errors
+    ///
+    /// [`MtjError::InvalidParameter`] when the channel parameters are out
+    /// of range.
+    pub fn new(stack: &MssStack, params: SotParams) -> Result<Self, MtjError> {
+        params.validate()?;
+        let d = stack.diameter();
+        // Antidamping-SOT critical density for a perpendicular free layer:
+        // J_c0 = (2e/ħ)·μ₀·M_s·t_f·H_k,eff/(2·θ_SH). Note the absence of
+        // the Gilbert-damping factor that scales the STT critical current.
+        let jc0 = (2.0 * QE / HBAR)
+            * MU0
+            * stack.saturation_magnetization()
+            * stack.free_layer_thickness()
+            * stack.hk_eff()
+            / (2.0 * params.spin_hall_angle);
+        let ic0 = jc0 * params.channel_cross_section(d);
+        // The SOT time constant is the bare precession time: the damping
+        // bottleneck α in τ_D cancels because the spin current is injected
+        // transverse to the easy axis.
+        let tau_sot = stack.damping() * stack.tau_d();
+        let inner = SwitchingModel::from_parts(stack.thermal_stability(), ic0, tau_sot);
+        Ok(Self {
+            inner,
+            channel_resistance: params.channel_resistance(d),
+            pillar_diameter: d,
+            params,
+        })
+    }
+
+    /// The channel parameters this evaluator was built with.
+    pub fn params(&self) -> &SotParams {
+        &self.params
+    }
+
+    /// The underlying closed-form evaluator calibrated with the SOT
+    /// constants `(Δ, I_c0,SOT, τ_SOT)` — circuit elements reuse it to
+    /// integrate switching progress against the *channel* current.
+    pub fn switching_model(&self) -> &SwitchingModel {
+        &self.inner
+    }
+
+    /// Heavy-metal channel resistance between the write terminals, ohms.
+    pub fn channel_resistance(&self) -> f64 {
+        self.channel_resistance
+    }
+
+    /// Critical channel current *density* J_c0,SOT in A/m².
+    pub fn critical_current_density(&self) -> f64 {
+        self.inner.critical_current() / self.params.channel_cross_section(self.pillar_diameter)
+    }
+}
+
+impl SwitchingMechanism for SotMechanism {
+    fn kind(&self) -> MechanismKind {
+        MechanismKind::Sot
+    }
+
+    fn delta(&self) -> f64 {
+        self.inner.delta()
+    }
+
+    fn critical_current(&self) -> f64 {
+        self.inner.critical_current()
+    }
+
+    fn time_constant(&self) -> f64 {
+        self.inner.tau_d()
+    }
+
+    fn write_error_rate(&self, t_pulse: f64, i_write: f64) -> f64 {
+        self.inner.write_error_rate(t_pulse, i_write)
+    }
+
+    fn mean_switching_time(&self, i_write: f64) -> Result<f64, MtjError> {
+        self.inner.mean_switching_time(i_write)
+    }
+
+    fn pulse_for_wer(&self, wer: f64, i_write: f64) -> Result<f64, MtjError> {
+        self.inner.pulse_for_wer(wer, i_write)
+    }
+
+    fn current_for_wer(&self, wer: f64, t_pulse: f64) -> Result<f64, MtjError> {
+        self.inner.current_for_wer(wer, t_pulse)
+    }
+
+    fn write_path_resistance(&self, _junction_resistance: f64) -> f64 {
+        self.channel_resistance
+    }
+}
+
+/// Serializable mechanism selection for configs that flow through the
+/// pipe cache (nvsim configs, MAGPIE inputs, CLI arguments).
+///
+/// Hashing is framed: the discriminant byte first, then — for SOT — the
+/// channel parameters, so an STT config hashes exactly as the bare
+/// discriminant and SOT configs can never collide with it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum MechanismConfig {
+    /// Two-terminal STT write (the historic default).
+    #[default]
+    Stt,
+    /// Three-terminal SOT/SHE write with the given channel.
+    Sot(SotParams),
+}
+
+impl mss_pipe::StableHash for MechanismConfig {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        match self {
+            MechanismConfig::Stt => h.write_u8(0),
+            MechanismConfig::Sot(p) => {
+                h.write_u8(1);
+                p.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl MechanismConfig {
+    /// The kind tag of this config.
+    pub fn kind(&self) -> MechanismKind {
+        match self {
+            MechanismConfig::Stt => MechanismKind::Stt,
+            MechanismConfig::Sot(_) => MechanismKind::Sot,
+        }
+    }
+
+    /// True for the historic STT default (used to keep cache digests and
+    /// golden outputs byte-identical when nothing was asked for).
+    pub fn is_default(&self) -> bool {
+        matches!(self, MechanismConfig::Stt)
+    }
+
+    /// Builds the concrete evaluator for `stack`.
+    ///
+    /// # Errors
+    ///
+    /// [`MtjError::InvalidParameter`] for invalid SOT channel parameters.
+    pub fn model(&self, stack: &MssStack) -> Result<MechanismModel, MtjError> {
+        Ok(match self {
+            MechanismConfig::Stt => MechanismModel::Stt(SwitchingModel::new(stack)),
+            MechanismConfig::Sot(p) => MechanismModel::Sot(SotMechanism::new(stack, p.clone())?),
+        })
+    }
+}
+
+/// Enum-dispatched mechanism evaluator (avoids boxing in hot paths).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MechanismModel {
+    /// STT evaluator.
+    Stt(SwitchingModel),
+    /// SOT evaluator.
+    Sot(SotMechanism),
+}
+
+impl SwitchingMechanism for MechanismModel {
+    fn kind(&self) -> MechanismKind {
+        match self {
+            MechanismModel::Stt(m) => SwitchingMechanism::kind(m),
+            MechanismModel::Sot(m) => m.kind(),
+        }
+    }
+
+    fn delta(&self) -> f64 {
+        match self {
+            MechanismModel::Stt(m) => SwitchingMechanism::delta(m),
+            MechanismModel::Sot(m) => SwitchingMechanism::delta(m),
+        }
+    }
+
+    fn critical_current(&self) -> f64 {
+        match self {
+            MechanismModel::Stt(m) => SwitchingMechanism::critical_current(m),
+            MechanismModel::Sot(m) => SwitchingMechanism::critical_current(m),
+        }
+    }
+
+    fn time_constant(&self) -> f64 {
+        match self {
+            MechanismModel::Stt(m) => SwitchingMechanism::time_constant(m),
+            MechanismModel::Sot(m) => m.time_constant(),
+        }
+    }
+
+    fn write_error_rate(&self, t_pulse: f64, i_write: f64) -> f64 {
+        match self {
+            MechanismModel::Stt(m) => SwitchingMechanism::write_error_rate(m, t_pulse, i_write),
+            MechanismModel::Sot(m) => m.write_error_rate(t_pulse, i_write),
+        }
+    }
+
+    fn mean_switching_time(&self, i_write: f64) -> Result<f64, MtjError> {
+        match self {
+            MechanismModel::Stt(m) => SwitchingMechanism::mean_switching_time(m, i_write),
+            MechanismModel::Sot(m) => m.mean_switching_time(i_write),
+        }
+    }
+
+    fn pulse_for_wer(&self, wer: f64, i_write: f64) -> Result<f64, MtjError> {
+        match self {
+            MechanismModel::Stt(m) => SwitchingMechanism::pulse_for_wer(m, wer, i_write),
+            MechanismModel::Sot(m) => m.pulse_for_wer(wer, i_write),
+        }
+    }
+
+    fn current_for_wer(&self, wer: f64, t_pulse: f64) -> Result<f64, MtjError> {
+        match self {
+            MechanismModel::Stt(m) => SwitchingMechanism::current_for_wer(m, wer, t_pulse),
+            MechanismModel::Sot(m) => m.current_for_wer(wer, t_pulse),
+        }
+    }
+
+    fn write_path_resistance(&self, junction_resistance: f64) -> f64 {
+        match self {
+            MechanismModel::Stt(m) => m.write_path_resistance(junction_resistance),
+            MechanismModel::Sot(m) => m.write_path_resistance(junction_resistance),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MssStack;
+
+    fn stack() -> MssStack {
+        MssStack::builder().build().unwrap()
+    }
+
+    fn sot() -> SotMechanism {
+        SotMechanism::new(&stack(), SotParams::default()).unwrap()
+    }
+
+    #[test]
+    fn stt_trait_is_bit_identical_to_inherent() {
+        let s = stack();
+        let m = SwitchingModel::new(&s);
+        let i = 2.0 * SwitchingModel::critical_current(&m);
+        let via_trait = SwitchingMechanism::write_error_rate(&m, 5e-9, i);
+        let direct = SwitchingModel::write_error_rate(&m, 5e-9, i);
+        assert_eq!(via_trait.to_bits(), direct.to_bits());
+        assert_eq!(
+            SwitchingMechanism::mean_switching_time(&m, i)
+                .unwrap()
+                .to_bits(),
+            SwitchingModel::mean_switching_time(&m, i)
+                .unwrap()
+                .to_bits()
+        );
+        assert_eq!(SwitchingMechanism::kind(&m), MechanismKind::Stt);
+        assert_eq!(m.write_path_resistance(4.0e3), 4.0e3);
+    }
+
+    #[test]
+    fn sot_removes_the_damping_limit() {
+        // τ_SOT = α·τ_D: three orders of magnitude faster than STT's
+        // precession bottleneck at α = 0.01.
+        let s = stack();
+        let stt = SwitchingModel::new(&s);
+        let sot = sot();
+        let t_stt = stt
+            .mean_switching_time(2.0 * SwitchingModel::critical_current(&stt))
+            .unwrap();
+        let t_sot = sot
+            .mean_switching_time(2.0 * sot.critical_current())
+            .unwrap();
+        assert!(t_sot < 1e-9, "SOT write should be sub-ns: {t_sot:.3e}");
+        assert!(t_sot < t_stt / 10.0, "stt {t_stt:.3e} vs sot {t_sot:.3e}");
+    }
+
+    #[test]
+    fn sot_critical_current_has_no_damping_factor() {
+        // Doubling α doubles the STT Ic0 but leaves the SOT Ic0 unchanged.
+        let base = stack();
+        let damped = MssStack::builder().damping(0.020).build().unwrap();
+        let stt_ratio = damped.critical_current() / base.critical_current();
+        assert!((stt_ratio - 2.0).abs() < 1e-9);
+        let sot_a = SotMechanism::new(&base, SotParams::default()).unwrap();
+        let sot_b = SotMechanism::new(&damped, SotParams::default()).unwrap();
+        let sot_ratio = sot_b.critical_current() / sot_a.critical_current();
+        assert!((sot_ratio - 1.0).abs() < 1e-9, "ratio = {sot_ratio}");
+    }
+
+    #[test]
+    fn sot_channel_is_low_resistance() {
+        let s = stack();
+        let sot = sot();
+        let r_ch = sot.channel_resistance();
+        assert!(r_ch > 10.0 && r_ch < 2.0e3, "r_ch = {r_ch}");
+        assert!(r_ch < s.resistance_parallel() / 2.0);
+        assert_eq!(sot.write_path_resistance(s.resistance_parallel()), r_ch);
+    }
+
+    #[test]
+    fn sot_wer_is_probability_and_monotone() {
+        let sot = sot();
+        let mut last = 1.0;
+        for k in 1..30 {
+            let wer = sot.write_error_rate(k as f64 * 0.05e-9, 2.0 * sot.critical_current());
+            assert!((0.0..=1.0).contains(&wer));
+            assert!(wer <= last + 1e-15);
+            last = wer;
+        }
+    }
+
+    #[test]
+    fn sot_pulse_for_wer_round_trips() {
+        let sot = sot();
+        let i = 2.5 * sot.critical_current();
+        for &wer in &[1e-3, 1e-9, 1e-18] {
+            let t = sot.pulse_for_wer(wer, i).unwrap();
+            assert!(t > 0.0 && t < 5e-9, "SOT pulses stay short: {t:.3e}");
+            let back = sot.write_error_rate(t, i);
+            assert!((back.ln() - wer.ln()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn retention_is_mechanism_independent() {
+        let s = stack();
+        let stt = SwitchingModel::new(&s);
+        let sot = SotMechanism::new(&s, SotParams::default()).unwrap();
+        assert_eq!(
+            SwitchingMechanism::delta(&stt).to_bits(),
+            SwitchingMechanism::delta(&sot).to_bits()
+        );
+    }
+
+    #[test]
+    fn params_validation_rejects_out_of_range() {
+        let bad = SotParams {
+            spin_hall_angle: 0.0,
+            ..SotParams::default()
+        };
+        assert!(bad.validate().is_err());
+        assert!(SotMechanism::new(&stack(), bad).is_err());
+        let nan = SotParams {
+            channel_resistivity: f64::NAN,
+            ..SotParams::default()
+        };
+        assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn config_default_is_stt() {
+        let cfg = MechanismConfig::default();
+        assert!(cfg.is_default());
+        assert_eq!(cfg.kind(), MechanismKind::Stt);
+        let model = cfg.model(&stack()).unwrap();
+        assert_eq!(model.kind(), MechanismKind::Stt);
+    }
+
+    #[test]
+    fn config_digests_are_framed() {
+        use mss_pipe::digest_of;
+        let stt = digest_of(&MechanismConfig::Stt);
+        let sot = digest_of(&MechanismConfig::Sot(SotParams::default()));
+        assert_ne!(stt, sot);
+        // Two different channels hash differently too.
+        let other = digest_of(&MechanismConfig::Sot(SotParams {
+            spin_hall_angle: 0.25,
+            ..SotParams::default()
+        }));
+        assert_ne!(sot, other);
+    }
+
+    #[test]
+    fn kind_tokens_round_trip() {
+        for kind in [MechanismKind::Stt, MechanismKind::Sot] {
+            assert_eq!(MechanismKind::parse(kind.token()), Some(kind));
+        }
+        assert_eq!(MechanismKind::parse("SHE"), Some(MechanismKind::Sot));
+        assert_eq!(MechanismKind::parse("quantum"), None);
+    }
+
+    #[test]
+    fn enum_dispatch_matches_backends() {
+        let s = stack();
+        let cfg = MechanismConfig::Sot(SotParams::default());
+        let model = cfg.model(&s).unwrap();
+        let direct = SotMechanism::new(&s, SotParams::default()).unwrap();
+        assert_eq!(
+            model.critical_current().to_bits(),
+            direct.critical_current().to_bits()
+        );
+        assert_eq!(model.kind(), MechanismKind::Sot);
+    }
+}

@@ -13,7 +13,7 @@
 //! - **area** — cell matrix plus fixed-pitch decoder/sense strips per
 //!   subarray (25 F and 35 F respectively).
 
-use mss_pdk::charlib::CellLibrary;
+use mss_pdk::charlib::{CellLibrary, SotCellLibrary};
 use mss_pdk::tech::TechParams;
 
 use crate::config::{MemoryConfig, MemoryKind};
@@ -27,6 +27,11 @@ pub enum MemoryTechnology {
     Sram,
     /// STT-MRAM with a characterised 1T-1MTJ cell library.
     SttMram(CellLibrary),
+    /// SOT-MRAM with a characterised three-terminal cell library: the
+    /// write current runs through the heavy-metal channel on a separate
+    /// write path, so the read- and write-path peripheries are sized
+    /// independently.
+    SotMram(SotCellLibrary),
 }
 
 impl MemoryTechnology {
@@ -35,6 +40,7 @@ impl MemoryTechnology {
         match self {
             MemoryTechnology::Sram => "SRAM",
             MemoryTechnology::SttMram(_) => "STT-MRAM",
+            MemoryTechnology::SotMram(_) => "SOT-MRAM",
         }
     }
 }
@@ -90,6 +96,10 @@ impl mss_pipe::StableHash for MemoryTechnology {
             MemoryTechnology::Sram => h.write_u8(0),
             MemoryTechnology::SttMram(lib) => {
                 h.write_u8(1);
+                lib.stable_hash(h);
+            }
+            MemoryTechnology::SotMram(lib) => {
+                h.write_u8(2);
                 lib.stable_hash(h);
             }
         }
@@ -282,7 +292,8 @@ fn estimate_flat(
                     write_cell_energy: cell.access_energy,
                     sense_latency: 2.0 * tech.fo4_delay,
                     cell_leakage: cell.leakage,
-                    access_gate_width: 1.5 * tech.min_width,
+                    read_access_gate_width: 1.5 * tech.min_width,
+                    write_access_gate_width: 1.5 * tech.min_width,
                 },
             )
         }
@@ -314,7 +325,44 @@ fn estimate_flat(
                     write_cell_energy: lib.write.energy,
                     sense_latency: 2.0 * tech.fo4_delay,
                     cell_leakage: lib.leakage,
-                    access_gate_width: lib.access_width,
+                    read_access_gate_width: lib.access_width,
+                    write_access_gate_width: lib.access_width,
+                },
+            )
+        }
+        MemoryTechnology::SotMram(sot) => {
+            let lib = &sot.base;
+            for (name, v) in [
+                ("write_latency", lib.write.latency),
+                ("read_latency", lib.read.latency),
+                ("cell_area", lib.cell_area),
+            ] {
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(NvsimError::InvalidCellModel {
+                        parameter: match name {
+                            "write_latency" => "write_latency",
+                            "read_latency" => "read_latency",
+                            _ => "cell_area",
+                        },
+                        value: v,
+                    });
+                }
+            }
+            estimate_with_cell(
+                tech,
+                cfg,
+                CellNumbers {
+                    area: lib.cell_area,
+                    read_cell_latency: lib.read.latency,
+                    write_cell_latency: lib.write.latency,
+                    read_cell_energy: lib.read.energy,
+                    write_cell_energy: lib.write.energy,
+                    sense_latency: 2.0 * tech.fo4_delay,
+                    cell_leakage: lib.leakage,
+                    // The read word line only selects a small sense gate;
+                    // the wide channel driver loads the write word line.
+                    read_access_gate_width: 4.0 * tech.feature,
+                    write_access_gate_width: lib.access_width,
                 },
             )
         }
@@ -322,6 +370,11 @@ fn estimate_flat(
 }
 
 /// Technology-neutral cell numbers consumed by the shared estimator.
+///
+/// Read- and write-path access widths are carried separately: two-terminal
+/// cells (SRAM, STT) drive the same access device on both paths, while the
+/// three-terminal SOT cell selects a small read gate on the read word line
+/// and the wide channel driver on a dedicated write word line.
 struct CellNumbers {
     area: f64,
     read_cell_latency: f64,
@@ -330,7 +383,8 @@ struct CellNumbers {
     write_cell_energy: f64,
     sense_latency: f64,
     cell_leakage: f64,
-    access_gate_width: f64,
+    read_access_gate_width: f64,
+    write_access_gate_width: f64,
 }
 
 fn estimate_with_cell(
@@ -350,20 +404,31 @@ fn estimate_with_cell(
     let decoder_delay = stages * 1.5 * tech.fo4_delay + 2.0 * tech.fo4_delay;
     let decoder_energy = stages * 4.0 * tech.inv_energy;
 
-    // --- Word line ---
+    // --- Word lines, split per path ---
+    // Two-terminal cells load both paths with the same access gate; the
+    // three-terminal SOT cell has a light read word line and a heavily
+    // loaded write word line.
     let r_wl = tech.wire_res_per_len * geo.wl_len;
-    let c_wl = tech.wire_cap_per_len * geo.wl_len + cols * tech.gate_cap(cell.access_gate_width);
-    let wl_delay = 0.69 * 0.5 * r_wl * c_wl;
-    let wl_energy = c_wl * vdd * vdd;
+    let c_wl_read =
+        tech.wire_cap_per_len * geo.wl_len + cols * tech.gate_cap(cell.read_access_gate_width);
+    let c_wl_write =
+        tech.wire_cap_per_len * geo.wl_len + cols * tech.gate_cap(cell.write_access_gate_width);
+    let wl_read_delay = 0.69 * 0.5 * r_wl * c_wl_read;
+    let wl_write_delay = 0.69 * 0.5 * r_wl * c_wl_write;
+    let wl_read_energy = c_wl_read * vdd * vdd;
+    let wl_write_energy = c_wl_write * vdd * vdd;
 
-    // --- Bit line ---
+    // --- Bit lines, split per path ---
     let r_bl = tech.wire_res_per_len * geo.bl_len;
-    let c_bl =
-        tech.wire_cap_per_len * geo.bl_len + rows * tech.junction_cap(cell.access_gate_width) * 0.5;
-    let bl_delay = 0.69 * 0.5 * r_bl * c_bl;
+    let c_bl_read = tech.wire_cap_per_len * geo.bl_len
+        + rows * tech.junction_cap(cell.read_access_gate_width) * 0.5;
+    let c_bl_write = tech.wire_cap_per_len * geo.bl_len
+        + rows * tech.junction_cap(cell.write_access_gate_width) * 0.5;
+    let bl_read_delay = 0.69 * 0.5 * r_bl * c_bl_read;
+    let bl_write_delay = 0.69 * 0.5 * r_bl * c_bl_write;
     // Reads swing the bit line by ~0.2 V; writes swing it rail to rail.
-    let bl_read_energy = c_bl * vdd * 0.2;
-    let bl_write_energy = c_bl * vdd * vdd;
+    let bl_read_energy = c_bl_read * vdd * 0.2;
+    let bl_write_energy = c_bl_write * vdd * vdd;
 
     // --- Global routing ---
     let edge = geo.wl_len.max(geo.bl_len);
@@ -379,26 +444,26 @@ fn estimate_with_cell(
 
     let read_breakdown = LatencyBreakdown {
         decoder: decoder_delay,
-        wordline: wl_delay,
-        bitline: bl_delay,
+        wordline: wl_read_delay,
+        bitline: bl_read_delay,
         cell: cell.read_cell_latency,
         sense: cell.sense_latency,
         routing: routing_delay,
     };
     let write_breakdown = LatencyBreakdown {
         decoder: decoder_delay,
-        wordline: wl_delay,
-        bitline: bl_delay,
+        wordline: wl_write_delay,
+        bitline: bl_write_delay,
         cell: cell.write_cell_latency,
         sense: 2.0 * tech.fo4_delay, // write driver
         routing: routing_delay,
     };
 
     let word = cfg.word_bits as f64;
-    let read_energy = active_subs * (decoder_energy + wl_energy)
+    let read_energy = active_subs * (decoder_energy + wl_read_energy)
         + word * (cell.read_cell_energy + bl_read_energy)
         + word * routing_energy_per_bit;
-    let write_energy = active_subs * (decoder_energy + wl_energy)
+    let write_energy = active_subs * (decoder_energy + wl_write_energy)
         + word * (cell.write_cell_energy + bl_write_energy)
         + word * routing_energy_per_bit;
 
@@ -537,9 +602,56 @@ mod tests {
         assert!(m.write_breakdown.cell > 0.5 * m.write_latency);
     }
 
+    fn sot_lib() -> SotCellLibrary {
+        mss_pdk::charlib::characterize_sot(
+            TechNode::N45,
+            &MssStack::builder().build().unwrap(),
+            &mss_mtj::SotParams::default(),
+        )
+        .unwrap()
+    }
+
     #[test]
     fn technology_name() {
         assert_eq!(MemoryTechnology::Sram.name(), "SRAM");
         assert_eq!(MemoryTechnology::SttMram(stt_lib()).name(), "STT-MRAM");
+        assert_eq!(MemoryTechnology::SotMram(sot_lib()).name(), "SOT-MRAM");
+    }
+
+    #[test]
+    fn sot_array_writes_faster_than_stt() {
+        let cfg = MemoryConfig::ram(1 << 20, 64).unwrap();
+        let stt = estimate(&tech(), &cfg, &MemoryTechnology::SttMram(stt_lib())).unwrap();
+        let sot = estimate(&tech(), &cfg, &MemoryTechnology::SotMram(sot_lib())).unwrap();
+        assert!(
+            sot.write_latency < stt.write_latency,
+            "sot {} vs stt {}",
+            sot.write_latency,
+            stt.write_latency
+        );
+        assert!(sot.write_energy < stt.write_energy);
+        // The three-terminal cell pays area for the second terminal.
+        assert!(sot.area > stt.area);
+    }
+
+    #[test]
+    fn sot_read_wordline_lighter_than_write_wordline() {
+        let cfg = MemoryConfig::ram(1 << 20, 64).unwrap();
+        let sot = estimate(&tech(), &cfg, &MemoryTechnology::SotMram(sot_lib())).unwrap();
+        // The split periphery shows up as distinct per-path word-line RC.
+        assert!(sot.read_breakdown.wordline < sot.write_breakdown.wordline);
+        // Two-terminal STT keeps symmetric word lines.
+        let stt = estimate(&tech(), &cfg, &MemoryTechnology::SttMram(stt_lib())).unwrap();
+        assert_eq!(
+            stt.read_breakdown.wordline.to_bits(),
+            stt.write_breakdown.wordline.to_bits()
+        );
+    }
+
+    #[test]
+    fn sot_hash_is_disjoint_from_stt() {
+        let stt = MemoryTechnology::SttMram(stt_lib());
+        let sot = MemoryTechnology::SotMram(sot_lib());
+        assert_ne!(mss_pipe::digest_of(&stt), mss_pipe::digest_of(&sot));
     }
 }

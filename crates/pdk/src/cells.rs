@@ -9,7 +9,7 @@
 //! current source proposed for the sensor feedback loop.
 
 use mss_mtj::resistance::MtjState;
-use mss_mtj::MssStack;
+use mss_mtj::{MssStack, SotParams};
 use mss_spice::parser::Deck;
 use mss_spice::template::{expand, Bindings};
 
@@ -35,6 +35,43 @@ VSL sl 0 PULSE(0 {v_sl} 1n 20p 20p {t_pulse} 0)
 M1 bl wl x 0 NMOS W={w_access} L={lgate}
 X1 x sl MTJ STATE={state} DIAMETER={diameter}
 CBL bl 0 {c_bl}
+.tran {dt} {t_stop}
+";
+
+/// The three-terminal SOT bit-cell write deck: the write current runs along
+/// the heavy-metal channel (shared → write terminal) through the access
+/// device, never through the tunnel barrier. The read terminal is left
+/// undriven during a write.
+const SOT_BITCELL_WRITE_TEMPLATE: &str = r"* SOT three-terminal write characterisation
+.model NMOS VTH={vth_n} KP={kp_n} LAMBDA={lambda_n}
+VWL wl 0 PULSE(0 {vdd} 0.5n 20p 20p {t_wl} 0)
+VWBL wbl 0 PULSE(0 {v_wbl} 1n 20p 20p {t_pulse} 0)
+VWSL wsl 0 PULSE(0 {v_wsl} 1n 20p 20p {t_pulse} 0)
+M1 wbl wl sh 0 NMOS W={w_access} L={lgate}
+X1 rd sh wsl MTJSOT STATE={state} DIAMETER={diameter} THETA_SH={theta_sh} T_CH={t_ch} RHO_CH={rho_ch}
+CWB wbl 0 {c_bl}
+.tran {dt} {t_stop}
+";
+
+/// The PCSA read deck for the SOT cell: the sense current enters the read
+/// terminal, crosses the tunnel barrier and returns through half the
+/// channel — the separate write path stays idle.
+const SOT_PCSA_READ_TEMPLATE: &str = r"* SOT PCSA read characterisation
+.model NMOS VTH={vth_n} KP={kp_n} LAMBDA={lambda_n}
+.model PMOS VTH={vth_p} KP={kp_p} LAMBDA={lambda_p}
+VDD vdd 0 DC {vdd}
+VCLK clk 0 PULSE(0 {vdd} 1n 20p 20p {t_sense} 0)
+MP1 out clk vdd vdd PMOS W={wp} L={lgate}
+MP2 outb clk vdd vdd PMOS W={wp} L={lgate}
+MP3 out outb vdd vdd PMOS W={wp} L={lgate}
+MP4 outb out vdd vdd PMOS W={wp} L={lgate}
+MN1 out outb s1 0 NMOS W={wn} L={lgate}
+MN2 outb out s2 0 NMOS W={wn} L={lgate}
+X1 s1 shx tail MTJSOT STATE={state} DIAMETER={diameter} THETA_SH={theta_sh} T_CH={t_ch} RHO_CH={rho_ch}
+RREF s2 tail {r_ref}
+MN5 tail clk 0 0 NMOS W={wtail} L={lgate}
+COUT out 0 {c_out}
+COUTB outb 0 {c_out}
 .tran {dt} {t_stop}
 ";
 
@@ -136,6 +173,14 @@ fn base_bindings(tech: &TechParams, stack: &MssStack) -> Bindings {
     b
 }
 
+fn sot_bindings(tech: &TechParams, stack: &MssStack, params: &SotParams) -> Bindings {
+    let mut b = base_bindings(tech, stack);
+    b.set_f64("theta_sh", params.spin_hall_angle)
+        .set_f64("t_ch", params.channel_thickness)
+        .set_f64("rho_ch", params.channel_resistivity);
+    b
+}
+
 fn state_token(state: MtjState) -> &'static str {
     match state {
         MtjState::Parallel => "P",
@@ -175,6 +220,75 @@ pub fn bitcell_write_deck(
         .set_f64("dt", 10e-12)
         .set_f64("t_stop", t_stop);
     let text = expand(BITCELL_WRITE_TEMPLATE, &b)?;
+    Ok(Deck::parse(&text)?)
+}
+
+/// Builds the three-terminal SOT bit-cell write deck for one polarity.
+///
+/// Positive channel current (write bit line high, shared → write terminal)
+/// writes the parallel state; the deck starts the junction in the opposite
+/// state so the transient captures the flip.
+///
+/// # Errors
+///
+/// Template or parse failures surface as [`PdkError::Circuit`].
+pub fn sot_bitcell_write_deck(
+    tech: &TechParams,
+    stack: &MssStack,
+    params: &SotParams,
+    dir: WriteDirection,
+    w_access: f64,
+    t_pulse: f64,
+    c_bl: f64,
+) -> Result<Deck, PdkError> {
+    let mut b = sot_bindings(tech, stack, params);
+    let (v_wbl, v_wsl, state) = match dir {
+        WriteDirection::ToParallel => (tech.vdd, 0.0, MtjState::Antiparallel),
+        WriteDirection::ToAntiparallel => (0.0, tech.vdd, MtjState::Parallel),
+    };
+    let t_stop = 1e-9 + t_pulse + 1e-9;
+    b.set_f64("v_wbl", v_wbl)
+        .set_f64("v_wsl", v_wsl)
+        .set("state", state_token(state))
+        .set_f64("w_access", w_access)
+        .set_f64("t_wl", t_pulse + 1.5e-9)
+        .set_f64("t_pulse", t_pulse)
+        .set_f64("c_bl", c_bl.max(1e-18))
+        .set_f64("dt", 1e-12)
+        .set_f64("t_stop", t_stop);
+    let text = expand(SOT_BITCELL_WRITE_TEMPLATE, &b)?;
+    Ok(Deck::parse(&text)?)
+}
+
+/// Builds the PCSA read deck for the SOT cell and one stored state.
+///
+/// The cell branch sees the junction in series with the channel, so
+/// `r_ref` should balance against `R_state + R_channel` (typically the
+/// geometric mean of both states plus the channel resistance).
+///
+/// # Errors
+///
+/// Template or parse failures surface as [`PdkError::Circuit`].
+pub fn sot_pcsa_read_deck(
+    tech: &TechParams,
+    stack: &MssStack,
+    params: &SotParams,
+    state: MtjState,
+    r_ref: f64,
+    t_sense: f64,
+) -> Result<Deck, PdkError> {
+    let mut b = sot_bindings(tech, stack, params);
+    let f = tech.feature;
+    b.set("state", state_token(state))
+        .set_f64("r_ref", r_ref)
+        .set_f64("wp", 4.0 * f)
+        .set_f64("wn", 4.0 * f)
+        .set_f64("wtail", 8.0 * f)
+        .set_f64("c_out", 2e-15)
+        .set_f64("t_sense", t_sense)
+        .set_f64("dt", 2e-12)
+        .set_f64("t_stop", 1e-9 + t_sense);
+    let text = expand(SOT_PCSA_READ_TEMPLATE, &b)?;
     Ok(Deck::parse(&text)?)
 }
 
@@ -362,6 +476,64 @@ mod tests {
             .run(&TransientOptions::new(dt, stop))
             .unwrap();
         assert!(res.times().len() > 100);
+    }
+
+    #[test]
+    fn sot_bitcell_deck_flips_through_the_channel() {
+        let (tech, stack) = setup();
+        let params = SotParams::default();
+        for dir in [WriteDirection::ToParallel, WriteDirection::ToAntiparallel] {
+            let deck = sot_bitcell_write_deck(
+                &tech,
+                &stack,
+                &params,
+                dir,
+                64.0 * tech.feature,
+                1e-9,
+                5e-15,
+            )
+            .unwrap();
+            let (dt, stop) = deck.tran.unwrap();
+            let res = Transient::new(&deck.netlist)
+                .unwrap()
+                .run(&TransientOptions::new(dt, stop))
+                .unwrap();
+            assert_eq!(
+                res.events().len(),
+                1,
+                "{dir:?}: expected one switching event, saw {:?}",
+                res.events()
+            );
+        }
+    }
+
+    #[test]
+    fn sot_pcsa_deck_latches_for_both_states() {
+        let (tech, stack) = setup();
+        let params = SotParams::default();
+        let r_ch = params.channel_resistance(stack.diameter());
+        let r_ref = (stack.resistance_parallel() * stack.resistance_antiparallel()).sqrt() + r_ch;
+        for state in [MtjState::Parallel, MtjState::Antiparallel] {
+            let deck = sot_pcsa_read_deck(&tech, &stack, &params, state, r_ref, 2e-9).unwrap();
+            let (dt, stop) = deck.tran.unwrap();
+            let res = Transient::new(&deck.netlist)
+                .unwrap()
+                .run(&TransientOptions::new(dt, stop))
+                .unwrap();
+            let out = *res.node_voltage("out").unwrap().last().unwrap();
+            let outb = *res.node_voltage("outb").unwrap().last().unwrap();
+            assert!(
+                (out - outb).abs() > 0.7 * tech.vdd,
+                "state {state:?}: out={out:.3}, outb={outb:.3}"
+            );
+            if state == MtjState::Parallel {
+                assert!(out < outb);
+            } else {
+                assert!(out > outb);
+            }
+            // A read through the separate terminal must never write.
+            assert!(res.events().is_empty(), "read disturbed the cell");
+        }
     }
 
     #[test]

@@ -8,15 +8,17 @@
 //! [`CellLibrary::to_report`]/[`CellLibrary::from_report`] pair is the
 //! measurement-file round trip.
 
+use mss_mtj::mechanism::MechanismKind;
 use mss_mtj::resistance::MtjState;
-use mss_mtj::MssStack;
+use mss_mtj::{MssStack, SotMechanism, SotParams, SwitchingMechanism};
 use mss_spice::analysis::{dc_operating_point, Transient, TransientOptions, TransientResult};
 use mss_spice::mdl::{Edge, Measurement, Probe, Report};
 use mss_spice::netlist::Netlist;
 use mss_spice::waveform::Waveform;
 
 use crate::cells::{
-    bitcell_write_deck, nvff_backup_deck, nvff_restore_deck, pcsa_read_deck, WriteDirection,
+    bitcell_write_deck, nvff_backup_deck, nvff_restore_deck, pcsa_read_deck,
+    sot_bitcell_write_deck, sot_pcsa_read_deck, WriteDirection,
 };
 use crate::tech::{TechNode, TechParams};
 use crate::variation::{ProcessCorner, VariationCard};
@@ -58,6 +60,25 @@ pub struct CellLibrary {
     pub r_antiparallel: f64,
 }
 
+/// The characterised cell configuration for the three-terminal SOT cell.
+///
+/// Wraps the same [`CellLibrary`] shape the downstream array/variation
+/// models consume (so every consumer of `CellLibrary` works unchanged) and
+/// carries the SOT-specific extras alongside. Kept as a separate type so
+/// the `CellLibrary` hash — and with it every existing STT cache key —
+/// stays byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SotCellLibrary {
+    /// The cell configuration in the common shape (write/read metrics,
+    /// sizing, area, junction constants). `critical_current` holds the SHE
+    /// channel critical current, `cell_area` the three-terminal footprint.
+    pub base: CellLibrary,
+    /// The SOT stack parameters the library was characterised with.
+    pub params: SotParams,
+    /// Heavy-metal channel resistance, ohms.
+    pub channel_resistance: f64,
+}
+
 /// Characterised metrics of the non-volatile flip-flop (backup + restore).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NvffMetrics {
@@ -77,6 +98,17 @@ const TARGET_OVERDRIVE: f64 = 2.5;
 const CHAR_WRITE_PULSE: f64 = 12e-9;
 /// Sense window used during read characterisation, seconds.
 const CHAR_SENSE_WINDOW: f64 = 3e-9;
+/// Write pulse for SOT characterisation: the damping-limit-free channel
+/// write completes in tens of ps, so a 1 ns pulse already carries margin.
+const SOT_CHAR_WRITE_PULSE: f64 = 1e-9;
+/// Target overdrive for the SOT channel write. The SHE critical current
+/// carries no damping factor, so it is an order of magnitude above the STT
+/// one — but the switching time collapses as `α·τ_D/(i−1)`, so 1.5×
+/// already writes in ~150 ps with a vanishing WER over a 1 ns pulse.
+/// Pushing to the STT-style 2.5× would only balloon the channel driver
+/// (the source-degenerated access device grows quadratically) for no
+/// reliability gain.
+const SOT_TARGET_OVERDRIVE: f64 = 1.5;
 
 impl mss_pipe::StableHash for OpMetrics {
     fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
@@ -161,6 +193,57 @@ impl mss_pipe::Artifact for CellLibrary {
     }
 }
 
+impl mss_pipe::StableHash for SotCellLibrary {
+    fn stable_hash(&self, h: &mut mss_pipe::StableHasher) {
+        self.base.stable_hash(h);
+        self.params.stable_hash(h);
+        h.write_f64(self.channel_resistance);
+    }
+}
+
+impl mss_pipe::Artifact for SotCellLibrary {
+    const KIND: &'static str = "sot-cell-library";
+    const VERSION: u32 = 1;
+
+    fn encode(&self) -> String {
+        let mut out = self.base.encode();
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        out.push_str(
+            &mss_pipe::codec::JsonLine::new()
+                .f64_bits("spin_hall_angle", self.params.spin_hall_angle)
+                .f64_bits("channel_thickness", self.params.channel_thickness)
+                .f64_bits("channel_resistivity", self.params.channel_resistivity)
+                .f64_bits("channel_length_factor", self.params.channel_length_factor)
+                .f64_bits("channel_width_factor", self.params.channel_width_factor)
+                .f64_bits("field_like_ratio", self.params.field_like_ratio)
+                .f64_bits("channel_resistance", self.channel_resistance)
+                .finish(),
+        );
+        out
+    }
+
+    fn decode(payload: &str) -> Option<Self> {
+        use mss_pipe::codec::{get_f64_bits, parse_object};
+        let mut lines = payload.lines();
+        let base = CellLibrary::decode(lines.next()?)?;
+        let map = parse_object(lines.next()?.trim_end())?;
+        Some(Self {
+            base,
+            params: SotParams {
+                spin_hall_angle: get_f64_bits(&map, "spin_hall_angle")?,
+                channel_thickness: get_f64_bits(&map, "channel_thickness")?,
+                channel_resistivity: get_f64_bits(&map, "channel_resistivity")?,
+                channel_length_factor: get_f64_bits(&map, "channel_length_factor")?,
+                channel_width_factor: get_f64_bits(&map, "channel_width_factor")?,
+                field_like_ratio: get_f64_bits(&map, "field_like_ratio")?,
+            },
+            channel_resistance: get_f64_bits(&map, "channel_resistance")?,
+        })
+    }
+}
+
 /// Runs the full characterisation flow for a node + stack pair.
 ///
 /// # Errors
@@ -230,6 +313,98 @@ pub fn characterize_with(tech: &TechParams, stack: &MssStack) -> Result<CellLibr
     })
 }
 
+/// Runs the full three-terminal SOT characterisation flow.
+///
+/// # Errors
+///
+/// Same surface as [`characterize`], plus [`mss_mtj::MtjError`]-backed
+/// failures for invalid SOT parameters.
+pub fn characterize_sot(
+    node: TechNode,
+    stack: &MssStack,
+    params: &SotParams,
+) -> Result<SotCellLibrary, PdkError> {
+    let tech = TechParams::node(node);
+    characterize_sot_with(&tech, stack, params)
+}
+
+/// The pipe-cache key for a SOT characterisation.
+///
+/// Deliberately a different shape from the STT key (`digest_of(&(tech,
+/// stack))`): the mechanism discriminant plus the full [`SotParams`] are
+/// folded in, so a SOT library can never collide with — or silently
+/// shadow — an STT entry for the same `(tech, stack)` pair.
+pub fn sot_cache_key(tech: &TechParams, stack: &MssStack, params: &SotParams) -> String {
+    mss_pipe::digest_of(&(tech, stack, params, MechanismKind::Sot))
+}
+
+/// [`characterize_sot`] through the stage pipeline, memoized under
+/// [`Stage::CharacterizeCells`](mss_pipe::Stage) with [`sot_cache_key`].
+///
+/// # Errors
+///
+/// See [`characterize_sot`]; cache problems are never errors.
+pub fn characterize_sot_cached(
+    node: TechNode,
+    stack: &MssStack,
+    params: &SotParams,
+    cache: &mss_pipe::PipeCache,
+) -> Result<std::sync::Arc<SotCellLibrary>, PdkError> {
+    let tech = TechParams::node(node);
+    characterize_sot_with_cached(&tech, stack, params, cache)
+}
+
+/// [`characterize_sot_with`] through the stage pipeline (see
+/// [`characterize_sot_cached`]).
+///
+/// # Errors
+///
+/// See [`characterize_sot`]; cache problems are never errors.
+pub fn characterize_sot_with_cached(
+    tech: &TechParams,
+    stack: &MssStack,
+    params: &SotParams,
+    cache: &mss_pipe::PipeCache,
+) -> Result<std::sync::Arc<SotCellLibrary>, PdkError> {
+    let key = sot_cache_key(tech, stack, params);
+    cache.get_or_compute_artifact(mss_pipe::Stage::CharacterizeCells, &key, || {
+        characterize_sot_with(tech, stack, params)
+    })
+}
+
+/// [`characterize_sot`] with an explicit (possibly variation-sampled) CMOS
+/// card.
+///
+/// # Errors
+///
+/// See [`characterize_sot`].
+pub fn characterize_sot_with(
+    tech: &TechParams,
+    stack: &MssStack,
+    params: &SotParams,
+) -> Result<SotCellLibrary, PdkError> {
+    let sot = SotMechanism::new(stack, params.clone())?;
+    let access_width = sot_size_access_width(tech, stack, params, &sot)?;
+    let write = characterize_sot_write(tech, stack, params, access_width)?;
+    let read = characterize_sot_read(tech, stack, params)?;
+    Ok(SotCellLibrary {
+        base: CellLibrary {
+            node: tech.node,
+            write,
+            read,
+            access_width,
+            cell_area: tech.sot_cell_area(access_width),
+            leakage: tech.leakage(access_width) * 1e-4,
+            critical_current: sot.critical_current(),
+            delta: sot.delta(),
+            r_parallel: stack.resistance_parallel(),
+            r_antiparallel: stack.resistance_antiparallel(),
+        },
+        params: params.clone(),
+        channel_resistance: sot.channel_resistance(),
+    })
+}
+
 /// DC write current through the cell for a candidate width, in the
 /// worst-case (source-degenerated, P → AP) polarity.
 fn dc_write_current(tech: &TechParams, stack: &MssStack, w: f64) -> Result<f64, PdkError> {
@@ -284,6 +459,228 @@ fn size_access_width(tech: &TechParams, stack: &MssStack) -> Result<f64, PdkErro
         }
     }
     Ok(hi)
+}
+
+/// DC channel current through the SOT cell for a candidate access width.
+///
+/// The write path is purely metallic (access device + heavy-metal
+/// channel); the junction never carries the write current, so there is no
+/// state-dependent worst case — the AP start state is used for symmetry
+/// with the STT helper.
+fn sot_dc_write_current(
+    tech: &TechParams,
+    stack: &MssStack,
+    params: &SotParams,
+    w: f64,
+) -> Result<f64, PdkError> {
+    let mut nl = Netlist::new();
+    nl.add_vsource("vwbl", "wbl", "0", Waveform::dc(tech.vdd))?;
+    nl.add_vsource("vwl", "wl", "0", Waveform::dc(tech.vdd))?;
+    nl.add_vsource("vwsl", "wsl", "0", Waveform::dc(0.0))?;
+    nl.add_mosfet(
+        "m1",
+        "wbl",
+        "wl",
+        "sh",
+        tech.nmos,
+        mss_spice::mosfet::MosGeometry {
+            width: w,
+            length: tech.gate_length(),
+        },
+    )?;
+    nl.add_mtj_sot(
+        "x1",
+        "rd",
+        "sh",
+        "wsl",
+        stack,
+        params,
+        MtjState::Antiparallel,
+    )?;
+    let dc = dc_operating_point(&nl)?;
+    Ok((-dc.source_current("vwbl")?).abs())
+}
+
+/// Finds the smallest access width whose channel current reaches the
+/// target overdrive over the SHE critical current.
+fn sot_size_access_width(
+    tech: &TechParams,
+    stack: &MssStack,
+    params: &SotParams,
+    sot: &SotMechanism,
+) -> Result<f64, PdkError> {
+    let target = SOT_TARGET_OVERDRIVE * sot.critical_current();
+    let (mut lo, mut hi) = (tech.min_width, 400.0 * tech.min_width);
+    if sot_dc_write_current(tech, stack, params, hi)? < target {
+        return Err(PdkError::Characterization {
+            step: "SOT access sizing",
+            reason: format!(
+                "even a {:.2e} m access device cannot deliver {:.2e} A through the channel",
+                hi, target
+            ),
+        });
+    }
+    if sot_dc_write_current(tech, stack, params, lo)? >= target {
+        return Ok(lo);
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if sot_dc_write_current(tech, stack, params, mid)? >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if (hi - lo) < 1e-9 {
+            break;
+        }
+    }
+    Ok(hi)
+}
+
+fn characterize_sot_write(
+    tech: &TechParams,
+    stack: &MssStack,
+    params: &SotParams,
+    w_access: f64,
+) -> Result<OpMetrics, PdkError> {
+    let mut worst = OpMetrics {
+        latency: 0.0,
+        energy: 0.0,
+        current: f64::INFINITY,
+    };
+    for dir in [WriteDirection::ToParallel, WriteDirection::ToAntiparallel] {
+        let deck = sot_bitcell_write_deck(
+            tech,
+            stack,
+            params,
+            dir,
+            w_access,
+            SOT_CHAR_WRITE_PULSE,
+            5e-15,
+        )?;
+        let res = run_deck(&deck)?;
+        let rail = match dir {
+            WriteDirection::ToParallel => "vwbl",
+            WriteDirection::ToAntiparallel => "vwsl",
+        };
+        let flip = Measurement::CrossTime {
+            name: "t_flip".into(),
+            probe: Probe::MtjState("X1".into()),
+            value: 0.0,
+            edge: Edge::Either,
+            nth: 1,
+        }
+        .evaluate(&res)
+        .map_err(|_| PdkError::Characterization {
+            step: "SOT write",
+            reason: format!("junction never flipped in {dir:?} within the pulse"),
+        })?;
+        let t_start = Measurement::CrossTime {
+            name: "t_start".into(),
+            probe: Probe::NodeVoltage(rail_node(rail)),
+            value: tech.vdd / 2.0,
+            edge: Edge::Rise,
+            nth: 1,
+        }
+        .evaluate(&res)?;
+        let latency = flip - t_start;
+        let mut energy = 0.0;
+        for src in ["VWBL", "VWSL", "VWL"] {
+            energy += Measurement::Energy {
+                name: format!("e_{src}"),
+                source: src.to_string(),
+                from: t_start,
+                to: flip,
+            }
+            .evaluate(&res)?;
+        }
+        let i_avg = Measurement::Average {
+            name: "i_wr".into(),
+            probe: Probe::SourceCurrent(rail.to_ascii_uppercase()),
+            from: t_start,
+            to: flip,
+        }
+        .evaluate(&res)?
+        .abs();
+        if latency > worst.latency {
+            worst.latency = latency;
+            worst.energy = energy;
+        }
+        worst.current = worst.current.min(i_avg);
+    }
+    Ok(worst)
+}
+
+fn characterize_sot_read(
+    tech: &TechParams,
+    stack: &MssStack,
+    params: &SotParams,
+) -> Result<OpMetrics, PdkError> {
+    let r_ch = params.channel_resistance(stack.diameter());
+    let r_ref = (stack.resistance_parallel() * stack.resistance_antiparallel()).sqrt() + r_ch;
+    let mut worst = OpMetrics {
+        latency: 0.0,
+        energy: 0.0,
+        current: 0.0,
+    };
+    for state in [MtjState::Parallel, MtjState::Antiparallel] {
+        let deck = sot_pcsa_read_deck(tech, stack, params, state, r_ref, CHAR_SENSE_WINDOW)?;
+        let res = run_deck(&deck)?;
+        let falling = if state == MtjState::Parallel {
+            "out"
+        } else {
+            "outb"
+        };
+        let latency = Measurement::Delay {
+            name: "t_sense".into(),
+            trig: Probe::NodeVoltage("clk".into()),
+            trig_value: tech.vdd / 2.0,
+            trig_edge: Edge::Rise,
+            targ: Probe::NodeVoltage(falling.into()),
+            targ_value: tech.vdd / 2.0,
+            targ_edge: Edge::Fall,
+        }
+        .evaluate(&res)
+        .map_err(|_| PdkError::Characterization {
+            step: "SOT read",
+            reason: format!("PCSA failed to resolve for state {state:?}"),
+        })?;
+        let mut energy = 0.0;
+        for src in ["VDD", "VCLK"] {
+            energy += Measurement::Energy {
+                name: format!("e_{src}"),
+                source: src.to_string(),
+                from: 1e-9,
+                to: 1e-9 + CHAR_SENSE_WINDOW,
+            }
+            .evaluate(&res)?;
+        }
+        // Cell-branch read current across the tunnel barrier.
+        let s1 = res.node_voltage("s1")?;
+        let shx = res.node_voltage("shx")?;
+        let times = res.times();
+        let r = match state {
+            MtjState::Parallel => stack.resistance_parallel(),
+            MtjState::Antiparallel => stack.resistance_antiparallel(),
+        };
+        let mut q_moved = 0.0;
+        let mut window = 0.0;
+        for k in 1..times.len() {
+            if times[k] >= 1e-9 && times[k] <= 1e-9 + CHAR_SENSE_WINDOW {
+                let dt = times[k] - times[k - 1];
+                let i_inst = ((s1[k] - shx[k]) / r).abs();
+                q_moved += i_inst * dt;
+                window += dt;
+            }
+        }
+        let i_avg = if window > 0.0 { q_moved / window } else { 0.0 };
+        if latency > worst.latency {
+            worst.latency = latency;
+            worst.energy = energy;
+        }
+        worst.current = worst.current.max(i_avg);
+    }
+    Ok(worst)
 }
 
 fn run_deck(deck: &mss_spice::parser::Deck) -> Result<TransientResult, PdkError> {
@@ -367,6 +764,8 @@ fn rail_node(rail: &str) -> String {
     match rail {
         "vbl" => "bl".to_string(),
         "vsl" => "sl".to_string(),
+        "vwbl" => "wbl".to_string(),
+        "vwsl" => "wsl".to_string(),
         other => other.to_string(),
     }
 }
@@ -710,6 +1109,69 @@ mod tests {
         assert!(m.restore_latency < 0.1 * m.backup_latency);
         assert!(m.backup_energy > m.restore_energy);
         assert!(m.restore_energy > 0.0);
+    }
+
+    #[test]
+    fn sot_characterization_beats_stt_on_write() {
+        let s = stack();
+        let stt = characterize(TechNode::N45, &s).unwrap();
+        let sot = characterize_sot(TechNode::N45, &s, &SotParams::default()).unwrap();
+        // The channel write dodges the damping limit: much faster...
+        assert!(
+            sot.base.write.latency < 0.25 * stt.write.latency,
+            "sot = {:.3e}, stt = {:.3e}",
+            sot.base.write.latency,
+            stt.write.latency
+        );
+        // ...and cheaper per bit, despite the larger critical current.
+        assert!(
+            sot.base.write.energy < stt.write.energy,
+            "sot = {:.3e}, stt = {:.3e}",
+            sot.base.write.energy,
+            stt.write.energy
+        );
+        // The read is still a PCSA sense of the same junction.
+        assert!(sot.base.read.latency > 10e-12 && sot.base.read.latency < 2e-9);
+        assert!(sot.base.read.current < 0.8 * s.critical_current());
+        // Three-terminal cell pays area over the 1T-1MTJ cell of the same
+        // access width.
+        let tech = TechParams::node(TechNode::N45);
+        assert!(sot.base.cell_area > tech.stt_cell_area(sot.base.access_width));
+        // Metallic channel is far below the junction resistance.
+        assert!(sot.channel_resistance < 0.5 * s.resistance_parallel());
+    }
+
+    #[test]
+    fn sot_cache_key_is_disjoint_from_stt() {
+        let tech = TechParams::node(TechNode::N45);
+        let s = stack();
+        let p = SotParams::default();
+        let stt_key = mss_pipe::digest_of(&(&tech, &s));
+        assert_ne!(sot_cache_key(&tech, &s, &p), stt_key);
+        let mut p2 = p.clone();
+        p2.spin_hall_angle = 0.25;
+        assert_ne!(sot_cache_key(&tech, &s, &p), sot_cache_key(&tech, &s, &p2));
+    }
+
+    #[test]
+    fn sot_cached_characterization_memoizes() {
+        let cache = mss_pipe::PipeCache::memory_only();
+        let s = stack();
+        let p = SotParams::default();
+        let a = characterize_sot_cached(TechNode::N45, &s, &p, &cache).unwrap();
+        let b = characterize_sot_cached(TechNode::N45, &s, &p, &cache).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        // An STT characterisation of the same inputs must not collide.
+        let stt = characterize_cached(TechNode::N45, &s, &cache).unwrap();
+        assert!((stt.write.latency - a.base.write.latency).abs() > f64::EPSILON);
+    }
+
+    #[test]
+    fn sot_artifact_round_trip() {
+        use mss_pipe::Artifact;
+        let lib = characterize_sot(TechNode::N45, &stack(), &SotParams::default()).unwrap();
+        let back = SotCellLibrary::decode(&lib.encode()).unwrap();
+        assert_eq!(lib, back);
     }
 
     #[test]

@@ -203,6 +203,17 @@ impl TechParams {
     pub fn sram_cell_area(&self) -> f64 {
         self.sram_cell_f2 * self.feature * self.feature
     }
+
+    /// SOT-MRAM three-terminal bit-cell area in m² for a write-access
+    /// transistor of width `w`.
+    ///
+    /// The heavy-metal channel needs contacts at both ends and the read
+    /// terminal its own via stack, so the base footprint carries a fixed
+    /// ~1.5× routing overhead over the 1T-1MTJ cell before the access
+    /// device starts to dominate.
+    pub fn sot_cell_area(&self, w: f64) -> f64 {
+        1.5 * self.stt_cell_area(w)
+    }
 }
 
 #[cfg(test)]

@@ -241,6 +241,23 @@ pub fn ac_analysis(
                         Complex::real(1.0 / device.resistance(v)),
                     );
                 }
+                Element::MtjSot {
+                    read,
+                    shared,
+                    write,
+                    channel_ohms,
+                    device,
+                    ..
+                } => {
+                    let v = vdc(*read) - vdc(*shared);
+                    stamp_admittance(
+                        &mut m,
+                        *read,
+                        *shared,
+                        Complex::real(1.0 / device.resistance(v)),
+                    );
+                    stamp_admittance(&mut m, *shared, *write, Complex::real(1.0 / channel_ohms));
+                }
             }
         }
         let x = csolve(m, rhs)?;

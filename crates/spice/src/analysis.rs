@@ -191,10 +191,12 @@ impl Mna {
                 next += 1;
             }
         }
-        let has_nonlinear = netlist
-            .elements()
-            .iter()
-            .any(|e| matches!(e, Element::Mosfet { .. } | Element::Mtj { .. }));
+        let has_nonlinear = netlist.elements().iter().any(|e| {
+            matches!(
+                e,
+                Element::Mosfet { .. } | Element::Mtj { .. } | Element::MtjSot { .. }
+            )
+        });
         Self {
             n_nodes,
             vsource_rows,
@@ -358,6 +360,22 @@ impl Mna {
                     let v = self.voltage(x0, *plus) - self.voltage(x0, *minus);
                     let (g, _) = device.linearize(v);
                     self.stamp_conductance(m, *plus, *minus, g);
+                }
+                Element::MtjSot {
+                    read,
+                    shared,
+                    write,
+                    channel_ohms,
+                    device,
+                    ..
+                } => {
+                    // Junction (read path): same chord-conductance
+                    // linearisation as the two-terminal MTJ.
+                    let v = self.voltage(x0, *read) - self.voltage(x0, *shared);
+                    let (g, _) = device.linearize(v);
+                    self.stamp_conductance(m, *read, *shared, g);
+                    // Heavy-metal channel (write path): linear resistor.
+                    self.stamp_conductance(m, *shared, *write, 1.0 / channel_ohms);
                 }
             }
         }
@@ -899,7 +917,9 @@ impl Transient {
             .elements()
             .iter()
             .enumerate()
-            .filter_map(|(i, e)| matches!(e, Element::Mtj { .. }).then_some(i))
+            .filter_map(|(i, e)| {
+                matches!(e, Element::Mtj { .. } | Element::MtjSot { .. }).then_some(i)
+            })
             .collect();
         let mtj_names: Vec<String> = mtj_indices
             .iter()
@@ -939,22 +959,46 @@ impl Transient {
             {
                 let elements = netlist.elements_mut();
                 for &ei in &mtj_indices {
-                    if let Element::Mtj {
-                        name,
-                        plus,
-                        minus,
-                        device,
-                    } = &mut elements[ei]
-                    {
-                        let v = mna_voltage(&mna, &x, *plus) - mna_voltage(&mna, &x, *minus);
-                        let i = v / device.resistance(v);
-                        if device.advance(i, opts.dt) {
-                            events.push(SwitchEvent {
-                                time: t,
-                                element: name.clone(),
-                                new_state_cos: device.state().cos_angle(),
-                            });
+                    match &mut elements[ei] {
+                        Element::Mtj {
+                            name,
+                            plus,
+                            minus,
+                            device,
+                        } => {
+                            let v = mna_voltage(&mna, &x, *plus) - mna_voltage(&mna, &x, *minus);
+                            let i = v / device.resistance(v);
+                            if device.advance(i, opts.dt) {
+                                events.push(SwitchEvent {
+                                    time: t,
+                                    element: name.clone(),
+                                    new_state_cos: device.state().cos_angle(),
+                                });
+                            }
                         }
+                        Element::MtjSot {
+                            name,
+                            shared,
+                            write,
+                            channel_ohms,
+                            device,
+                            ..
+                        } => {
+                            // SOT: switching progress integrates against the
+                            // heavy-metal channel current, not the junction
+                            // current.
+                            let v_ch =
+                                mna_voltage(&mna, &x, *shared) - mna_voltage(&mna, &x, *write);
+                            let i_ch = v_ch / *channel_ohms;
+                            if device.advance(i_ch, opts.dt) {
+                                events.push(SwitchEvent {
+                                    time: t,
+                                    element: name.clone(),
+                                    new_state_cos: device.state().cos_angle(),
+                                });
+                            }
+                        }
+                        _ => unreachable!("mtj_indices only holds MTJ variants"),
                     }
                 }
             }
@@ -986,7 +1030,9 @@ fn record(
         result.currents[slot].push(x[*row]);
     }
     for (slot, &ei) in mtj_indices.iter().enumerate() {
-        if let Element::Mtj { device, .. } = &netlist.elements()[ei] {
+        if let Element::Mtj { device, .. } | Element::MtjSot { device, .. } =
+            &netlist.elements()[ei]
+        {
             result.mtj_cos[slot].push(device.state().cos_angle());
         }
     }
@@ -1239,6 +1285,91 @@ mod tests {
             .unwrap();
         assert!(res.events().is_empty());
         assert_eq!(*res.mtj_state("x1").unwrap().last().unwrap(), -1.0);
+    }
+
+    #[test]
+    fn sot_channel_pulse_switches_state() {
+        use mss_mtj::mechanism::{SotMechanism, SotParams, SwitchingMechanism};
+        let stack = MssStack::builder().build().unwrap();
+        let params = SotParams::default();
+        let sot = SotMechanism::new(&stack, params.clone()).unwrap();
+        // ~2.5x overdrive through the heavy-metal channel.
+        let v_write = 2.5 * sot.critical_current() * sot.channel_resistance();
+        let mut nl = Netlist::new();
+        nl.add_vsource(
+            "vw",
+            "sh",
+            "0",
+            Waveform::pulse(0.0, v_write, 1e-9, 0.05e-9, 0.05e-9, 2e-9, 0.0),
+        )
+        .unwrap();
+        nl.add_mtj_sot(
+            "x1",
+            "rd",
+            "sh",
+            "0",
+            &stack,
+            &params,
+            MtjState::Antiparallel,
+        )
+        .unwrap();
+        let res = Transient::new(&nl)
+            .unwrap()
+            .run(&TransientOptions::new(0.005e-9, 4e-9))
+            .unwrap();
+        assert_eq!(res.events().len(), 1, "expected exactly one switch event");
+        let trace = res.mtj_state("x1").unwrap();
+        assert_eq!(trace[0], -1.0);
+        assert_eq!(*trace.last().unwrap(), 1.0);
+        // SOT switches fast: well inside the 2 ns pulse.
+        assert!(res.events()[0].time > 1e-9 && res.events()[0].time < 2e-9);
+    }
+
+    #[test]
+    fn sot_read_path_does_not_disturb_state() {
+        use mss_mtj::mechanism::SotParams;
+        let stack = MssStack::builder().build().unwrap();
+        // Bias the junction read path; the write channel stays idle, so no
+        // channel current flows and the state must hold even though the
+        // junction current would exceed the (tiny) SOT critical current.
+        let mut nl = Netlist::new();
+        nl.add_vsource("vr", "rd", "0", Waveform::dc(0.3)).unwrap();
+        nl.add_mtj_sot(
+            "x1",
+            "rd",
+            "sh",
+            "sh",
+            &stack,
+            &SotParams::default(),
+            MtjState::Antiparallel,
+        )
+        .unwrap();
+        nl.add_resistor("rterm", "sh", "0", 1.0e3).unwrap();
+        let res = Transient::new(&nl)
+            .unwrap()
+            .run(&TransientOptions::new(0.05e-9, 5e-9))
+            .unwrap();
+        assert!(res.events().is_empty());
+        assert_eq!(*res.mtj_state("x1").unwrap().last().unwrap(), -1.0);
+    }
+
+    #[test]
+    fn sot_dc_read_sees_tmr_resistance() {
+        use mss_mtj::mechanism::SotParams;
+        let stack = MssStack::builder().build().unwrap();
+        let params = SotParams::default();
+        let read = |state: MtjState| {
+            let mut nl = Netlist::new();
+            nl.add_vsource("vr", "bl", "0", Waveform::dc(0.1)).unwrap();
+            nl.add_resistor("rs", "bl", "rd", 3.0e3).unwrap();
+            nl.add_mtj_sot("x1", "rd", "sh", "sh", &stack, &params, state)
+                .unwrap();
+            nl.add_resistor("rgnd", "sh", "0", 1.0).unwrap();
+            let dc = dc_operating_point(&nl).unwrap();
+            dc.node_voltage("rd").unwrap()
+        };
+        // AP reads a larger junction resistance -> higher divider tap.
+        assert!(read(MtjState::Antiparallel) > read(MtjState::Parallel) + 1e-3);
     }
 
     #[test]

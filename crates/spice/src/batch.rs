@@ -394,6 +394,59 @@ mod tests {
     }
 
     #[test]
+    fn three_terminal_sot_netlist_batches_bitwise() {
+        use mss_mtj::mechanism::SotParams;
+        use mss_mtj::resistance::MtjState;
+        use mss_mtj::MssStack;
+
+        // Read-path divider around a three-terminal SOT cell: series
+        // resistor into the junction's read terminal, channel grounded at
+        // the write terminal. Batch over the MTJ state and the series
+        // resistance; every sample must match the one-shot DC solve bitwise.
+        let stack = MssStack::builder().build().unwrap();
+        let params = SotParams::default();
+        let build = || {
+            let mut nl = Netlist::new();
+            nl.add_vsource("vr", "bl", "0", Waveform::dc(0.1)).unwrap();
+            nl.add_resistor("rs", "bl", "rd", 3.0e3).unwrap();
+            nl.add_mtj_sot("x1", "rd", "sh", "0", &stack, &params, MtjState::Parallel)
+                .unwrap();
+            nl
+        };
+        let nl = build();
+        let rs = nl.element_index("rs").unwrap();
+        let x1 = nl.element_index("x1").unwrap();
+        let state = |i: usize| {
+            if i.is_multiple_of(2) {
+                MtjState::Parallel
+            } else {
+                MtjState::Antiparallel
+            }
+        };
+        let ohms = |i: usize| 2.0e3 + 500.0 * i as f64;
+        let batch = DcBatch::new(&nl);
+        let cfg = ParallelConfig::serial().with_threads(2).with_chunk(3);
+        let result = batch.run_with(8, &cfg, |i, nl| {
+            nl.set_mtj_state(x1, state(i))?;
+            nl.set_resistance(rs, ohms(i))
+        });
+        assert_eq!(result.failure_count(), 0);
+        for i in 0..8 {
+            let mut single = build();
+            single.set_mtj_state(x1, state(i)).unwrap();
+            single.set_resistance(rs, ohms(i)).unwrap();
+            let dc = dc_operating_point_with(&single, &SolverOptions::default()).unwrap();
+            assert_eq!(
+                result.node_voltage(i, "rd").unwrap(),
+                dc.node_voltage("rd").unwrap(),
+                "sample {i}"
+            );
+        }
+        // AP junction divides higher than P at the read tap.
+        assert!(result.node_voltage(1, "rd").unwrap() > result.node_voltage(0, "rd").unwrap());
+    }
+
+    #[test]
     fn cancelled_token_fails_remaining_chunks_not_the_batch() {
         let nl = divider();
         let r2 = nl.element_index("r2").unwrap();

@@ -36,6 +36,20 @@ impl MtjElement {
         }
     }
 
+    /// Creates the element with an explicit switching evaluator in place of
+    /// the stack's STT model — the hook the three-terminal SOT cell uses to
+    /// drive the same progress integrator with `(Δ, I_c0,SOT, τ_SOT)`
+    /// against the heavy-metal channel current while the junction
+    /// resistance stays the stack's TMR model.
+    pub fn with_switching(stack: &MssStack, initial: MtjState, switching: SwitchingModel) -> Self {
+        Self {
+            resistance: ResistanceModel::new(stack),
+            switching,
+            state: initial,
+            progress: 0.0,
+        }
+    }
+
     /// Current memory state.
     pub fn state(&self) -> MtjState {
         self.state

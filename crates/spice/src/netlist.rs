@@ -6,6 +6,7 @@
 
 use std::collections::HashMap;
 
+use mss_mtj::mechanism::{SotMechanism, SotParams};
 use mss_mtj::resistance::MtjState;
 use mss_mtj::MssStack;
 
@@ -102,6 +103,26 @@ pub enum Element {
         /// Device model + state.
         device: MtjElement,
     },
+    /// Three-terminal SOT/SHE MTJ cell: the junction (read path) sits
+    /// between `read` and `shared`, the heavy-metal write channel between
+    /// `shared` and `write`. Switching progress integrates against the
+    /// *channel* current — positive current `shared→write` writes the
+    /// parallel state — while the read path only sees the TMR resistance.
+    MtjSot {
+        /// Instance name.
+        name: String,
+        /// Read terminal (top electrode of the junction).
+        read: NodeId,
+        /// Shared terminal (junction bottom = channel mid-point).
+        shared: NodeId,
+        /// Write terminal (far end of the heavy-metal channel).
+        write: NodeId,
+        /// Heavy-metal channel resistance in ohms.
+        channel_ohms: f64,
+        /// Junction model + state; its switching evaluator carries the SOT
+        /// constants and is driven by the channel current.
+        device: MtjElement,
+    },
 }
 
 impl Element {
@@ -113,7 +134,8 @@ impl Element {
             | Element::VSource { name, .. }
             | Element::ISource { name, .. }
             | Element::Mosfet { name, .. }
-            | Element::Mtj { name, .. } => name,
+            | Element::Mtj { name, .. }
+            | Element::MtjSot { name, .. } => name,
         }
     }
 }
@@ -374,6 +396,47 @@ impl Netlist {
         Ok(())
     }
 
+    /// Adds a three-terminal SOT/SHE MTJ cell.
+    ///
+    /// The junction (read path) connects `read`–`shared` with the stack's
+    /// TMR resistance; the heavy-metal channel connects `shared`–`write`
+    /// with resistance `ρ·L/(w·t_ch)` from `params`. Positive channel
+    /// current (`shared → write`) writes the parallel state.
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate names and invalid channel parameters.
+    #[allow(clippy::too_many_arguments)] // three named terminals are the element
+    pub fn add_mtj_sot(
+        &mut self,
+        name: &str,
+        read: &str,
+        shared: &str,
+        write: &str,
+        stack: &MssStack,
+        params: &SotParams,
+        initial: MtjState,
+    ) -> Result<(), SpiceError> {
+        self.check_name(name)?;
+        let sot =
+            SotMechanism::new(stack, params.clone()).map_err(|e| SpiceError::InvalidElement {
+                name: name.to_string(),
+                reason: format!("invalid SOT channel: {e}"),
+            })?;
+        let channel_ohms = sot.channel_resistance();
+        let device = MtjElement::with_switching(stack, initial, sot.switching_model().clone());
+        let (read, shared, write) = (self.node(read), self.node(shared), self.node(write));
+        self.elements.push(Element::MtjSot {
+            name: name.to_string(),
+            read,
+            shared,
+            write,
+            channel_ohms,
+            device,
+        });
+        Ok(())
+    }
+
     /// Index of a named element (for the value setters below).
     ///
     /// # Errors
@@ -454,7 +517,7 @@ impl Netlist {
     /// element is not an MTJ.
     pub fn set_mtj_state(&mut self, index: usize, state: MtjState) -> Result<(), SpiceError> {
         match self.elements.get_mut(index) {
-            Some(Element::Mtj { device, .. }) => {
+            Some(Element::Mtj { device, .. }) | Some(Element::MtjSot { device, .. }) => {
                 device.set_state(state);
                 Ok(())
             }

@@ -10,6 +10,7 @@
 //! Iname n+ n- <same source syntax>
 //! Mname d g s [b] NMOS|PMOS W=<v> L=<v>
 //! Xname n+ n- MTJ [STATE=P|AP] [DIAMETER=<v>]
+//! Xname read shared write MTJSOT [STATE=P|AP] [DIAMETER=<v>] [THETA_SH=<v>] [T_CH=<v>] [RHO_CH=<v>]
 //! Xname n1 n2 ... <subckt-name>
 //! .subckt <name> <port1> <port2> ...
 //!   <element lines>
@@ -31,6 +32,7 @@
 
 use std::collections::HashMap;
 
+use mss_mtj::mechanism::SotParams;
 use mss_mtj::resistance::MtjState;
 use mss_mtj::MssStack;
 
@@ -394,6 +396,10 @@ impl<'a> Parser<'a> {
                 if tokens.len() >= 4 && tokens[3].eq_ignore_ascii_case("mtj") {
                     // Builtin MTJ: Xname n+ n- MTJ [params].
                     self.mtj_statement(netlist, lineno, &tokens, scope)?;
+                } else if tokens.len() >= 5 && tokens[4].eq_ignore_ascii_case("mtjsot") {
+                    // Builtin three-terminal SOT cell:
+                    // Xname read shared write MTJSOT [params].
+                    self.mtj_sot_statement(netlist, lineno, &tokens, scope)?;
                 } else {
                     // Subcircuit instantiation: Xname n1 n2 ... subname.
                     if tokens.len() < 3 {
@@ -487,6 +493,66 @@ impl<'a> Parser<'a> {
                 &scope.node(tokens[1]),
                 &scope.node(tokens[2]),
                 &stack,
+                state,
+            )
+            .map_err(|e| wrap(lineno, e))?;
+        Ok(())
+    }
+
+    fn mtj_sot_statement(
+        &self,
+        netlist: &mut Netlist,
+        lineno: usize,
+        tokens: &[&str],
+        scope: &Scope,
+    ) -> Result<(), SpiceError> {
+        let mut state = MtjState::Parallel;
+        let mut builder = MssStack::builder();
+        let mut params = SotParams::default();
+        for t in &tokens[5..] {
+            let (k, v) = t
+                .split_once('=')
+                .ok_or_else(|| parse_err(lineno, "MTJSOT parameters must be K=V"))?;
+            match k.to_ascii_lowercase().as_str() {
+                "state" => {
+                    state = match v.to_ascii_lowercase().as_str() {
+                        "p" | "parallel" => MtjState::Parallel,
+                        "ap" | "antiparallel" => MtjState::Antiparallel,
+                        other => return err(lineno, &format!("unknown MTJSOT state '{other}'")),
+                    }
+                }
+                "diameter" => {
+                    builder = builder.diameter(value(lineno, v)?);
+                }
+                "tmr" => {
+                    builder = builder.tmr_zero_bias(value(lineno, v)?);
+                }
+                "ra" => {
+                    builder = builder.resistance_area_product(value(lineno, v)?);
+                }
+                "theta_sh" => {
+                    params.spin_hall_angle = value(lineno, v)?;
+                }
+                "t_ch" => {
+                    params.channel_thickness = value(lineno, v)?;
+                }
+                "rho_ch" => {
+                    params.channel_resistivity = value(lineno, v)?;
+                }
+                other => return err(lineno, &format!("unknown MTJSOT param '{other}'")),
+            }
+        }
+        let stack = builder
+            .build()
+            .map_err(|e| parse_err(lineno, &format!("bad MTJSOT: {e}")))?;
+        netlist
+            .add_mtj_sot(
+                &scope.name(tokens[0]),
+                &scope.node(tokens[1]),
+                &scope.node(tokens[2]),
+                &scope.node(tokens[3]),
+                &stack,
+                &params,
                 state,
             )
             .map_err(|e| wrap(lineno, e))?;
@@ -912,6 +978,33 @@ mod tests {
         assert!(Deck::parse("X1 a 0 MTJ STATE=SIDEWAYS\n").is_err());
         assert!(Deck::parse("X1 a 0 MTJ DIAMETER=-4n\n").is_err());
         assert!(Deck::parse("X1 a 0 NOTMTJ\n").is_err());
+    }
+
+    #[test]
+    fn parses_mtj_sot_line() {
+        use crate::netlist::Element;
+        let deck = Deck::parse(
+            "VW sh 0 DC 0.3\n\
+             X1 rd sh 0 MTJSOT STATE=AP DIAMETER=40n THETA_SH=0.25 T_CH=4n RHO_CH=2u\n\
+             .tran 10p 1n\n",
+        )
+        .unwrap();
+        assert_eq!(deck.netlist.elements().len(), 2);
+        match &deck.netlist.elements()[1] {
+            Element::MtjSot { channel_ohms, .. } => {
+                assert!(channel_ohms.is_finite() && *channel_ohms > 0.0);
+            }
+            other => panic!("expected MtjSot, got {other:?}"),
+        }
+        // Three distinct terminals plus ground: rd, sh.
+        assert_eq!(deck.netlist.node_count(), 3);
+    }
+
+    #[test]
+    fn bad_mtj_sot_params_error() {
+        assert!(Deck::parse("X1 a b c MTJSOT STATE=SIDEWAYS\n").is_err());
+        assert!(Deck::parse("X1 a b c MTJSOT THETA_SH=0\n").is_err());
+        assert!(Deck::parse("X1 a b c MTJSOT BOGUS=1\n").is_err());
     }
 
     // --- subcircuit tests ---

@@ -1,10 +1,11 @@
 //! The analysis context: everything the variation-aware passes need,
 //! assembled once from the nominal flow.
 
-use mss_mtj::MssStack;
+use mss_mtj::switching::SwitchingModel;
+use mss_mtj::{MechanismConfig, MssStack, SotMechanism, SotParams};
 use mss_nvsim::config::MemoryConfig;
 use mss_nvsim::model::{estimate_cached, ArrayMetrics, MemoryTechnology};
-use mss_pdk::charlib::{characterize_cached, CellLibrary};
+use mss_pdk::charlib::{characterize_cached, characterize_sot_cached, CellLibrary, SotCellLibrary};
 use mss_pdk::tech::{TechNode, TechParams};
 use mss_pdk::variation::VariationCard;
 
@@ -29,6 +30,8 @@ pub struct VaetContext {
     pub nominal: ArrayMetrics,
     /// Process-variation card for the node.
     pub variation: VariationCard,
+    /// The switching mechanism the cell library was characterised for.
+    pub mechanism: MechanismConfig,
 }
 
 impl mss_pipe::StableHash for VaetContext {
@@ -39,6 +42,11 @@ impl mss_pipe::StableHash for VaetContext {
         self.config.stable_hash(h);
         self.nominal.stable_hash(h);
         self.variation.stable_hash(h);
+        // Only fold the mechanism in when it deviates from the default so
+        // every pre-existing STT digest (and pipe-cache key) is preserved.
+        if !self.mechanism.is_default() {
+            self.mechanism.stable_hash(h);
+        }
     }
 }
 
@@ -89,7 +97,56 @@ impl VaetContext {
             config,
             nominal,
             variation,
+            mechanism: MechanismConfig::Stt,
         })
+    }
+
+    /// Builds a context around the three-terminal SOT cell: the library
+    /// comes from the SOT characterisation flow and the nominal estimate
+    /// from the SOT-MRAM array model, so every downstream margin/MC pass
+    /// sees the channel-write numbers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterisation and estimation failures.
+    pub fn build_sot(
+        node: TechNode,
+        stack: MssStack,
+        config: MemoryConfig,
+        params: SotParams,
+    ) -> Result<Self, VaetError> {
+        let cache = mss_pipe::global();
+        let tech = TechParams::node(node);
+        let sot = characterize_sot_cached(node, &stack, &params, &cache)?;
+        let nominal = (*estimate_cached(
+            &tech,
+            &config,
+            &MemoryTechnology::SotMram((*sot).clone()),
+            &cache,
+        )?)
+        .clone();
+        let variation = VariationCard::node(node);
+        Ok(Self {
+            tech,
+            stack,
+            cell: sot.base.clone(),
+            config,
+            nominal,
+            variation,
+            mechanism: MechanismConfig::Sot(params),
+        })
+    }
+
+    /// The array cell technology matching this context's mechanism.
+    fn technology(&self) -> MemoryTechnology {
+        match &self.mechanism {
+            MechanismConfig::Stt => MemoryTechnology::SttMram(self.cell.clone()),
+            MechanismConfig::Sot(p) => MemoryTechnology::SotMram(SotCellLibrary {
+                base: self.cell.clone(),
+                params: p.clone(),
+                channel_resistance: p.channel_resistance(self.stack.diameter()),
+            }),
+        }
     }
 
     /// Re-targets the context at a different array organisation, reusing
@@ -99,18 +156,43 @@ impl VaetContext {
     ///
     /// Propagates array-estimation failures.
     pub fn with_config(&self, config: MemoryConfig) -> Result<Self, VaetError> {
-        let nominal = (*estimate_cached(
-            &self.tech,
-            &config,
-            &MemoryTechnology::SttMram(self.cell.clone()),
-            &mss_pipe::global(),
-        )?)
-        .clone();
+        let nominal =
+            (*estimate_cached(&self.tech, &config, &self.technology(), &mss_pipe::global())?)
+                .clone();
         Ok(Self {
             config,
             nominal,
             ..self.clone()
         })
+    }
+
+    /// The per-corner switching model for a (possibly variation-sampled)
+    /// stack under this context's mechanism: the plain STT closed forms, or
+    /// the SHE-current model with the damping-free critical current.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid sampled-device parameters.
+    pub fn corner_switching_model(&self, stack: &MssStack) -> Result<SwitchingModel, VaetError> {
+        match &self.mechanism {
+            MechanismConfig::Stt => Ok(SwitchingModel::new(stack)),
+            MechanismConfig::Sot(p) => Ok(SotMechanism::new(stack, p.clone())
+                .map_err(VaetError::Device)?
+                .switching_model()
+                .clone()),
+        }
+    }
+
+    /// Relative write-path resistance of a sampled device against the
+    /// nominal cell: junction R_P for STT, the heavy-metal channel for SOT
+    /// (the SOT write current never crosses the barrier).
+    pub fn write_resistance_ratio(&self, stack: &MssStack) -> f64 {
+        match &self.mechanism {
+            MechanismConfig::Stt => stack.resistance_parallel() / self.cell.r_parallel,
+            MechanismConfig::Sot(p) => {
+                p.channel_resistance(stack.diameter()) / p.channel_resistance(self.stack.diameter())
+            }
+        }
     }
 
     /// The peripheral (non-cell) share of the nominal write latency.
@@ -130,8 +212,13 @@ impl VaetContext {
     /// `V_dd·ΔR/(R_P+R_AP)` and clamped to half the supply.
     pub fn sense_signal(&self) -> f64 {
         let window = self.cell.r_antiparallel - self.cell.r_parallel;
-        (self.tech.vdd * window / (self.cell.r_antiparallel + self.cell.r_parallel))
-            .min(self.tech.vdd / 2.0)
+        let mut denom = self.cell.r_antiparallel + self.cell.r_parallel;
+        // The SOT read returns through the heavy-metal channel, which sits
+        // in series on both branches and dilutes the window slightly.
+        if let MechanismConfig::Sot(p) = &self.mechanism {
+            denom += 2.0 * p.channel_resistance(self.stack.diameter());
+        }
+        (self.tech.vdd * window / denom).min(self.tech.vdd / 2.0)
     }
 
     /// Sustained read-bias current used for read-disturb analysis, amperes.
@@ -140,7 +227,13 @@ impl VaetContext {
     /// (current stops after the latch resolves); disturb analyses follow the
     /// usual design point of a sustained bias at 30 % of I_c0.
     pub fn read_disturb_current(&self) -> f64 {
-        0.3 * self.cell.critical_current
+        match &self.mechanism {
+            MechanismConfig::Stt => 0.3 * self.cell.critical_current,
+            // The SOT library's `critical_current` is the channel (SHE)
+            // threshold, but read disturb comes from the *barrier* current
+            // exerting ordinary STT torque — measure against that.
+            MechanismConfig::Sot(_) => 0.3 * self.stack.critical_current(),
+        }
     }
 }
 
@@ -160,6 +253,65 @@ mod tests {
         assert!(sig > 0.0 && sig <= ctx.tech.vdd / 2.0);
         // The sense signal must beat the offset by a usable factor.
         assert!(sig > 3.0 * SENSE_OFFSET_SIGMA, "signal = {sig}");
+    }
+
+    #[test]
+    fn sot_context_builds_with_channel_write_numbers() {
+        let stack = MssStack::builder().build().unwrap();
+        let config = MemoryConfig::new(
+            1024 * 1024 / 8,
+            1024,
+            1,
+            1024,
+            1024,
+            mss_nvsim::config::MemoryKind::Ram,
+        )
+        .unwrap();
+        let stt = VaetContext::standard(TechNode::N45).unwrap();
+        let sot =
+            VaetContext::build_sot(TechNode::N45, stack, config, SotParams::default()).unwrap();
+        assert!(!sot.mechanism.is_default());
+        // Channel write: faster nominal array write than the STT context.
+        assert!(sot.nominal.write_latency < stt.nominal.write_latency);
+        // The series channel dilutes (but must not destroy) the window.
+        assert!(sot.sense_signal() < stt.sense_signal());
+        assert!(sot.sense_signal() > 3.0 * SENSE_OFFSET_SIGMA);
+        // Disturb threshold is the junction's STT one, not the channel's.
+        assert!(sot.read_disturb_current() < 0.3 * sot.cell.critical_current);
+        // The mechanism is folded into the digest only when non-default.
+        assert_ne!(mss_pipe::digest_of(&stt), mss_pipe::digest_of(&sot));
+    }
+
+    #[test]
+    fn sot_corner_model_removes_the_damping_limit() {
+        let stack = MssStack::builder().build().unwrap();
+        let config = MemoryConfig::new(
+            1024 * 1024 / 8,
+            1024,
+            1,
+            1024,
+            1024,
+            mss_nvsim::config::MemoryKind::Ram,
+        )
+        .unwrap();
+        let stt = VaetContext::standard(TechNode::N45).unwrap();
+        let sot =
+            VaetContext::build_sot(TechNode::N45, stack.clone(), config, SotParams::default())
+                .unwrap();
+        let stt_model = stt.corner_switching_model(&stack).unwrap();
+        let sot_model = sot.corner_switching_model(&stack).unwrap();
+        // Same thermal stability, but the SOT time constant drops by ~alpha.
+        assert!((stt_model.delta() - sot_model.delta()).abs() < 1e-9);
+        let t_stt = stt_model
+            .mean_switching_time(2.0 * stt_model.critical_current())
+            .unwrap();
+        let t_sot = sot_model
+            .mean_switching_time(2.0 * sot_model.critical_current())
+            .unwrap();
+        assert!(t_sot < 0.1 * t_stt, "sot {t_sot:.3e} vs stt {t_stt:.3e}");
+        // STT write-path resistance ratio is the junction ratio, unchanged.
+        assert!((stt.write_resistance_ratio(&stack) - 1.0).abs() < 1e-12);
+        assert!((sot.write_resistance_ratio(&stack) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -60,7 +60,7 @@ impl WriteMarginSolver {
                 .map_err(VaetError::Device)?;
             let i = ctx.cell.write.current
                 * mss_units::rng::normal(&mut rng, 1.0, 0.04).clamp(0.7, 1.3);
-            corners.push((SwitchingModel::new(&stack), i));
+            corners.push((ctx.corner_switching_model(&stack)?, i));
         }
         Ok(Self {
             corners,
@@ -316,6 +316,31 @@ mod tests {
         assert!(q05 <= mean && mean <= q95 * solver.corners.len() as f64);
         // Degenerate probability is rejected, not panicked on.
         assert!(solver.bit_wer_quantile(t, 1.5).is_err());
+    }
+
+    #[test]
+    fn sot_write_margin_collapses_vs_stt() {
+        let stack = mss_mtj::MssStack::builder().build().unwrap();
+        let config = ctx().config;
+        let sot = VaetContext::build_sot(
+            mss_pdk::tech::TechNode::N45,
+            stack,
+            config,
+            mss_mtj::SotParams::default(),
+        )
+        .unwrap();
+        let stt_solver = WriteMarginSolver::new(ctx()).unwrap();
+        let sot_solver = WriteMarginSolver::new(&sot).unwrap();
+        let stt_point = stt_solver.latency_for_wer(1e-10).unwrap();
+        let sot_point = sot_solver.latency_for_wer(1e-10).unwrap();
+        // The margined pulse shrinks by the damping factor's order.
+        assert!(
+            sot_point.cell_time < 0.1 * stt_point.cell_time,
+            "sot {:.3e} vs stt {:.3e}",
+            sot_point.cell_time,
+            stt_point.cell_time
+        );
+        assert!(sot_point.latency < stt_point.latency);
     }
 
     #[test]

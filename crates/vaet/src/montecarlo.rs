@@ -128,15 +128,15 @@ fn sample_access<R: Rng + ?Sized>(
             .variation
             .sample_stack(rng, &ctx.stack)
             .map_err(VaetError::Device)?;
-        let sw = SwitchingModel::new(&stack);
+        let sw = ctx.corner_switching_model(&stack)?;
         // Local access-device mismatch perturbs the write current.
         let i_rel = normal(rng, 1.0, 0.04).clamp(0.7, 1.3) / speed_factor;
         let i_bit = consts.i_write_nom * i_rel;
         let theta0 = thermal_angle(rng, sw.delta());
         let t_bit = switching_time(&sw, i_bit, theta0);
         t_cell_max = t_cell_max.max(t_bit);
-        // Dissipation scales as I^2 R relative to the nominal cell.
-        let r_rel = stack.resistance_parallel() / ctx.cell.r_parallel;
+        // Dissipation scales as I^2 R relative to the nominal write path.
+        let r_rel = ctx.write_resistance_ratio(&stack);
         power_sum += cell_power_nom * i_rel * i_rel * r_rel;
     }
     let t_write = consts.periph_wl * speed_factor + t_cell_max;

@@ -19,6 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scenarios: Scenario::ALL.to_vec(),
         seed: 0xCAFE,
         sample_cap: 150_000,
+        ..MagpieInputs::defaults()
     })?;
     println!(
         "cell library: write {:.2} ns / read {:.2} ns per cell\n",

@@ -17,6 +17,7 @@ fn report() -> &'static great_mss::core::flow::MagpieReport {
             scenarios: Scenario::ALL.to_vec(),
             seed: 2024,
             sample_cap: 150_000,
+            ..MagpieInputs::defaults()
         })
         .expect("flow setup")
         .run()
@@ -32,6 +33,7 @@ fn flow_is_deterministic() {
         scenarios: vec![Scenario::FullSram],
         seed: 7,
         sample_cap: 20_000,
+        ..MagpieInputs::defaults()
     })
     .expect("setup");
     let a = flow.run().expect("run a");

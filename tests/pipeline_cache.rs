@@ -27,6 +27,7 @@ fn sweep_inputs(node: TechNode) -> MagpieInputs {
         scenarios: vec![Scenario::FullSram, Scenario::FullL2Stt],
         seed: 11,
         sample_cap: 20_000,
+        ..MagpieInputs::defaults()
     }
 }
 
