@@ -96,7 +96,8 @@ fn retry_convergence_leg(
     // uninjected ones bit-for-bit, because results never depend on attempt.
     let sup = SupervisorConfig::disabled()
         .with_retry_max(2)
-        .with_seed(chaos_seed);
+        .with_seed(chaos_seed)
+        .with_label("chaos.retry");
     for n in [1usize, 2, 8] {
         let sweep = chaotic_sweep(sys, kernels, seed, &plan, &threads(n), &sup);
         assert!(
@@ -138,7 +139,9 @@ fn isolation_leg(
         !doomed.is_empty(),
         "chaos seed {chaos_seed} dooms no task at attempt 0; pick another seed"
     );
-    let sup = SupervisorConfig::disabled().with_seed(chaos_seed);
+    let sup = SupervisorConfig::disabled()
+        .with_seed(chaos_seed)
+        .with_label("chaos.isolate");
     let mut manifest = String::new();
     for n in [1usize, 2, 8] {
         let sweep = chaotic_sweep(sys, kernels, seed, &plan, &threads(n), &sup);
@@ -173,7 +176,8 @@ fn deadline_leg(sys: &System, kernels: &[Kernel], seed: u64, chaos_seed: u64) ->
     let sup = SupervisorConfig::disabled()
         .with_deadline(Duration::from_millis(20))
         .with_retry_max(3)
-        .with_seed(chaos_seed);
+        .with_seed(chaos_seed)
+        .with_label("chaos.deadline");
     let sweep = chaotic_sweep(sys, kernels, seed, &plan, &threads(4), &sup);
     assert_eq!(
         sweep.failures.len(),

@@ -126,6 +126,45 @@ pub fn write_obs_artifacts(name: &str) {
             report.meta.dropped_events
         );
     }
+
+    run_watchdog(name, &report);
+}
+
+/// The runtime perf watchdog leg of [`write_obs_artifacts`]: under
+/// `MSS_WATCHDOG`, the just-finished run's span means are compared against
+/// the committed `results/BENCH_<name>.json` baseline with the live
+/// (ratio-over-noise-floor) policy. Regressions are surfaced as
+/// `watchdog.regression` counters, `watchdog` bus events and stderr lines;
+/// `MSS_WATCHDOG=strict` turns them into a hard smoke failure. Absent
+/// baseline or `MSS_WATCHDOG` unset: silent no-op.
+fn run_watchdog(name: &str, report: &mss_prof::Report) {
+    let mode = mss_prof::WatchdogMode::from_env();
+    if mode == mss_prof::WatchdogMode::Off {
+        return;
+    }
+    let baseline_path = std::path::PathBuf::from(format!("results/BENCH_{name}.json"));
+    if !baseline_path.exists() {
+        println!(
+            "watchdog : no committed baseline at {} (skipped)",
+            baseline_path.display()
+        );
+        return;
+    }
+    let wd = mss_prof::Watchdog::from_baseline_file(&baseline_path)
+        .unwrap_or_else(|e| panic!("watchdog baseline: {e}"));
+    let regressions = wd.check_report(report);
+    let gate = mss_prof::watchdog::surface(mode, &regressions);
+    println!(
+        "watchdog : {} span(s) checked against {}, {} regression(s){}",
+        wd.baseline().spans.len(),
+        baseline_path.display(),
+        regressions.len(),
+        if gate { " [strict: failing]" } else { "" }
+    );
+    if gate {
+        eprintln!("watchdog: MSS_WATCHDOG=strict and spans regressed; failing the run");
+        std::process::exit(1);
+    }
 }
 
 /// Renders a simple two-column series as text rows.

@@ -503,7 +503,12 @@ impl MagpieFlow {
             .flat_map(|s| (0..self.inputs.kernels.len()).map(move |k| (s, k)))
             .collect();
         let journal = journal.map(Mutex::new);
-        let sweep = mss_exec::supervised_map(exec, sup, &pairs, |ctx, &(s, k)| {
+        let sup = if sup.label.is_empty() {
+            sup.with_label("flow.sweep")
+        } else {
+            *sup
+        };
+        let sweep = mss_exec::supervised_map(exec, &sup, &pairs, |ctx, &(s, k)| {
             let result = self.evaluate_pair(&systems, &mcpat_cfg, s, k, Some(ctx.token()))?;
             if let Some(journal) = &journal {
                 // Journal appends are best-effort: losing a checkpoint line

@@ -36,7 +36,7 @@
 
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -69,6 +69,9 @@ pub struct SupervisorConfig {
     pub max_backoff: Duration,
     /// Seed of the backoff schedule (independent of task seeds).
     pub seed: u64,
+    /// Sweep label stamped on telemetry-bus progress/heartbeat/failure
+    /// events (e.g. `gemsim.run_many`); `""` renders as `sweep`.
+    pub label: &'static str,
 }
 
 impl SupervisorConfig {
@@ -80,6 +83,7 @@ impl SupervisorConfig {
             retry_max: 0,
             max_backoff: Duration::from_millis(20),
             seed: 0,
+            label: "",
         }
     }
 
@@ -152,6 +156,22 @@ impl SupervisorConfig {
     pub const fn with_max_backoff(mut self, max_backoff: Duration) -> Self {
         self.max_backoff = max_backoff;
         self
+    }
+
+    /// Returns the policy with a telemetry sweep label.
+    pub const fn with_label(mut self, label: &'static str) -> Self {
+        self.label = label;
+        self
+    }
+
+    /// The label stamped on bus events: [`Self::label`], or `sweep` when
+    /// unset.
+    pub fn effective_label(&self) -> &'static str {
+        if self.label.is_empty() {
+            "sweep"
+        } else {
+            self.label
+        }
     }
 
     /// The deterministic backoff before retry `attempt` (1-based) of task
@@ -287,6 +307,23 @@ impl CancelToken {
     /// deadline.
     pub fn is_cancelled(&self) -> bool {
         self.inner.is_cancelled()
+    }
+
+    /// Time left until the *nearest* deadline anywhere on this token's
+    /// chain: `None` when no ancestor carries one, zero once it has passed.
+    /// This is the `budget_seconds` a sweep's progress events report.
+    pub fn budget_remaining(&self) -> Option<Duration> {
+        let now = Instant::now();
+        let mut best: Option<Duration> = None;
+        let mut cur: Option<&CancelInner> = Some(&self.inner);
+        while let Some(inner) = cur {
+            if let Some(d) = inner.deadline {
+                let rem = d.saturating_duration_since(now);
+                best = Some(best.map_or(rem, |b: Duration| b.min(rem)));
+            }
+            cur = inner.parent.as_deref();
+        }
+        best
     }
 
     /// True when this token's *own* deadline (not an ancestor's flag) has
@@ -518,6 +555,48 @@ where
     let threads = cfg.threads.max(1).min(tasks.max(1));
     mss_obs::counter_add("exec.supervise.tasks", tasks as u64);
 
+    // Live telemetry: progress after every settled task, a heartbeat per
+    // worker, one failure event per terminal failure. All of it rides the
+    // opt-in event bus; with the bus off the cost is one atomic add per
+    // task.
+    let events_on = mss_obs::events::bus_enabled();
+    let label = sup.effective_label();
+    let settled = AtomicU64::new(0);
+    let retried_total = AtomicU64::new(0);
+    let note_settled = |_index: usize| {
+        let done = settled.fetch_add(1, Ordering::Relaxed) + 1;
+        if events_on {
+            mss_obs::events::publish(mss_obs::events::EventPayload::Progress {
+                sweep: label.to_string(),
+                done,
+                total: tasks as u64,
+                retried: retried_total.load(Ordering::Relaxed),
+                budget_seconds: sweep_token.budget_remaining().map(|d| d.as_secs_f64()),
+            });
+        }
+    };
+    let heartbeat = |worker: u32, tasks_done: u64, busy_seconds: f64| {
+        if events_on {
+            mss_obs::events::publish(mss_obs::events::EventPayload::Heartbeat {
+                sweep: label.to_string(),
+                worker,
+                tasks_done,
+                busy_seconds,
+            });
+        }
+    };
+    let note_failure = |fail: &TaskFailure| {
+        if events_on {
+            mss_obs::events::publish(mss_obs::events::EventPayload::Failure {
+                sweep: label.to_string(),
+                index: fail.index as u64,
+                attempts: fail.attempts,
+                kind: fail.kind.tag().to_string(),
+                message: fail.kind.to_string(),
+            });
+        }
+    };
+
     // One attempt of task `i`, fully isolated: panics are caught and
     // classified, deadline/cancellation rechecked on failure so a budget
     // that expired mid-attempt is reported as such, not as the error it
@@ -565,6 +644,7 @@ where
                     if kind.retryable() && attempt < sup.retry_max {
                         attempt += 1;
                         mss_obs::counter_add("exec.supervise.retries", 1);
+                        retried_total.fetch_add(1, Ordering::Relaxed);
                         let backoff = sup.backoff(i as u64, attempt);
                         if !backoff.is_zero() {
                             std::thread::sleep(backoff);
@@ -580,11 +660,13 @@ where
                         }
                         _ => mss_obs::counter_add("exec.supervise.failed", 1),
                     }
-                    return Err(TaskFailure {
+                    let fail = TaskFailure {
                         index: i,
                         attempts: attempt + 1,
                         kind,
-                    });
+                    };
+                    note_failure(&fail);
+                    return Err(fail);
                 }
             }
         }
@@ -593,11 +675,13 @@ where
     // A task claimed after the sweep died is recorded unstarted.
     let skip_task = |i: usize| -> TaskFailure {
         mss_obs::counter_add("exec.supervise.cancelled", 1);
-        TaskFailure {
+        let fail = TaskFailure {
             index: i,
             attempts: 0,
             kind: FailureKind::Cancelled,
-        }
+        };
+        note_failure(&fail);
+        fail
     };
 
     if threads <= 1 || tasks <= 1 {
@@ -608,6 +692,7 @@ where
             if sweep_token.is_cancelled() {
                 results.push(None);
                 failures.push(skip_task(i));
+                note_settled(i);
                 continue;
             }
             match run_task(i) {
@@ -617,9 +702,11 @@ where
                     failures.push(fail);
                 }
             }
+            note_settled(i);
+            heartbeat(0, (i + 1) as u64, t0.elapsed().as_secs_f64());
         }
         let busy = t0.elapsed().as_secs_f64();
-        return PartialSweep {
+        let sweep = PartialSweep {
             results,
             failures,
             stats: RunStats {
@@ -630,6 +717,7 @@ where
                 busy_seconds: vec![busy],
             },
         };
+        return finish_sweep(sup, label, events_on, sweep);
     }
 
     let slots: Vec<Mutex<Option<U>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
@@ -644,9 +732,12 @@ where
                 let next = &next;
                 let run_task = &run_task;
                 let skip_task = &skip_task;
+                let note_settled = &note_settled;
+                let heartbeat = &heartbeat;
                 scope.spawn(move || {
                     mss_obs::set_thread_ordinal(1 + worker as u32);
                     let mut busy = 0.0;
+                    let mut tasks_done = 0u64;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= tasks {
@@ -657,11 +748,13 @@ where
                                 .lock()
                                 .expect("failure manifest poisoned")
                                 .push(skip_task(i));
+                            note_settled(i);
                             continue;
                         }
                         let t0 = Instant::now();
                         let outcome = run_task(i);
                         busy += t0.elapsed().as_secs_f64();
+                        tasks_done += 1;
                         match outcome {
                             Ok(u) => {
                                 *slots[i].lock().expect("result slot poisoned") = Some(u);
@@ -671,6 +764,8 @@ where
                                 .expect("failure manifest poisoned")
                                 .push(fail),
                         }
+                        note_settled(i);
+                        heartbeat(1 + worker as u32, tasks_done, busy);
                     }
                     busy
                 })
@@ -691,7 +786,7 @@ where
         .collect();
     let mut failures = failures.into_inner().expect("failure manifest poisoned");
     failures.sort_by_key(|f| f.index);
-    PartialSweep {
+    let sweep = PartialSweep {
         results,
         failures,
         stats: RunStats {
@@ -701,7 +796,34 @@ where
             wall_seconds: started.elapsed().as_secs_f64(),
             busy_seconds,
         },
+    };
+    finish_sweep(sup, label, events_on, sweep)
+}
+
+/// End-of-sweep bookkeeping: when the event bus is live and the sweep ended
+/// with failures (panic, deadline, cancellation or domain error), dump the
+/// flight-recorder ring to `target/flight_<label>_<seed>.ndjson` so the
+/// last moments before the failure survive the process.
+fn finish_sweep<U>(
+    sup: &SupervisorConfig,
+    label: &str,
+    events_on: bool,
+    sweep: PartialSweep<U>,
+) -> PartialSweep<U> {
+    if events_on && !sweep.failures.is_empty() {
+        let digest = format!("{label}_{:016x}", sup.seed);
+        let reason = format!(
+            "partial sweep: {} of {} tasks failed",
+            sweep.failures.len(),
+            sweep.len()
+        );
+        mss_obs::counter_add("exec.supervise.flight_dumps", 1);
+        match mss_obs::events::bus().dump_flight(&digest, &reason) {
+            Ok(path) => eprintln!("flight recorder: {reason} -> {}", path.display()),
+            Err(e) => eprintln!("flight recorder: dump failed: {e}"),
+        }
     }
+    sweep
 }
 
 /// Classifies a domain error: a cooperative cancellation bail-out (the task

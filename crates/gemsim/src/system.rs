@@ -451,7 +451,12 @@ impl System {
         sup: &SupervisorConfig,
     ) -> PartialSweep<SimReport> {
         let _span = mss_obs::span("gemsim.run_many");
-        mss_exec::supervised_map(exec, sup, kernels, |ctx, kernel| {
+        let sup = if sup.label.is_empty() {
+            sup.with_label("gemsim.run_many")
+        } else {
+            *sup
+        };
+        mss_exec::supervised_map(exec, &sup, kernels, |ctx, kernel| {
             self.run_cancellable(kernel, seed, &Placement::AllClusters, ctx.token())
         })
     }
@@ -831,6 +836,16 @@ impl System {
             mss_obs::counter_add("gemsim.runs", 1);
             if report.extrapolated_accesses > 0 {
                 mss_obs::counter_add("gemsim.extrapolated_accesses", report.extrapolated_accesses);
+                // Epoch-skip engaged: surface how much of the run was
+                // extrapolated as gauges (mirrored onto the event bus by
+                // the global gauge hook). Exact-mode runs emit none of
+                // these — extrapolated_accesses is identically zero there.
+                mss_obs::counter_add("gemsim.epoch_skip.engaged", 1);
+                mss_obs::gauge_set(
+                    "gemsim.extrapolated_accesses",
+                    report.extrapolated_accesses as f64,
+                );
+                mss_obs::gauge_set("gemsim.simulated_fraction", report.simulated_fraction);
             }
             mss_obs::counter_add("gemsim.instructions", report.total_instructions());
             mss_obs::counter_add("gemsim.dram.reads", report.dram_reads);

@@ -1,0 +1,62 @@
+//! Satellite contract for the telemetry plane: `gemsim` surfaces its
+//! extrapolation state — `extrapolated_accesses` and epoch-skip
+//! engagement — as gauges on the global registry, and an *exact-mode* run
+//! (no epoch skip) emits none of them. One process, one `#[test]`: the
+//! global registry is initialised exactly once.
+
+use mss_gemsim::system::{EpochSkipConfig, System, SystemConfig};
+use mss_gemsim::workload::Kernel;
+use mss_obs::Mode;
+
+#[test]
+fn epoch_skip_state_is_gauged_and_exact_runs_emit_none() {
+    assert!(
+        mss_obs::init_with_mode(Mode::Metrics),
+        "this test must own registry initialisation"
+    );
+
+    // Exact mode first: no extrapolation, so none of the epoch-skip
+    // telemetry may appear.
+    let mut exact_cfg = SystemConfig::big_little_default();
+    exact_cfg.sample_accesses_per_thread = 60_000;
+    let k = Kernel::streamcluster();
+    let exact = System::new(exact_cfg.clone()).unwrap().run(&k, 2).unwrap();
+    assert_eq!(exact.extrapolated_accesses, 0);
+    assert_eq!(mss_obs::counter("gemsim.epoch_skip.engaged"), 0);
+    assert_eq!(mss_obs::counter("gemsim.extrapolated_accesses"), 0);
+    assert_eq!(mss_obs::gauge("gemsim.extrapolated_accesses"), None);
+    assert_eq!(mss_obs::gauge("gemsim.simulated_fraction"), None);
+
+    // Now an epoch-skip run on a steady kernel: the gauges must appear and
+    // agree with the report.
+    let mut skip_cfg = exact_cfg;
+    skip_cfg.epoch_skip = Some(EpochSkipConfig {
+        window: 2048,
+        converge_windows: 3,
+        tolerance: 0.10,
+    });
+    let fast = System::new(skip_cfg).unwrap().run(&k, 2).unwrap();
+    assert!(
+        fast.extrapolated_accesses > 0,
+        "steady kernel must converge"
+    );
+    assert_eq!(mss_obs::counter("gemsim.epoch_skip.engaged"), 1);
+    assert_eq!(
+        mss_obs::counter("gemsim.extrapolated_accesses"),
+        fast.extrapolated_accesses
+    );
+    assert_eq!(
+        mss_obs::gauge("gemsim.extrapolated_accesses"),
+        Some(fast.extrapolated_accesses as f64)
+    );
+    let frac = mss_obs::gauge("gemsim.simulated_fraction").expect("fraction gauge");
+    assert!(frac > 0.0 && frac < 1.0, "{frac}");
+    assert_eq!(frac, fast.simulated_fraction);
+
+    // And the gauges land on the registry's NDJSON as schema-v3 lines.
+    let ndjson = mss_obs::report_ndjson();
+    assert!(
+        ndjson.contains("{\"type\":\"gauge\",\"name\":\"gemsim.extrapolated_accesses\""),
+        "gauge line missing from report"
+    );
+}

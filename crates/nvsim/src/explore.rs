@@ -216,7 +216,12 @@ pub fn explore_supervised(
         .collect();
     let _span = mss_obs::span("nvsim.explore");
     let cache = mss_pipe::global();
-    let sweep = mss_exec::supervised_map(exec, sup, &grid, |_, cfg| {
+    let sup = if sup.label.is_empty() {
+        sup.with_label("nvsim.explore")
+    } else {
+        *sup
+    };
+    let sweep = mss_exec::supervised_map(exec, &sup, &grid, |_, cfg| {
         estimate_cached(tech, cfg, technology, &cache).map(|m| (*m).clone())
     });
     mss_obs::counter_add("nvsim.explore.candidates", grid.len() as u64);

@@ -17,13 +17,18 @@
 //!
 //! # Gating and overhead
 //!
-//! The global registry is gated by two environment variables, read once:
+//! The global registry is gated by environment variables, parsed once per
+//! process (see [`env_config`]):
 //!
-//! - `MSS_METRICS=1` — counters, histograms and span aggregates are live;
+//! - `MSS_METRICS=1` — counters, gauges, histograms and span aggregates are
+//!   live;
 //! - `MSS_TRACE=1` — additionally records individual span events (bounded
-//!   buffer) and implies `MSS_METRICS`.
+//!   buffer) and implies `MSS_METRICS`;
+//! - `MSS_EVENTS=1` / `MSS_EVENTS_PATH=<file>` — enables the live
+//!   [event bus](events) (typed progress/heartbeat/failure/gauge events,
+//!   per-thread flight-recorder rings, NDJSON event stream).
 //!
-//! With neither set the global API is a no-op behind a single relaxed atomic
+//! With none set the global API is a no-op behind a single relaxed atomic
 //! load — instrumentation can stay in hot paths permanently. The disabled
 //! cost is asserted by this crate's overhead smoke test.
 //!
@@ -45,6 +50,8 @@
 
 #![deny(missing_docs)]
 
+pub mod events;
+
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
@@ -54,6 +61,11 @@ use std::time::Instant;
 pub const METRICS_ENV: &str = "MSS_METRICS";
 /// Environment variable enabling per-event span tracing (implies metrics).
 pub const TRACE_ENV: &str = "MSS_TRACE";
+/// Environment variable enabling the live [event bus](events).
+pub const EVENTS_ENV: &str = "MSS_EVENTS";
+/// Environment variable overriding the event-stream sink path (setting it
+/// implies [`EVENTS_ENV`]).
+pub const EVENTS_PATH_ENV: &str = "MSS_EVENTS_PATH";
 
 /// Cap on buffered trace events; recording stops (and a drop counter runs)
 /// once the buffer is full, bounding memory for long runs.
@@ -72,7 +84,15 @@ pub const HIST_BUCKETS: usize = 64;
 /// - `span.by_thread` — `[tid, count, total_seconds]` ownership slices,
 /// - `event.tid` — the recording thread's ordinal (see
 ///   [`set_thread_ordinal`]).
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// Version 3 (the telemetry schema) extends v2 with:
+/// - `gauge` lines — last-write-wins named values
+///   (`{"type":"gauge","name":...,"value":...}`),
+/// - `bus` lines — typed live events from the [event bus](events)
+///   (`{"type":"bus","kind":"progress",...}`; see [`events::EventPayload`]),
+/// - meta mode `"events"` — marks a pure event-stream file (live stream or
+///   flight-recorder dump) rather than an aggregate run report.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Counter bumped when `MSS_METRICS`/`MSS_TRACE` hold a garbled value (the
 /// value is warned about once on stderr and otherwise ignored).
@@ -94,7 +114,8 @@ pub enum Mode {
 }
 
 impl Mode {
-    /// Reads the mode from `MSS_TRACE` / `MSS_METRICS`.
+    /// Reads the mode from `MSS_TRACE` / `MSS_METRICS` via the process-wide
+    /// cached [`env_config`] (parsed once, warned about once).
     ///
     /// Accepted spellings (after trimming, case-insensitive): `1`/`true`/`on`
     /// enable, and unset/empty/`0`/`false`/`off` disable. Anything else
@@ -104,39 +125,82 @@ impl Mode {
     /// the [`BAD_ENV_COUNTER`] (seeded into registries built via
     /// [`Registry::from_env`]).
     pub fn from_env() -> Self {
-        Self::from_env_diagnostics().0
+        env_config().mode
     }
+}
 
-    /// [`Mode::from_env`] plus the number of garbled variables encountered.
-    fn from_env_diagnostics() -> (Self, u64) {
-        static WARN_TRACE: std::sync::Once = std::sync::Once::new();
-        static WARN_METRICS: std::sync::Once = std::sync::Once::new();
+/// The observability environment, parsed once per process.
+///
+/// Every consumer of `MSS_METRICS` / `MSS_TRACE` / `MSS_EVENTS` /
+/// `MSS_EVENTS_PATH` goes through this single cached snapshot, so garbled
+/// values warn exactly once no matter how many registries, buses or call
+/// sites consult the environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvConfig {
+    /// Recording mode from `MSS_TRACE` / `MSS_METRICS`.
+    pub mode: Mode,
+    /// Whether the live event bus is enabled (`MSS_EVENTS`, or implied by a
+    /// non-empty `MSS_EVENTS_PATH`).
+    pub events: bool,
+    /// Event-stream sink path override from `MSS_EVENTS_PATH` (`None` means
+    /// the default `target/mss_events.ndjson` when the bus is enabled).
+    pub events_path: Option<String>,
+    /// Number of garbled variables encountered (each already warned about).
+    pub bad_env: u64,
+}
+
+impl EnvConfig {
+    /// Parses the observability environment from a variable lookup, returning
+    /// the config plus the warning for each garbled variable (exactly one per
+    /// variable). Pure — the cached entry point [`env_config`] feeds it
+    /// `std::env::var` and prints the warnings once.
+    pub fn parse_from(get: impl Fn(&str) -> Option<String>) -> (Self, Vec<String>) {
+        let mut warnings = Vec::new();
         let mut bad = 0u64;
-        let mut on = |key: &str, once: &'static std::sync::Once| match std::env::var(key) {
-            Err(_) => false,
-            Ok(raw) => match parse_flag(&raw) {
+        let mut flag = |key: &str| match get(key) {
+            None => false,
+            Some(raw) => match parse_flag(&raw) {
                 Ok(set) => set,
                 Err(why) => {
                     bad += 1;
-                    once.call_once(|| {
-                        eprintln!(
-                            "warning: ignoring {key}={raw:?} ({why}); \
-                             expected 1/true/on or 0/false/off"
-                        );
-                    });
+                    warnings.push(format!(
+                        "warning: ignoring {key}={raw:?} ({why}); \
+                         expected 1/true/on or 0/false/off"
+                    ));
                     false
                 }
             },
         };
-        let mode = if on(TRACE_ENV, &WARN_TRACE) {
+        let mode = if flag(TRACE_ENV) {
             Mode::Trace
-        } else if on(METRICS_ENV, &WARN_METRICS) {
+        } else if flag(METRICS_ENV) {
             Mode::Metrics
         } else {
             Mode::Off
         };
-        (mode, bad)
+        let events_flag = flag(EVENTS_ENV);
+        let events_path = get(EVENTS_PATH_ENV).filter(|p| !p.trim().is_empty());
+        let config = Self {
+            mode,
+            events: events_flag || events_path.is_some(),
+            events_path,
+            bad_env: bad,
+        };
+        (config, warnings)
     }
+}
+
+/// The cached process-wide [`EnvConfig`]: parsed (and warned about) exactly
+/// once, on first use.
+pub fn env_config() -> &'static EnvConfig {
+    static CONFIG: OnceLock<EnvConfig> = OnceLock::new();
+    CONFIG.get_or_init(|| {
+        let (config, warnings) = EnvConfig::parse_from(|key| std::env::var(key).ok());
+        for w in &warnings {
+            eprintln!("{w}");
+        }
+        config
+    })
 }
 
 /// Parses an `MSS_METRICS`-style boolean flag; see [`Mode::from_env`] for
@@ -344,6 +408,7 @@ pub struct Registry {
     mode: Mode,
     epoch: Instant,
     counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
     spans: Mutex<BTreeMap<String, SpanAgg>>,
     events: Mutex<Vec<TraceEvent>>,
@@ -356,21 +421,22 @@ impl Registry {
             mode,
             epoch: Instant::now(),
             counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
             spans: Mutex::new(BTreeMap::new()),
             events: Mutex::new(Vec::new()),
         }
     }
 
-    /// Creates a registry with the mode from the environment; garbled
-    /// `MSS_METRICS`/`MSS_TRACE` values are warned about once and seed the
-    /// [`BAD_ENV_COUNTER`] so a misconfigured run stays diagnosable from its
-    /// own report.
+    /// Creates a registry with the mode from the cached [`env_config`];
+    /// garbled `MSS_METRICS`/`MSS_TRACE`/`MSS_EVENTS` values are warned about
+    /// once (at env parse) and seed the [`BAD_ENV_COUNTER`] so a
+    /// misconfigured run stays diagnosable from its own report.
     pub fn from_env() -> Self {
-        let (mode, bad_env) = Mode::from_env_diagnostics();
-        let reg = Self::new(mode);
-        if bad_env > 0 {
-            reg.counter_add(BAD_ENV_COUNTER, bad_env);
+        let env = env_config();
+        let reg = Self::new(env.mode);
+        if env.bad_env > 0 {
+            reg.counter_add(BAD_ENV_COUNTER, env.bad_env);
         }
         reg
     }
@@ -405,6 +471,28 @@ impl Registry {
             .unwrap_or(0)
     }
 
+    /// Sets the named gauge to `v` (last write wins).
+    ///
+    /// Gauges are point-in-time levels — cache occupancy, hit ratio,
+    /// extrapolated access counts — where only the latest value matters,
+    /// unlike monotonically accumulating counters.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut gauges = self.gauges.lock().expect("obs gauges poisoned");
+        *gauges.entry_or_insert(name) = v;
+    }
+
+    /// Current value of a gauge, `None` when never set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .lock()
+            .expect("obs gauges poisoned")
+            .get(name)
+            .copied()
+    }
+
     /// Records a value into the named histogram.
     pub fn record_value(&self, name: &str, v: f64) {
         if !self.enabled() {
@@ -435,6 +523,7 @@ impl Registry {
                 registry: None,
                 path: String::new(),
                 start: None,
+                publish: false,
             };
         }
         let path = SPAN_STACK.with(|stack| {
@@ -449,6 +538,7 @@ impl Registry {
             registry: Some(self),
             path,
             start: Some(Instant::now()),
+            publish: false,
         }
     }
 
@@ -531,17 +621,18 @@ impl Registry {
 
     /// Renders the whole registry as NDJSON — one self-describing JSON
     /// object per line, deterministically ordered (`meta`, then counters,
-    /// histograms, spans and events, each alphabetical):
+    /// gauges, histograms, spans and events, each alphabetical):
     ///
     /// ```text
-    /// {"type":"meta","schema":2,"mode":"metrics","dropped_events":0}
+    /// {"type":"meta","schema":3,"mode":"metrics","dropped_events":0}
     /// {"type":"counter","name":"vaet.mc.samples","value":20000}
+    /// {"type":"gauge","name":"pipe.mem.occupancy","value":1.2e1}
     /// {"type":"histogram","name":"vaet.mc.wall_seconds","count":2,...,"p50":...,"p90":...,"p99":...}
     /// {"type":"span","path":"mc_smoke/vaet.mc.run","count":2,...,"self_seconds":...,"by_thread":[[0,2,1.5e-3]]}
     /// {"type":"event","path":"...","tid":0,"start_seconds":...,"duration_seconds":...}
     /// ```
     ///
-    /// See [`SCHEMA_VERSION`] for the v1→v2 field additions; `mss-prof`
+    /// See [`SCHEMA_VERSION`] for the v1→v2→v3 field additions; `mss-prof`
     /// parses, validates, diffs and exports this format.
     pub fn to_ndjson(&self) -> String {
         let mut out = String::new();
@@ -558,6 +649,13 @@ impl Registry {
             out.push_str(&format!(
                 "{{\"type\":\"counter\",\"name\":{},\"value\":{value}}}\n",
                 json_str(name)
+            ));
+        }
+        for (name, value) in self.gauges.lock().expect("obs gauges poisoned").iter() {
+            out.push_str(&format!(
+                "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}\n",
+                json_str(name),
+                json_num(*value)
             ));
         }
         for (name, h) in self
@@ -640,12 +738,22 @@ pub struct SpanGuard<'a> {
     registry: Option<&'a Registry>,
     path: String,
     start: Option<Instant>,
+    /// Publish open/close events to the global [event bus](events) — set
+    /// only by the global [`span`] free function when the bus is live.
+    publish: bool,
 }
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         if let (Some(registry), Some(start)) = (self.registry, self.start) {
-            registry.close_span(&self.path, start.elapsed().as_secs_f64());
+            let duration = start.elapsed().as_secs_f64();
+            registry.close_span(&self.path, duration);
+            if self.publish {
+                events::publish(events::EventPayload::SpanClose {
+                    path: std::mem::take(&mut self.path),
+                    duration_seconds: duration,
+                });
+            }
         }
     }
 }
@@ -716,10 +824,17 @@ pub fn enabled() -> bool {
     global().enabled()
 }
 
-/// Adds `n` to a global counter.
+/// Adds `n` to a global counter; mirrored onto the live
+/// [event bus](events) as a `counter_delta` event when the bus is enabled.
 #[inline]
 pub fn counter_add(name: &str, n: u64) {
     global().counter_add(name, n);
+    if events::bus_enabled() {
+        events::publish(events::EventPayload::CounterDelta {
+            name: name.to_string(),
+            delta: n,
+        });
+    }
 }
 
 /// Current value of a global counter (0 when never touched).
@@ -728,16 +843,44 @@ pub fn counter(name: &str) -> u64 {
     global().counter(name)
 }
 
+/// Sets a global gauge (last write wins); mirrored onto the live
+/// [event bus](events) as a `gauge_set` event when the bus is enabled.
+#[inline]
+pub fn gauge_set(name: &str, v: f64) {
+    global().gauge_set(name, v);
+    if events::bus_enabled() {
+        events::publish(events::EventPayload::GaugeSet {
+            name: name.to_string(),
+            value: v,
+        });
+    }
+}
+
+/// Current value of a global gauge, `None` when never set.
+#[inline]
+pub fn gauge(name: &str) -> Option<f64> {
+    global().gauge(name)
+}
+
 /// Records a value into a global histogram.
 #[inline]
 pub fn record_value(name: &str, v: f64) {
     global().record_value(name, v);
 }
 
-/// Opens a span on the global registry (see [`Registry::span`]).
+/// Opens a span on the global registry (see [`Registry::span`]); open/close
+/// are mirrored onto the live [event bus](events) when it is enabled (and
+/// the registry itself records, so the span has a path).
 #[must_use = "the span measures until the guard is dropped"]
 pub fn span(name: &'static str) -> SpanGuard<'static> {
-    global().span(name)
+    let mut guard = global().span(name);
+    if guard.start.is_some() && events::bus_enabled() {
+        guard.publish = true;
+        events::publish(events::EventPayload::SpanOpen {
+            path: guard.path.clone(),
+        });
+    }
+    guard
 }
 
 /// Records a parallel-region run on the global registry (see
@@ -914,15 +1057,36 @@ mod tests {
     fn disabled_registry_records_nothing() {
         let reg = Registry::new(Mode::Off);
         reg.counter_add("a", 5);
+        reg.gauge_set("g", 1.5);
         reg.record_value("h", 1.0);
         {
             let _g = reg.span("s");
         }
         reg.record_run("r", 1, 2, 0.5, &[0.4]);
         assert_eq!(reg.counter("a"), 0);
+        assert_eq!(reg.gauge("g"), None);
         assert!(reg.histogram("h").is_none());
         let report = reg.to_ndjson();
         assert_eq!(report.lines().count(), 1, "meta line only: {report}");
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let reg = Registry::new(Mode::Metrics);
+        assert_eq!(reg.gauge("occ"), None);
+        reg.gauge_set("occ", 3.0);
+        reg.gauge_set("occ", 7.5);
+        reg.gauge_set("ratio", 0.25);
+        assert_eq!(reg.gauge("occ"), Some(7.5));
+        assert_eq!(reg.gauge("ratio"), Some(0.25));
+        let report = reg.to_ndjson();
+        let gauge_lines: Vec<&str> = report
+            .lines()
+            .filter(|l| l.contains("\"type\":\"gauge\""))
+            .collect();
+        assert_eq!(gauge_lines.len(), 2, "{report}");
+        assert!(gauge_lines[0].contains("\"name\":\"occ\""), "{report}");
+        assert!(gauge_lines[0].contains("7.5"), "{report}");
     }
 
     #[test]
@@ -1013,6 +1177,8 @@ mod tests {
     fn every_ndjson_line_is_valid_json() {
         let reg = Registry::new(Mode::Trace);
         reg.counter_add("weird \"name\"\\path", 1);
+        reg.gauge_set("gauge \"weird\"", 1.25);
+        reg.gauge_set("gauge.nan", f64::NAN);
         reg.record_value("hist", 1.5e-9);
         reg.record_value("hist", f64::INFINITY);
         {
@@ -1021,12 +1187,12 @@ mod tests {
         }
         reg.record_run("run", 1, 100, 1e-3, &[0.9e-3]);
         let report = reg.to_ndjson();
-        assert!(report.lines().count() >= 6, "{report}");
+        assert!(report.lines().count() >= 7, "{report}");
         for line in report.lines() {
             json::validate(line).unwrap_or_else(|e| panic!("invalid JSON: {e}\nline: {line}"));
         }
         // Types all present.
-        for ty in ["meta", "counter", "histogram", "span", "event"] {
+        for ty in ["meta", "counter", "gauge", "histogram", "span", "event"] {
             assert!(
                 report.contains(&format!("\"type\":\"{ty}\"")),
                 "missing {ty}: {report}"
@@ -1221,6 +1387,39 @@ mod tests {
             let err = parse_flag(bad).expect_err(&format!("{bad:?} must be rejected"));
             assert!(!err.is_empty());
         }
+    }
+
+    #[test]
+    fn env_config_parses_and_warns_once_per_variable() {
+        let vars = |key: &str| match key {
+            TRACE_ENV => Some("banana".to_string()),
+            METRICS_ENV => Some("1".to_string()),
+            EVENTS_ENV => Some("maybe".to_string()),
+            _ => None,
+        };
+        let (config, warnings) = EnvConfig::parse_from(vars);
+        // Garbled MSS_TRACE counts as unset; MSS_METRICS=1 still applies.
+        assert_eq!(config.mode, Mode::Metrics);
+        assert!(!config.events);
+        assert_eq!(config.bad_env, 2);
+        assert_eq!(warnings.len(), 2, "exactly one warning per garbled var");
+        assert!(warnings[0].contains(TRACE_ENV), "{warnings:?}");
+        assert!(warnings[1].contains(EVENTS_ENV), "{warnings:?}");
+
+        // Clean environment: no warnings at all.
+        let (config, warnings) = EnvConfig::parse_from(|_| None);
+        assert_eq!(config.mode, Mode::Off);
+        assert!(!config.events);
+        assert_eq!(config.bad_env, 0);
+        assert!(warnings.is_empty());
+
+        // MSS_EVENTS_PATH alone implies the bus.
+        let (config, warnings) = EnvConfig::parse_from(|key| {
+            (key == EVENTS_PATH_ENV).then(|| "target/custom.ndjson".to_string())
+        });
+        assert!(config.events);
+        assert_eq!(config.events_path.as_deref(), Some("target/custom.ndjson"));
+        assert!(warnings.is_empty());
     }
 
     #[test]

@@ -213,6 +213,17 @@ fn obs_counter_name(stage: Stage, ev: Event) -> &'static str {
     }
 }
 
+/// Name of the per-stage live hit-ratio gauge.
+fn obs_hit_ratio_name(stage: Stage) -> &'static str {
+    match stage {
+        Stage::CharacterizeCells => "pipe.characterize_cells.hit_ratio",
+        Stage::EstimateArray => "pipe.estimate_array.hit_ratio",
+        Stage::VaetDistributions => "pipe.vaet_distributions.hit_ratio",
+        Stage::SimulateKernel => "pipe.simulate_kernel.hit_ratio",
+        Stage::McpatAccount => "pipe.mcpat_account.hit_ratio",
+    }
+}
+
 type Stored = Arc<dyn Any + Send + Sync>;
 
 #[derive(Default)]
@@ -349,6 +360,16 @@ impl PipeCache {
         };
         cell.fetch_add(1, Ordering::Relaxed);
         mss_obs::counter_add(obs_counter_name(stage, ev), 1);
+        // Live hit-ratio gauge per stage (mirrored onto the event bus by
+        // the global gauge hook). Only lookups move the ratio, and the
+        // whole computation is skipped when observability is off.
+        if matches!(ev, Event::Hit | Event::DiskHit | Event::Miss) && mss_obs::enabled() {
+            let hits = c.hits.load(Ordering::Relaxed) + c.disk_hits.load(Ordering::Relaxed);
+            let lookups = hits + c.misses.load(Ordering::Relaxed);
+            if lookups > 0 {
+                mss_obs::gauge_set(obs_hit_ratio_name(stage), hits as f64 / lookups as f64);
+            }
+        }
     }
 
     fn lookup_mem<T: Send + Sync + 'static>(&self, stage: Stage, key: &str) -> Option<Arc<T>> {
@@ -374,6 +395,14 @@ impl PipeCache {
                     self.count(stage, Event::Eviction);
                 }
             }
+        }
+        // Memory-tier occupancy gauge, computed while the lock is already
+        // held (the fraction of `capacity` currently resident).
+        if mss_obs::enabled() && self.capacity > 0 {
+            mss_obs::gauge_set(
+                "pipe.mem_occupancy",
+                mem.map.len() as f64 / self.capacity as f64,
+            );
         }
     }
 

@@ -9,16 +9,20 @@
 //! mss_report baseline <report.ndjson> --name NAME [--out FILE]
 //! mss_report check <BENCH_name.json> <report.ndjson> [--max-span-ratio R]
 //!                  [--min-span-seconds S] [--ignore-counter PREFIX]...
+//! mss_report tail <events.ndjson> [--poll-ms N] [--idle-ms N] [--kinds all]
 //! ```
 //!
 //! Exit codes: 0 = clean, 1 = gating regression or invalid report,
 //! 2 = usage / I/O error.
 
+use std::io::{Read as _, Seek as _};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use mss_prof::baseline::{passes, Baseline, CheckOptions};
 use mss_prof::chrome::chrome_trace;
 use mss_prof::diff::{diff, DiffOptions};
+use mss_prof::json::Value;
 use mss_prof::report::Report;
 
 const USAGE: &str = "\
@@ -46,6 +50,12 @@ commands:
         [--min-span-seconds S] [--ignore-counter PREFIX]...
       Check a fresh run against a committed baseline. Counters and span
       structure gate exactly; span times gate only when R is given.
+  tail <events.ndjson> [--poll-ms N] [--idle-ms N] [--kinds all]
+      Follow a live MSS_EVENTS NDJSON stream and render sweep progress,
+      worker heartbeats, failures and watchdog regressions as they land.
+      Waits for the file to appear, tolerates a torn final line, and exits
+      once the stream is idle for N ms (default 2000; 0 = single pass).
+      --kinds all additionally renders gauge/counter/span events.
 ";
 
 fn main() -> ExitCode {
@@ -76,6 +86,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         "validate" => validate(rest),
         "baseline" => baseline_cmd(rest),
         "check" => check_cmd(rest),
+        "tail" => tail_cmd(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             Ok(true)
@@ -289,4 +300,243 @@ fn check_cmd(rest: &[String]) -> Result<bool, String> {
         );
         Ok(false)
     }
+}
+
+/// Running tallies the tail prints on exit.
+#[derive(Default)]
+struct TailStats {
+    events: u64,
+    progress: u64,
+    heartbeats: u64,
+    failures: u64,
+    watchdog: u64,
+    malformed: u64,
+}
+
+fn tail_cmd(rest: &[String]) -> Result<bool, String> {
+    let (pos, flags) = parse_flags(rest, &["poll-ms", "idle-ms", "kinds"])?;
+    let [path] = pos.as_slice() else {
+        return Err("tail expects exactly one event stream".to_string());
+    };
+    let poll_ms = flag_f64(&flags, "poll-ms")?.unwrap_or(200.0).max(10.0);
+    let idle_ms = flag_f64(&flags, "idle-ms")?.unwrap_or(2000.0).max(0.0);
+    let all_kinds = match flag(&flags, "kinds") {
+        None | Some("sweep") => false,
+        Some("all") => true,
+        Some(other) => return Err(format!("--kinds expects sweep or all, got {other:?}")),
+    };
+
+    let poll = Duration::from_millis(poll_ms as u64);
+    let idle = Duration::from_millis(idle_ms as u64);
+    let mut offset = 0u64;
+    let mut carry = String::new();
+    let mut stats = TailStats::default();
+    let mut last_growth = Instant::now();
+    loop {
+        let grew = drain_stream(path, &mut offset, &mut carry, all_kinds, &mut stats)?;
+        if grew {
+            last_growth = Instant::now();
+        } else {
+            if last_growth.elapsed() >= idle {
+                break;
+            }
+            std::thread::sleep(poll);
+        }
+    }
+    if !carry.is_empty() {
+        eprintln!("tail: stream ends mid-line ({} bytes torn)", carry.len());
+    }
+    println!(
+        "tail: {} events ({} progress, {} heartbeats, {} failures, {} watchdog{})",
+        stats.events,
+        stats.progress,
+        stats.heartbeats,
+        stats.failures,
+        stats.watchdog,
+        if stats.malformed > 0 {
+            format!(", {} malformed", stats.malformed)
+        } else {
+            String::new()
+        }
+    );
+    Ok(true)
+}
+
+/// Reads whatever the stream has grown past `offset`, renders the complete
+/// lines and keeps the torn tail in `carry`. Returns whether anything new
+/// arrived; a not-yet-existing file counts as no growth (the writer may
+/// still be starting up).
+fn drain_stream(
+    path: &str,
+    offset: &mut u64,
+    carry: &mut String,
+    all_kinds: bool,
+    stats: &mut TailStats,
+) -> Result<bool, String> {
+    let mut file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(format!("{path}: {e}")),
+    };
+    file.seek(std::io::SeekFrom::Start(*offset))
+        .map_err(|e| format!("{path}: {e}"))?;
+    let mut chunk = String::new();
+    file.read_to_string(&mut chunk)
+        .map_err(|e| format!("{path}: {e}"))?;
+    if chunk.is_empty() {
+        return Ok(false);
+    }
+    *offset += chunk.len() as u64;
+    carry.push_str(&chunk);
+    while let Some(nl) = carry.find('\n') {
+        let line: String = carry.drain(..=nl).collect();
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        match render_stream_line(line, all_kinds) {
+            Ok(Some(rendered)) => {
+                stats.events += 1;
+                match rendered.kind {
+                    StreamKind::Progress => stats.progress += 1,
+                    StreamKind::Heartbeat => stats.heartbeats += 1,
+                    StreamKind::Failure => stats.failures += 1,
+                    StreamKind::Watchdog => stats.watchdog += 1,
+                    StreamKind::Other => {}
+                }
+                if let Some(text) = rendered.text {
+                    println!("{text}");
+                }
+            }
+            Ok(None) => {}
+            Err(e) => {
+                stats.malformed += 1;
+                eprintln!("tail: skipping malformed line: {e}");
+            }
+        }
+    }
+    Ok(true)
+}
+
+enum StreamKind {
+    Progress,
+    Heartbeat,
+    Failure,
+    Watchdog,
+    Other,
+}
+
+struct RenderedLine {
+    kind: StreamKind,
+    /// `None` when the event is counted but not displayed at this verbosity.
+    text: Option<String>,
+}
+
+/// Renders one NDJSON stream line; `Ok(None)` for non-bus lines (meta,
+/// aggregate report lines) which a tail silently passes over.
+fn render_stream_line(line: &str, all_kinds: bool) -> Result<Option<RenderedLine>, String> {
+    let v = Value::parse(line)?;
+    if v.get("type").and_then(Value::as_str) != Some("bus") {
+        return Ok(None);
+    }
+    let kind = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("bus line without kind")?;
+    let t = v
+        .get("t_seconds")
+        .and_then(Value::as_f64)
+        .ok_or("bus line without t_seconds")?;
+    let s = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("{kind} line missing {key:?}"))
+    };
+    let n = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{kind} line missing {key:?}"))
+    };
+    let f = |key: &str| v.get(key).and_then(Value::as_f64);
+    let stamp = format!("[{t:8.3}s]");
+    let rendered = match kind {
+        "progress" => {
+            let budget = f("budget_seconds")
+                .map(|b| format!(", budget {b:.2}s"))
+                .unwrap_or_default();
+            RenderedLine {
+                kind: StreamKind::Progress,
+                text: Some(format!(
+                    "{stamp} sweep {}: {}/{} done, {} retried{budget}",
+                    s("sweep")?,
+                    n("done")?,
+                    n("total")?,
+                    n("retried")?,
+                )),
+            }
+        }
+        "heartbeat" => RenderedLine {
+            kind: StreamKind::Heartbeat,
+            text: Some(format!(
+                "{stamp} sweep {}: worker {} alive ({} tasks, busy {:.3}s)",
+                s("sweep")?,
+                n("worker")?,
+                n("tasks_done")?,
+                f("busy_seconds").unwrap_or(0.0),
+            )),
+        },
+        "failure" => RenderedLine {
+            kind: StreamKind::Failure,
+            text: Some(format!(
+                "{stamp} sweep {}: task {} FAILED ({}, {} attempts): {}",
+                s("sweep")?,
+                n("index")?,
+                s("failure")?,
+                n("attempts")?,
+                s("message")?,
+            )),
+        },
+        "watchdog" => RenderedLine {
+            kind: StreamKind::Watchdog,
+            text: Some(format!(
+                "{stamp} WATCHDOG: span {} {:.2}x over baseline ({:.3e}s -> {:.3e}s)",
+                s("span")?,
+                f("ratio").unwrap_or(f64::NAN),
+                f("baseline_seconds").unwrap_or(f64::NAN),
+                f("run_seconds").unwrap_or(f64::NAN),
+            )),
+        },
+        "gauge_set" => RenderedLine {
+            kind: StreamKind::Other,
+            text: all_kinds.then(|| {
+                format!(
+                    "{stamp} gauge {} = {}",
+                    s("name").unwrap_or_else(|_| "?".into()),
+                    f("value").map_or("null".into(), |x| format!("{x:.6e}")),
+                )
+            }),
+        },
+        "counter_delta" => RenderedLine {
+            kind: StreamKind::Other,
+            text: all_kinds.then(|| {
+                format!(
+                    "{stamp} counter {} += {}",
+                    s("name").unwrap_or_else(|_| "?".into()),
+                    n("delta").unwrap_or(0),
+                )
+            }),
+        },
+        "span_open" | "span_close" => RenderedLine {
+            kind: StreamKind::Other,
+            text: all_kinds.then(|| {
+                format!(
+                    "{stamp} {kind} {}",
+                    s("path").unwrap_or_else(|_| "?".into())
+                )
+            }),
+        },
+        other => return Err(format!("unknown bus kind {other:?}")),
+    };
+    Ok(Some(rendered))
 }

@@ -38,11 +38,14 @@ pub mod chrome;
 pub mod diff;
 pub mod json;
 pub mod report;
+pub mod watchdog;
 
 pub use baseline::{Baseline, CheckOptions, Finding};
 pub use chrome::chrome_trace;
 pub use diff::{diff, DiffOptions, ReportDiff};
-pub use report::Report;
+pub use json::Value;
+pub use report::{BusRecord, Report};
+pub use watchdog::{Watchdog, WatchdogMode, WatchdogRegression};
 
 #[cfg(test)]
 mod tests {

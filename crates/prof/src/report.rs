@@ -2,8 +2,9 @@
 //! attribution.
 //!
 //! [`Report::parse_ndjson`] is the workspace's schema validator: it accepts
-//! exactly the line shapes `mss_obs::Registry::to_ndjson` emits (schema v1
-//! and the v2 profiling extensions) and rejects everything else with a
+//! exactly the line shapes `mss_obs::Registry::to_ndjson` emits (schema v1,
+//! the v2 profiling extensions, and the v3 telemetry extensions — gauges
+//! plus event-bus streams/flight dumps) and rejects everything else with a
 //! line-numbered error. CI round-trips every archived report through it, so
 //! a writer regression can never ship silently.
 
@@ -14,11 +15,13 @@ use crate::json::Value;
 /// The `meta` line: schema/mode plus the trace-buffer drop count (v2).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Meta {
-    /// NDJSON schema version (1 or 2).
+    /// NDJSON schema version (1, 2 or 3).
     pub schema: u32,
-    /// Recording mode (`off`, `metrics`, `trace`).
+    /// Recording mode (`off`, `metrics`, `trace`, or `events` for v3
+    /// event streams and flight-recorder dumps).
     pub mode: String,
-    /// Trace events dropped on buffer overflow (0 for v1 reports).
+    /// Trace events dropped on buffer overflow (0 for v1 reports); for
+    /// `events` files, flight-ring evictions.
     pub dropped_events: u64,
 }
 
@@ -103,6 +106,44 @@ pub struct EventRecord {
     pub duration_seconds: f64,
 }
 
+/// One validated event-bus line from a v3 event stream or flight dump.
+///
+/// The common envelope (`kind`, `seq`, `tid`, `t_seconds`) is typed; the
+/// kind-specific fields are validated at parse time and stay accessible
+/// through the retained JSON [`Value`] (see [`BusRecord::str_field`] /
+/// [`BusRecord::u64_field`] / [`BusRecord::num_field`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusRecord {
+    /// Event kind (`progress`, `heartbeat`, `failure`, `span_open`,
+    /// `span_close`, `counter_delta`, `gauge_set`, `watchdog`).
+    pub kind: String,
+    /// Process-wide publish sequence number.
+    pub seq: u64,
+    /// Publishing thread's ordinal.
+    pub tid: u32,
+    /// Seconds since the bus epoch.
+    pub t_seconds: f64,
+    /// The full parsed line, for kind-specific fields.
+    pub value: Value,
+}
+
+impl BusRecord {
+    /// A kind-specific string field, if present.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.value.get(key).and_then(Value::as_str)
+    }
+
+    /// A kind-specific unsigned-integer field, if present.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        self.value.get(key).and_then(Value::as_u64)
+    }
+
+    /// A kind-specific numeric field, if present and non-null.
+    pub fn num_field(&self, key: &str) -> Option<f64> {
+        self.value.get(key).and_then(Value::as_f64)
+    }
+}
+
 /// A fully parsed and validated NDJSON run report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Report {
@@ -110,16 +151,21 @@ pub struct Report {
     pub meta: Meta,
     /// Counter name → value.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge name → last value (v3; `None` when the writer emitted null for
+    /// a non-finite value).
+    pub gauges: BTreeMap<String, Option<f64>>,
     /// Histogram name → summary.
     pub histograms: BTreeMap<String, HistogramSummary>,
     /// Span path → aggregate.
     pub spans: BTreeMap<String, SpanSummary>,
     /// Individual trace events, in emission order.
     pub events: Vec<EventRecord>,
+    /// Event-bus lines (v3 `events` files), in stream order.
+    pub bus: Vec<BusRecord>,
 }
 
 /// Largest schema version this parser understands.
-pub const MAX_SCHEMA: u32 = 2;
+pub const MAX_SCHEMA: u32 = 3;
 
 impl Report {
     /// Parses and validates an NDJSON run report.
@@ -127,8 +173,11 @@ impl Report {
     /// Structural requirements: the first line is the only `meta` line, its
     /// schema is 1..=[`MAX_SCHEMA`], every line is a standalone JSON object
     /// of a known `type` with the fields that type requires, and no
-    /// counter/histogram/span name repeats. v2-only fields are optional on
-    /// v1 reports and mandatory on v2.
+    /// counter/gauge/histogram/span name repeats. v2-only fields are
+    /// optional on v1 reports and mandatory on v2+. `gauge` and `bus` lines
+    /// require schema ≥ 3; `bus` lines are only valid in mode `events`
+    /// files (live streams / flight dumps), which in turn carry nothing
+    /// else.
     ///
     /// # Errors
     ///
@@ -136,9 +185,11 @@ impl Report {
     pub fn parse_ndjson(text: &str) -> Result<Report, String> {
         let mut meta: Option<Meta> = None;
         let mut counters = BTreeMap::new();
+        let mut gauges = BTreeMap::new();
         let mut histograms = BTreeMap::new();
         let mut spans = BTreeMap::new();
         let mut events = Vec::new();
+        let mut bus = Vec::new();
 
         for (idx, line) in text.lines().enumerate() {
             let lineno = idx + 1;
@@ -191,6 +242,23 @@ impl Report {
                     events
                         .push(parse_event(&v, schema).map_err(|e| format!("line {lineno}: {e}"))?);
                 }
+                "gauge" => {
+                    if schema < 3 {
+                        return Err(format!("line {lineno}: gauge lines require schema >= 3"));
+                    }
+                    let name = req_str(&v, "name").map_err(|e| format!("line {lineno}: {e}"))?;
+                    let value =
+                        req_num_or_null(&v, "value").map_err(|e| format!("line {lineno}: {e}"))?;
+                    if gauges.insert(name.clone(), value).is_some() {
+                        return Err(format!("line {lineno}: duplicate gauge {name:?}"));
+                    }
+                }
+                "bus" => {
+                    if schema < 3 {
+                        return Err(format!("line {lineno}: bus lines require schema >= 3"));
+                    }
+                    bus.push(parse_bus(&v).map_err(|e| format!("line {lineno}: {e}"))?);
+                }
                 other => {
                     return Err(format!("line {lineno}: unknown line type {other:?}"));
                 }
@@ -198,15 +266,33 @@ impl Report {
         }
 
         let meta = meta.ok_or_else(|| "empty report: no meta line".to_string())?;
-        if meta.mode == "off" && (!counters.is_empty() || !spans.is_empty()) {
+        if meta.mode == "off" && (!counters.is_empty() || !gauges.is_empty() || !spans.is_empty()) {
             return Err("mode \"off\" report carries data lines".to_string());
+        }
+        let is_events = meta.mode == "events";
+        if !bus.is_empty() && !is_events {
+            return Err(format!(
+                "bus lines require mode \"events\", got {:?}",
+                meta.mode
+            ));
+        }
+        if is_events
+            && !(counters.is_empty()
+                && gauges.is_empty()
+                && histograms.is_empty()
+                && spans.is_empty()
+                && events.is_empty())
+        {
+            return Err("mode \"events\" file carries aggregate report lines".to_string());
         }
         Ok(Report {
             meta,
             counters,
+            gauges,
             histograms,
             spans,
             events,
+            bus,
         })
     }
 
@@ -229,13 +315,15 @@ impl Report {
     /// self/total attribution and ownership, and headline counters.
     pub fn render_summary(&self, top: usize) -> String {
         let mut out = format!(
-            "schema v{} | mode {} | {} counters | {} histograms | {} spans | {} events",
+            "schema v{} | mode {} | {} counters | {} gauges | {} histograms | {} spans | {} events | {} bus",
             self.meta.schema,
             self.meta.mode,
             self.counters.len(),
+            self.gauges.len(),
             self.histograms.len(),
             self.spans.len(),
             self.events.len(),
+            self.bus.len(),
         );
         if self.meta.dropped_events > 0 {
             out.push_str(&format!(
@@ -326,8 +414,13 @@ fn parse_meta(v: &Value) -> Result<Meta, String> {
         ));
     }
     let mode = req_str(v, "mode")?;
-    if !matches!(mode.as_str(), "off" | "metrics" | "trace") {
-        return Err(format!("unknown mode {mode:?}"));
+    let known = match mode.as_str() {
+        "off" | "metrics" | "trace" => true,
+        "events" => schema >= 3,
+        _ => false,
+    };
+    if !known {
+        return Err(format!("unknown mode {mode:?} for schema {schema}"));
     }
     let dropped_events = if schema >= 2 {
         req_u64(v, "dropped_events")?
@@ -436,6 +529,69 @@ fn parse_event(v: &Value, schema: u32) -> Result<EventRecord, String> {
     })
 }
 
+/// Validates one event-bus line: the common envelope plus the fields each
+/// kind requires (matching `mss_obs::events::BusEvent::to_json_line`).
+fn parse_bus(v: &Value) -> Result<BusRecord, String> {
+    let kind = req_str(v, "kind")?;
+    let seq = req_u64(v, "seq")?;
+    let tid = u32::try_from(req_u64(v, "tid")?).map_err(|_| "tid out of range".to_string())?;
+    let t_seconds = req_num(v, "t_seconds")?;
+    match kind.as_str() {
+        "span_open" => {
+            req_str(v, "path")?;
+        }
+        "span_close" => {
+            req_str(v, "path")?;
+            req_num(v, "duration_seconds")?;
+        }
+        "counter_delta" => {
+            req_str(v, "name")?;
+            req_u64(v, "delta")?;
+        }
+        "gauge_set" => {
+            req_str(v, "name")?;
+            req_num_or_null(v, "value")?;
+        }
+        "progress" => {
+            req_str(v, "sweep")?;
+            let done = req_u64(v, "done")?;
+            let total = req_u64(v, "total")?;
+            req_u64(v, "retried")?;
+            req_num_or_null(v, "budget_seconds")?;
+            if done > total {
+                return Err(format!("progress done {done} exceeds total {total}"));
+            }
+        }
+        "heartbeat" => {
+            req_str(v, "sweep")?;
+            req_u64(v, "worker")?;
+            req_u64(v, "tasks_done")?;
+            req_num(v, "busy_seconds")?;
+        }
+        "failure" => {
+            req_str(v, "sweep")?;
+            req_u64(v, "index")?;
+            req_u64(v, "attempts")?;
+            req_str(v, "failure")?;
+            req_str(v, "message")?;
+        }
+        "watchdog" => {
+            req_str(v, "span")?;
+            req_num(v, "baseline_seconds")?;
+            req_num(v, "run_seconds")?;
+            req_num(v, "ratio")?;
+        }
+        other => return Err(format!("unknown bus kind {other:?}")),
+    }
+    Ok(BusRecord {
+        kind,
+        seq,
+        tid,
+        t_seconds,
+        value: v.clone(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +600,7 @@ mod tests {
     fn live_report(mode: Mode) -> String {
         let reg = Registry::new(mode);
         reg.counter_add("layer.items", 12);
+        reg.gauge_set("layer.occupancy", 17.0);
         reg.record_value("layer.latency", 2e-9);
         reg.record_value("layer.latency", 3e-9);
         {
@@ -457,10 +614,11 @@ mod tests {
     fn parses_a_live_metrics_report() {
         let text = live_report(Mode::Metrics);
         let r = Report::parse_ndjson(&text).expect("valid report");
-        assert_eq!(r.meta.schema, 2);
+        assert_eq!(r.meta.schema, 3);
         assert_eq!(r.meta.mode, "metrics");
         assert_eq!(r.meta.dropped_events, 0);
         assert_eq!(r.counters["layer.items"], 12);
+        assert_eq!(r.gauges["layer.occupancy"], Some(17.0));
         let h = &r.histograms["layer.latency"];
         assert_eq!(h.count, 2);
         assert!(h.p50.is_some() && h.p99.is_some());

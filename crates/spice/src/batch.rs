@@ -161,6 +161,25 @@ impl DcBatch {
     {
         let _span = mss_obs::span("spice.batch.dc");
         let x0 = vec![0.0; self.dim];
+        // Chunk-boundary progress on the opt-in telemetry bus; the chunk
+        // grid is deterministic so `total` is thread-count independent.
+        let events_on = mss_obs::events::bus_enabled();
+        let total_chunks = samples.div_ceil(cfg.chunk.max(1)) as u64;
+        let chunks_done = std::sync::atomic::AtomicU64::new(0);
+        let note_chunk_done = || {
+            if events_on {
+                let done = chunks_done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                mss_obs::events::publish(mss_obs::events::EventPayload::Progress {
+                    sweep: "spice.dc_batch".to_string(),
+                    done,
+                    total: total_chunks,
+                    retried: 0,
+                    budget_seconds: token
+                        .and_then(|t| t.budget_remaining())
+                        .map(|d| d.as_secs_f64()),
+                });
+            }
+        };
         let (chunks, stats) = par_chunks_stats(cfg, samples, |_chunk, range| {
             let _span = mss_obs::span("spice.batch.chunk");
             // Cancellation checkpoint: a tripped token fails the whole
@@ -168,6 +187,7 @@ impl DcBatch {
             if token.is_some_and(|t| t.is_cancelled()) {
                 let solutions = vec![0.0; range.len() * self.dim];
                 let failures = range.map(|i| (i, SpiceError::Cancelled)).collect();
+                note_chunk_done();
                 return (solutions, failures);
             }
             let mut nl = self.base.clone();
@@ -188,6 +208,7 @@ impl DcBatch {
                     }
                 }
             }
+            note_chunk_done();
             (solutions, failures)
         });
         stats.record("spice.batch");

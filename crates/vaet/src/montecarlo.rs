@@ -275,6 +275,12 @@ fn run_with_stats_inner(
     };
 
     let _span = mss_obs::span("vaet.mc.run");
+    // Batch-boundary progress for the live telemetry plane: one event per
+    // finished batch, keyed to the deterministic batch grid (independent of
+    // thread count). With the bus off this is a single atomic load.
+    let events_on = mss_obs::events::bus_enabled();
+    let total_batches = opts.samples.div_ceil(cfg.chunk.max(1)) as u64;
+    let batches_done = std::sync::atomic::AtomicU64::new(0);
     let (batches, stats) = par_chunks_stats(
         cfg,
         opts.samples,
@@ -295,6 +301,18 @@ fn run_with_stats_inner(
             let mut acc = BatchAcc::default();
             for _ in range {
                 sample_access(ctx, word, &consts, &mut rng, &mut acc)?;
+            }
+            if events_on {
+                let done = batches_done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                mss_obs::events::publish(mss_obs::events::EventPayload::Progress {
+                    sweep: "vaet.mc".to_string(),
+                    done,
+                    total: total_batches,
+                    retried: 0,
+                    budget_seconds: token
+                        .and_then(|t| t.budget_remaining())
+                        .map(|d| d.as_secs_f64()),
+                });
             }
             Ok(acc)
         },
